@@ -1,0 +1,96 @@
+// Ablation of ring maintenance (Section 4.3): backward forwarding needs an
+// intact counter-clockwise chain. We compare delivery with repaired ring
+// pointers (active recovery converged) vs stale pointers (no recovery),
+// under combined neighbor + scattered random attacks that punch holes into
+// the backward path.
+//
+// Also reports the event-level recovery itself: how long the protocol takes
+// to reconnect rings with gaps of increasing width.
+#include <cstdio>
+
+#include "attack/attack.hpp"
+#include "bench_util.hpp"
+#include "metrics/table_writer.hpp"
+#include "overlay/overlay.hpp"
+#include "sim/ring_protocol.hpp"
+
+namespace {
+
+using namespace hours;
+
+double delivery(bool repaired, std::uint32_t neighbor_block, std::uint32_t scattered,
+                int trials) {
+  rng::Xoshiro256 rng{0xAB2A};
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    overlay::OverlayParams params;
+    params.design = overlay::Design::kEnhanced;
+    params.k = 5;
+    params.q = 6;
+    params.seed = 0x9999 + static_cast<std::uint64_t>(t);
+    overlay::Overlay ov{400, params, overlay::TableStorage::kEager,
+                        [](ids::RingIndex) { return 12U; }};
+    ov.set_ring_repaired(repaired);
+
+    const ids::RingIndex od = static_cast<ids::RingIndex>(t * 13) % 400;
+    ov.kill(od);
+    attack::strike(ov, attack::plan_neighbor(400, od, neighbor_block));
+    attack::strike(ov, attack::plan_random(400, od, scattered, rng));
+
+    const auto entrance = ov.nearest_alive_cw(od);
+    if (!entrance.has_value()) continue;
+    const auto res = ov.forward(*entrance, od);
+    if (res.kind == overlay::ExitKind::kNephewExit) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using metrics::TableWriter;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int trials = static_cast<int>(bench::scaled(600, 60, quick));
+
+  TableWriter table{{"neighbor_block", "scattered_kills", "delivery_no_recovery",
+                     "delivery_recovered"}};
+  for (const std::uint32_t block : {20U, 60U, 120U}) {
+    for (const std::uint32_t scattered : {0U, 20U, 80U}) {
+      table.add_row({TableWriter::fmt(std::uint64_t{block}),
+                     TableWriter::fmt(std::uint64_t{scattered}),
+                     TableWriter::fmt(delivery(false, block, scattered, trials), 3),
+                     TableWriter::fmt(delivery(true, block, scattered, trials), 3)});
+    }
+  }
+  table.print("Ablation — backward forwarding with vs without ring recovery (N=400, k=5)");
+  table.write_csv(hours::bench::csv_path("ablation_recovery"));
+
+  // Event-level: time for active recovery to reconnect a gap.
+  TableWriter recovery{{"gap_width", "reconnected", "probe_periods_to_heal", "repairs_sent"}};
+  for (const std::uint32_t gap : {2U, 5U, 10U, 20U}) {
+    sim::RingSimConfig cfg;
+    cfg.size = 64;
+    cfg.params.design = overlay::Design::kEnhanced;
+    cfg.params.k = 3;
+    cfg.params.q = 2;
+    sim::RingSimulation ring{cfg};
+    ring.start();
+    ring.simulator().run(2 * cfg.probe_period);
+    for (std::uint32_t i = 0; i < gap; ++i) ring.kill(20 + i);
+
+    std::uint64_t periods = 0;
+    for (; periods < 60; ++periods) {
+      ring.simulator().run(cfg.probe_period);
+      if (ring.ring_connected()) break;
+    }
+    recovery.add_row({TableWriter::fmt(std::uint64_t{gap}),
+                      ring.ring_connected() ? "yes" : "NO",
+                      TableWriter::fmt(periods + 1),
+                      TableWriter::fmt(ring.repairs_sent())});
+  }
+  recovery.print("Active recovery — event-level healing time (N=64, k=3)");
+  recovery.write_csv(hours::bench::csv_path("ablation_recovery_event"));
+  std::printf("\nWithout recovery, scattered holes strand backward walks; with it, delivery\n"
+              "matches Eq.(2). Gaps wider than k heal via Repair messages.\n");
+  return 0;
+}

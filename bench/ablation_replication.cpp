@@ -1,0 +1,85 @@
+// Ablation of server replication (Section 7): "server replication can
+// greatly strengthen the system resilience under DoS attacks."
+//
+// The attacker spends a fixed budget of B server-kills against the OD's
+// counter-clockwise neighborhood. With replication factor r it must spend r
+// kills to fell one logical node, so the effective neighbor-attack width is
+// B/r — delivery at budget B with factor r should track delivery at width
+// B/r without replication.
+#include <cstdio>
+
+#include "analysis/resilience.hpp"
+#include "bench_util.hpp"
+#include "metrics/table_writer.hpp"
+#include "overlay/replication.hpp"
+
+namespace {
+
+using namespace hours;
+
+constexpr std::uint32_t kN = 300;
+constexpr std::uint32_t kK = 5;
+
+double delivery_with_replication(std::uint32_t replicas, std::uint32_t budget, int trials) {
+  int exits = 0;
+  for (int t = 0; t < trials; ++t) {
+    overlay::OverlayParams params;
+    params.design = overlay::Design::kEnhanced;
+    params.k = kK;
+    params.q = 6;
+    params.seed = 0x3E9 + static_cast<std::uint64_t>(t);
+    overlay::Overlay ov{kN, params, overlay::TableStorage::kEager,
+                        [](ids::RingIndex) { return 12U; }};
+    overlay::ReplicatedOverlay rep{ov, replicas};
+
+    const ids::RingIndex od = static_cast<ids::RingIndex>(t * 11) % kN;
+    // The attacker fells whole logical nodes, nearest-CCW first (optimal),
+    // spending r kills each; the OD itself is taken down first.
+    std::uint32_t remaining = budget;
+    for (std::uint32_t r = 0; r < replicas && remaining > 0; ++r, --remaining) {
+      rep.kill_server(od, r);
+    }
+    std::uint32_t step = 1;
+    while (remaining >= replicas && step < kN) {
+      const auto node = ids::counter_clockwise_step(od, step, kN);
+      for (std::uint32_t r = 0; r < replicas; ++r) rep.kill_server(node, r);
+      remaining -= replicas;
+      ++step;
+    }
+    if (ov.alive(od)) {
+      // Budget too small to finish the OD: trivially reachable.
+      ++exits;
+      continue;
+    }
+
+    const auto entrance = ov.nearest_alive_cw(od);
+    if (!entrance.has_value()) continue;
+    if (ov.forward(*entrance, od).kind == overlay::ExitKind::kNephewExit) ++exits;
+  }
+  return static_cast<double>(exits) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using metrics::TableWriter;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int trials = static_cast<int>(bench::scaled(800, 80, quick));
+
+  TableWriter table{{"server_kill_budget", "r=1", "r=2", "r=3", "eq2_at_B/r=2"}};
+  for (const std::uint32_t budget : {50U, 100U, 200U, 400U, 580U}) {
+    const double predicted =
+        analysis::delivery_neighbor_attack(kN, kK, std::min(0.99, budget / 2.0 / kN));
+    table.add_row({TableWriter::fmt(std::uint64_t{budget}),
+                   TableWriter::fmt(delivery_with_replication(1, budget, trials), 3),
+                   TableWriter::fmt(delivery_with_replication(2, budget, trials), 3),
+                   TableWriter::fmt(delivery_with_replication(3, budget, trials), 3),
+                   TableWriter::fmt(predicted, 3)});
+  }
+
+  table.print("Ablation — server replication vs attack budget (N=300, k=5, neighbor attack)");
+  table.write_csv(hours::bench::csv_path("ablation_replication"));
+  std::printf("\nFactor r divides the attacker's effective width by r: the r=2 column tracks\n"
+              "Eq.(2) evaluated at half the budget.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench accepts `--quick` (or env HOURS_BENCH_QUICK=1) to run a
+// reduced-size version suitable for CI smoke runs; the default sizes match
+// the paper's setup. Each bench prints the paper-shaped table to stdout and
+// mirrors it to <binary>.csv in the current directory.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace hours::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--quick") return true;
+  }
+  const char* env = std::getenv("HOURS_BENCH_QUICK");
+  return env != nullptr && std::string_view{env} != "0";
+}
+
+/// Scales a default workload down in quick mode.
+inline std::uint64_t scaled(std::uint64_t full, std::uint64_t quick, bool is_quick) {
+  return is_quick ? quick : full;
+}
+
+inline std::string csv_path(std::string_view bench_name) {
+  return std::string{bench_name} + ".csv";
+}
+
+}  // namespace hours::bench

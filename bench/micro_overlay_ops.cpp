@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the hot primitives: routing-table
+// generation (jump sampler vs naive O(N) Bernoulli), greedy forwarding, and
+// Chord routing. These justify the jump sampler that makes Figure 7's
+// 2,000,000-node point tractable.
+#include <benchmark/benchmark.h>
+
+#include "baseline/chord.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/table_builder.hpp"
+#include "rng/pointer_sampler.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace hours;
+
+void BM_SamplerJump(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  rng::Xoshiro256 rng{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::sample_pointer_distances(n, 5, rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SamplerJump)->Range(1024, 1 << 21)->Complexity(benchmark::oLogN);
+
+void BM_SamplerNaive(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  rng::Xoshiro256 rng{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::sample_pointer_distances_naive(n, 5, rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SamplerNaive)->Range(1024, 1 << 17)->Complexity(benchmark::oN);
+
+void BM_TableBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  overlay::OverlayParams params;
+  params.design = overlay::Design::kEnhanced;
+  params.k = 5;
+  std::uint32_t owner = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::build_routing_table(n, owner, params));
+    owner = (owner + 1) % n;
+  }
+}
+BENCHMARK(BM_TableBuild)->Range(1024, 1 << 21);
+
+void BM_ForwardEager(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  overlay::OverlayParams params;
+  params.design = overlay::Design::kEnhanced;
+  params.k = 5;
+  const overlay::Overlay ov{n, params};
+  rng::Xoshiro256 rng{7};
+  for (auto _ : state) {
+    const auto from = static_cast<ids::RingIndex>(rng.below(n));
+    const auto to = static_cast<ids::RingIndex>(rng.below(n));
+    benchmark::DoNotOptimize(ov.forward(from, to));
+  }
+}
+BENCHMARK(BM_ForwardEager)->Range(1024, 1 << 16);
+
+void BM_ForwardLazy(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  overlay::OverlayParams params;
+  params.design = overlay::Design::kEnhanced;
+  params.k = 5;
+  const overlay::Overlay ov{n, params, overlay::TableStorage::kLazy};
+  rng::Xoshiro256 rng{7};
+  for (auto _ : state) {
+    const auto from = static_cast<ids::RingIndex>(rng.below(n));
+    const auto to = static_cast<ids::RingIndex>(rng.below(n));
+    benchmark::DoNotOptimize(ov.forward(from, to));
+  }
+}
+BENCHMARK(BM_ForwardLazy)->Range(1024, 1 << 20);
+
+void BM_ChordRoute(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const baseline::ChordOverlay chord{n};
+  rng::Xoshiro256 rng{7};
+  for (auto _ : state) {
+    const auto from = static_cast<ids::RingIndex>(rng.below(n));
+    const auto to = static_cast<ids::RingIndex>(rng.below(n));
+    benchmark::DoNotOptimize(chord.route(from, to));
+  }
+}
+BENCHMARK(BM_ChordRoute)->Range(1024, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Section 4's comparison table: per-node routing state, base vs enhanced.
+//
+//                         | Base          | Enhanced
+//   sibling pointers      | O(log N)      | O(k log N)
+//   nephew pointers       | q             | O(q k log N)
+//   clockwise neighbors   | 1             | k
+//   counter-clockwise     | 0             | 1
+//
+// This bench measures the realized averages on a concrete overlay and
+// prints them next to the analytic expectations.
+#include <cstdio>
+
+#include "analysis/resilience.hpp"
+#include "bench_util.hpp"
+#include "metrics/table_writer.hpp"
+#include "overlay/table_builder.hpp"
+
+namespace {
+
+struct StateStats {
+  double siblings = 0;
+  double nephews = 0;
+  double certain_cw = 0;   // guaranteed clockwise neighbor pointers
+  double ccw = 0;
+};
+
+StateStats measure(std::uint32_t n, const hours::overlay::OverlayParams& params,
+                   std::uint32_t sample) {
+  using namespace hours;
+  StateStats stats;
+  auto children = [](ids::RingIndex) { return 64U; };
+  for (std::uint32_t i = 0; i < sample; ++i) {
+    const auto owner = static_cast<ids::RingIndex>((i * 104729ULL) % n);
+    const auto t = overlay::build_routing_table(n, owner, params, children);
+    stats.siblings += static_cast<double>(t.size());
+    stats.nephews += static_cast<double>(t.nephew_count());
+    stats.ccw += t.ccw_neighbor().has_value() ? 1.0 : 0.0;
+    // Certain clockwise neighbors = leading entries at distances 1..k_eff.
+    std::uint32_t certain = 0;
+    for (std::uint32_t d = 1; d <= params.effective_k() && d < n; ++d) {
+      if (t.find(ids::clockwise_step(owner, d, n)) != nullptr) ++certain;
+    }
+    stats.certain_cw += certain;
+  }
+  stats.siblings /= sample;
+  stats.nephews /= sample;
+  stats.certain_cw /= sample;
+  stats.ccw /= sample;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hours::metrics::TableWriter;
+  const bool quick = hours::bench::quick_mode(argc, argv);
+  const auto n = static_cast<std::uint32_t>(hours::bench::scaled(10'000, 2'000, quick));
+  const auto sample = static_cast<std::uint32_t>(hours::bench::scaled(2'000, 500, quick));
+
+  hours::overlay::OverlayParams base;
+  base.design = hours::overlay::Design::kBase;
+  base.q = 10;
+  hours::overlay::OverlayParams enhanced;
+  enhanced.design = hours::overlay::Design::kEnhanced;
+  enhanced.k = 5;
+  enhanced.q = 10;
+
+  const auto b = measure(n, base, sample);
+  const auto e = measure(n, enhanced, sample);
+
+  TableWriter table{{"state", "base_measured", "base_expected", "enhanced_measured",
+                     "enhanced_expected"}};
+  table.add_row({"sibling pointers", TableWriter::fmt(b.siblings, 2),
+                 TableWriter::fmt(hours::analysis::expected_table_size(n, 1), 2),
+                 TableWriter::fmt(e.siblings, 2),
+                 TableWriter::fmt(hours::analysis::expected_table_size(n, 5), 2)});
+  table.add_row({"nephew pointers", TableWriter::fmt(b.nephews, 2), "q = 10.00",
+                 TableWriter::fmt(e.nephews, 2), "q * siblings"});
+  table.add_row({"certain clockwise neighbors", TableWriter::fmt(b.certain_cw, 2), "1.00",
+                 TableWriter::fmt(e.certain_cw, 2), "k = 5.00"});
+  table.add_row({"counter-clockwise pointer", TableWriter::fmt(b.ccw, 2), "0.00",
+                 TableWriter::fmt(e.ccw, 2), "1.00"});
+
+  table.print("Table (Section 4) — routing state per node (N=" + std::to_string(n) +
+              ", q=10, k=5)");
+  table.write_csv(hours::bench::csv_path("table1_design_state"));
+  std::printf("\nPaper reference: base O(log N)/q/1/0 vs enhanced O(k log N)/O(qk log N)/k/1.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Theorem 1 validation: with high probability a node's routing table has
+// O(log N) entries and queries are forwarded in O(log N) steps.
+//
+// We sweep N over two decades and print measured mean/percentile table sizes
+// and hop counts next to ln N; the ratios should stabilize to constants.
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/table_writer.hpp"
+#include "overlay/overlay.hpp"
+#include "rng/xoshiro256.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hours;
+  using metrics::TableWriter;
+  const bool quick = bench::quick_mode(argc, argv);
+
+  std::vector<std::uint32_t> sizes{1'000, 4'000, 16'000, 64'000};
+  if (quick) sizes = {1'000, 4'000};
+
+  overlay::OverlayParams params;  // base design: the theorem's setting (k=1)
+  params.design = overlay::Design::kBase;
+
+  TableWriter table{{"N", "ln(N)", "mean_table", "p99_table", "table/lnN", "mean_hops",
+                     "p99_hops", "hops/lnN"}};
+  for (const auto n : sizes) {
+    const overlay::Overlay ov{n, params};
+    metrics::Histogram sizes_hist;
+    for (ids::RingIndex i = 0; i < n; i += std::max(1U, n / 5000)) {
+      sizes_hist.add(ov.table(i).size());
+    }
+
+    metrics::Histogram hops_hist;
+    rng::Xoshiro256 rng{0x7177ULL};
+    const std::uint64_t queries = bench::scaled(20'000, 2'000, quick);
+    for (std::uint64_t i = 0; i < queries; ++i) {
+      const auto from = static_cast<ids::RingIndex>(rng.below(n));
+      const auto to = static_cast<ids::RingIndex>(rng.below(n));
+      hops_hist.add(ov.forward(from, to).hops);
+    }
+
+    const double ln_n = std::log(n);
+    table.add_row({TableWriter::fmt(std::uint64_t{n}), TableWriter::fmt(ln_n, 2),
+                   TableWriter::fmt(sizes_hist.mean(), 2),
+                   TableWriter::fmt(sizes_hist.quantile(0.99)),
+                   TableWriter::fmt(sizes_hist.mean() / ln_n, 3),
+                   TableWriter::fmt(hops_hist.mean(), 2),
+                   TableWriter::fmt(hops_hist.quantile(0.99)),
+                   TableWriter::fmt(hops_hist.mean() / ln_n, 3)});
+  }
+
+  table.print("Theorem 1 — O(log N) routing state and forwarding steps (base design)");
+  table.write_csv(hours::bench::csv_path("thm1_log_scaling"));
+  std::printf("\nBoth ratio columns should be ~constant across N (w.h.p. O(log N)).\n");
+  return 0;
+}

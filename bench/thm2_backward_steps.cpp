@@ -1,0 +1,66 @@
+// Theorem 2 / Corollary 1 validation: when greedy forwarding stalls at
+// distance d from the OD, an exit node exists within [d, 2d] counter-
+// clockwise w.h.p. (probability >= 1 - 2^-k), and for small stalls the
+// backward walk is at most ~k steps.
+//
+// We shut down the OD plus a block of `w` counter-clockwise neighbors and
+// measure the backward-step distribution of queries that must cross the
+// block's shadow.
+#include <cstdio>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "bench_util.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/table_writer.hpp"
+#include "overlay/overlay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hours;
+  using metrics::TableWriter;
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::uint32_t n = 1000;
+  const int trials = static_cast<int>(bench::scaled(2000, 200, quick));
+
+  TableWriter table{{"k", "block_width", "exit_found", "mean_backward", "p90_backward",
+                     "max_backward", "frac<=k"}};
+
+  for (const std::uint32_t k : {2U, 5U, 10U}) {
+    for (const std::uint32_t width : {1U, 2U, 5U, 20U, 100U}) {
+      metrics::Histogram backward;
+      int found = 0;
+      for (int t = 0; t < trials; ++t) {
+        overlay::OverlayParams params;
+        params.design = overlay::Design::kEnhanced;
+        params.k = k;
+        params.q = 4;
+        params.seed = 0x7472 + static_cast<std::uint64_t>(t);
+        overlay::Overlay ov{n, params, overlay::TableStorage::kEager,
+                            [](ids::RingIndex) { return 8U; }};
+        const ids::RingIndex od = static_cast<ids::RingIndex>(t) % n;
+        ov.kill(od);
+        attack::strike(ov, attack::plan_neighbor(n, od, width));
+
+        const auto entrance = ov.nearest_alive_cw(od);
+        const auto res = ov.forward(*entrance, od);
+        if (res.kind == overlay::ExitKind::kNephewExit) {
+          ++found;
+          backward.add(res.backward_steps);
+        }
+      }
+      table.add_row({TableWriter::fmt(std::uint64_t{k}), TableWriter::fmt(std::uint64_t{width}),
+                     TableWriter::fmt(static_cast<double>(found) / trials, 3),
+                     TableWriter::fmt(backward.mean(), 2),
+                     TableWriter::fmt(backward.quantile(0.9)),
+                     TableWriter::fmt(backward.max_value()),
+                     TableWriter::fmt(backward.cdf(k), 3)});
+    }
+  }
+
+  table.print("Theorem 2 / Corollary 1 — backward steps to find an exit (N=1000)");
+  table.write_csv(hours::bench::csv_path("thm2_backward_steps"));
+  std::printf("\nFor block widths <= k the backward walk is ~0 steps (exits guaranteed by the\n"
+              "k certain pointers); for wider blocks it stays bounded and exit probability\n"
+              "stays >= 1 - 2^-k per doubling interval.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Theorems 3 and 4 validation: overlay forwarding hops under attack.
+//
+//   Theorem 3 (random attack):   F = O((1 - log(1-alpha)) log N)
+//     (self-consistent reading of the paper's printed bound; see
+//      analysis/resilience.hpp and EXPERIMENTS.md)
+//   Theorem 4 (neighbor attack): F = O(log N) + O(N_a)
+//     — the O(N_a) term is the counter-clockwise backward walk.
+//
+// We measure mean hops of successful intra-overlay forwards and print them
+// against the predicted scaling curves.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/resilience.hpp"
+#include "attack/attack.hpp"
+#include "bench_util.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/table_writer.hpp"
+#include "overlay/overlay.hpp"
+
+namespace {
+
+using namespace hours;
+
+struct HopStats {
+  double mean = 0;
+  double backward = 0;
+  double delivery = 0;
+};
+
+HopStats measure(std::uint32_t n, std::uint32_t k, attack::Strategy strategy,
+                 std::uint32_t attacked, int trials) {
+  rng::Xoshiro256 rng{0x334ULL};
+  metrics::Histogram hops;
+  std::uint64_t backward_total = 0;
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    overlay::OverlayParams params;
+    params.design = overlay::Design::kEnhanced;
+    params.k = k;
+    params.q = 6;
+    params.seed = 0x334A + static_cast<std::uint64_t>(t);
+    overlay::Overlay ov{n, params, overlay::TableStorage::kEager,
+                        [](ids::RingIndex) { return 8U; }};
+    const ids::RingIndex od = static_cast<ids::RingIndex>(t * 17) % n;
+    ov.kill(od);
+    attack::strike(ov, attack::plan(strategy, n, od, attacked, rng));
+
+    const auto entrance = ov.nearest_alive_cw(od);
+    if (!entrance.has_value()) continue;
+    const auto res = ov.forward(*entrance, od);
+    if (res.kind == overlay::ExitKind::kNephewExit) {
+      ++ok;
+      hops.add(res.hops);
+      backward_total += res.backward_steps;
+    }
+  }
+  HopStats out;
+  out.delivery = static_cast<double>(ok) / trials;
+  out.mean = hops.mean();
+  out.backward = ok > 0 ? static_cast<double>(backward_total) / ok : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using metrics::TableWriter;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int trials = static_cast<int>(bench::scaled(600, 60, quick));
+  const std::uint32_t n = 1000;
+  const std::uint32_t k = 5;
+
+  TableWriter random_table{{"alpha", "mean_hops", "backward", "delivery", "thm3_scaling"}};
+  for (const double alpha : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9}) {
+    const auto attacked = static_cast<std::uint32_t>(alpha * (n - 1));
+    const auto s = measure(n, k, attack::Strategy::kRandom, attacked, trials);
+    random_table.add_row({TableWriter::fmt(alpha, 1), TableWriter::fmt(s.mean, 2),
+                          TableWriter::fmt(s.backward, 2), TableWriter::fmt(s.delivery, 3),
+                          TableWriter::fmt(analysis::theorem3_hops(n, std::min(alpha, 0.999)), 2)});
+  }
+  random_table.print("Theorem 3 — hops under random attack (N=1000, k=5)");
+  random_table.write_csv(hours::bench::csv_path("thm3_random_hops"));
+
+  TableWriter neighbor_table{
+      {"N_a", "mean_hops", "backward", "delivery", "predicted_backward"}};
+  for (const std::uint32_t attacked : {0U, 50U, 100U, 200U, 400U, 600U}) {
+    const auto s = measure(n, k, attack::Strategy::kNeighbor, attacked, trials);
+    neighbor_table.add_row(
+        {TableWriter::fmt(std::uint64_t{attacked}), TableWriter::fmt(s.mean, 2),
+         TableWriter::fmt(s.backward, 2), TableWriter::fmt(s.delivery, 3),
+         TableWriter::fmt(analysis::expected_backward_steps(n, k, attacked), 2)});
+  }
+  neighbor_table.print("Theorem 4 — hops under neighbor attack (N=1000, k=5)");
+  neighbor_table.write_csv(hours::bench::csv_path("thm4_neighbor_hops"));
+
+  std::printf("\nTheorem 4's O(N_a) term dominates: the backward column grows linearly with\n"
+              "the attacked-block width while the greedy prefix stays ~log N.\n");
+  return 0;
+}

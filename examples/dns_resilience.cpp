@@ -1,0 +1,112 @@
+// DNS-flavored scenario — the workload that motivates the paper's intro.
+//
+// A miniature DNS: root -> TLDs (com/net/org/edu) -> domains -> hosts.
+// A topology-aware attacker takes down the 'com' zone server *and* its
+// counter-clockwise TLD neighbors (the optimal neighbor attack), trying to
+// deny every name under .com. HOURS keeps resolving; the unprotected tree
+// would return SERVFAIL for the whole subtree (Figure 1's domino effect).
+//
+//   $ ./dns_resilience
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hours/hours.hpp"
+
+namespace {
+
+struct Tally {
+  int delivered = 0;
+  int failed = 0;
+  std::uint64_t hops = 0;
+};
+
+Tally resolve_all(hours::HoursSystem& sys, const std::vector<std::string>& names) {
+  Tally t;
+  for (const auto& name : names) {
+    const auto r = sys.query(name);
+    if (r.delivered) {
+      ++t.delivered;
+      t.hops += r.hops;
+    } else {
+      ++t.failed;
+    }
+  }
+  return t;
+}
+
+void report(const char* phase, const Tally& t) {
+  const int total = t.delivered + t.failed;
+  std::printf("%-44s %3d/%3d resolved, avg %.1f hops\n", phase, t.delivered, total,
+              t.delivered > 0 ? static_cast<double>(t.hops) / t.delivered : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  hours::HoursConfig config;
+  config.overlay.k = 5;
+  config.overlay.q = 4;
+  hours::HoursSystem sys{config};
+
+  // Build the name space. 12 TLDs so the level-1 overlay has room to route.
+  const std::vector<std::string> tlds{"com", "net",  "org", "edu", "gov", "io",
+                                      "dev", "info", "biz", "tv",  "co",  "app"};
+  std::vector<std::string> host_names;
+  for (const auto& tld : tlds) {
+    sys.admit(tld);
+    for (const char* domain : {"example", "acme", "initech"}) {
+      const std::string d = std::string{domain} + "." + tld;
+      sys.admit(d);
+      for (const char* host : {"www", "mail", "ns1"}) {
+        const std::string h = std::string{host} + "." + d;
+        sys.admit(h);
+        host_names.push_back(h);
+      }
+    }
+  }
+
+  std::printf("miniature DNS: %zu zones/hosts admitted under %zu TLDs\n\n",
+              host_names.size() + tlds.size() * 4, tlds.size());
+
+  report("healthy: resolve all hosts", resolve_all(sys, host_names));
+
+  // -- the attack: 'com' plus its CCW neighbors in the TLD overlay ----------------
+  // A topology-aware attacker can compute every TLD's ring position from the
+  // public hash, so it knows exactly which TLD servers are com's potential
+  // exits and hits those.
+  auto& hierarchy = sys.hierarchy();
+  const auto com_path = hierarchy.resolve(hours::naming::Name::parse("com").value()).value();
+  auto& tld_overlay = hierarchy.overlay_of({});
+  sys.set_alive("com", false);
+  std::vector<std::string> killed_tlds{"com"};
+  for (std::uint32_t step = 1; step <= 3; ++step) {
+    const auto victim =
+        hours::ids::counter_clockwise_step(com_path.back(), step, tld_overlay.size());
+    const auto victim_name = hierarchy.name_of({victim}).value().to_string();
+    sys.set_alive(victim_name, false);
+    killed_tlds.push_back(victim_name);
+  }
+  std::printf("\nneighbor attack on the TLD overlay: killed");
+  for (const auto& z : killed_tlds) std::printf(" .%s", z.c_str());
+  std::printf("\n\n");
+
+  std::vector<std::string> com_hosts;
+  for (const auto& h : host_names) {
+    if (h.size() > 4 && h.substr(h.size() - 4) == ".com") com_hosts.push_back(h);
+  }
+  report("under attack: resolve *.com (HOURS)", resolve_all(sys, com_hosts));
+
+  // What plain DNS would do: every *.com query dies at the dead TLD server.
+  std::printf("%-44s %3d/%3zu resolved (domino effect, Figure 1)\n",
+              "under attack: *.com without HOURS", 0, com_hosts.size());
+
+  report("under attack: all other TLDs unaffected",
+         resolve_all(sys, std::vector<std::string>{"www.acme.edu", "mail.example.io",
+                                                   "ns1.initech.org", "www.example.dev"}));
+
+  // -- recovery ------------------------------------------------------------------
+  for (const auto& z : killed_tlds) sys.set_alive(z, true);
+  report("\nrecovered: resolve all hosts", resolve_all(sys, host_names));
+  return 0;
+}

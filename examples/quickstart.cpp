@@ -1,0 +1,65 @@
+// Quickstart: build a small HOURS-protected hierarchy, take down a zone,
+// and watch queries detour around it.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "hours/hours.hpp"
+
+namespace {
+
+void show(const char* label, const hours::QueryResult& r) {
+  if (r.delivered) {
+    std::printf("%-34s delivered in %u hops (%u tree, %u overlay, %u inter-overlay)\n", label,
+                r.hops, r.hierarchical_hops, r.overlay_hops, r.inter_overlay_hops);
+    if (!r.path.empty()) {
+      std::printf("  path:");
+      for (const auto& node : r.path) std::printf(" -> %s", node.c_str());
+      std::printf("\n");
+    }
+  } else {
+    std::printf("%-34s FAILED (%s)\n", label, hours::util::to_string(r.failure));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Enhanced design with k = 3 redundant pointers and q = 2 nephews/entry.
+  hours::HoursConfig config;
+  config.overlay.design = hours::overlay::Design::kEnhanced;
+  config.overlay.k = 3;
+  config.overlay.q = 2;
+  hours::HoursSystem sys{config};
+
+  // Delegated admission: each zone admits its own children (Section 3.1).
+  for (const char* zone : {"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}) {
+    sys.admit(zone);
+    for (const char* svc : {"api", "web", "db"}) {
+      sys.admit(std::string{svc} + "." + zone);
+    }
+  }
+
+  std::printf("== healthy hierarchy ==\n");
+  show("query(api.gamma):", sys.query("api.gamma", /*record_path=*/true));
+  // A second lookup warms the client's bootstrap cache with the (alive)
+  // level-1 zone "epsilon" — it will matter once the root goes down.
+  show("query(db.epsilon):", sys.query("db.epsilon"));
+
+  std::printf("\n== DoS attack on zone 'gamma' ==\n");
+  sys.set_alive("gamma", false);
+  show("query(api.gamma):", sys.query("api.gamma", /*record_path=*/true));
+  std::printf("  (the level-1 overlay carried the query around the dead zone server)\n");
+
+  std::printf("\n== root also under attack: bootstrap from the client cache ==\n");
+  sys.set_alive(".", false);
+  const auto r = sys.query("web.beta", /*record_path=*/true);
+  show("query(web.beta):", r);
+  std::printf("  used bootstrap cache: %s\n", r.used_bootstrap_cache ? "yes" : "no");
+
+  std::printf("\n== recovery ==\n");
+  sys.set_alive(".", true);
+  sys.set_alive("gamma", true);
+  show("query(api.gamma):", sys.query("api.gamma"));
+  return 0;
+}

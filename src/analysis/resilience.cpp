@@ -1,0 +1,97 @@
+#include "analysis/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hours::analysis {
+
+double harmonic(std::uint64_t n) {
+  // Exact summation below a threshold; asymptotic expansion above it.
+  if (n == 0) return 0.0;
+  if (n <= 1'000'000) {
+    double h = 0.0;
+    for (std::uint64_t j = 1; j <= n; ++j) h += 1.0 / static_cast<double>(j);
+    return h;
+  }
+  constexpr double kEulerMascheroni = 0.57721566490153286060;
+  const double x = static_cast<double>(n);
+  return std::log(x) + kEulerMascheroni + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+}
+
+double expected_table_size(std::uint64_t n, std::uint32_t k) {
+  HOURS_EXPECTS(n >= 1 && k >= 1);
+  if (n == 1) return 0.0;
+  const std::uint64_t max_d = n - 1;
+  if (max_d <= k) return static_cast<double>(max_d);
+  return static_cast<double>(k) +
+         static_cast<double>(k) * (harmonic(max_d) - harmonic(k));
+}
+
+double expected_base_path_length(std::uint64_t n) {
+  HOURS_EXPECTS(n >= 2);
+  return std::log(static_cast<double>(n));
+}
+
+double delivery_random_attack(std::uint32_t n, std::uint32_t k, double alpha) {
+  HOURS_EXPECTS(n >= 2 && k >= 1);
+  HOURS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  double product = std::pow(alpha, static_cast<double>(k));
+  for (std::uint32_t j = k + 1; j <= n - 1; ++j) {
+    const double kj = static_cast<double>(k) / static_cast<double>(j);
+    product *= 1.0 - kj + kj * alpha;
+  }
+  return 1.0 - product;
+}
+
+double delivery_neighbor_attack(std::uint32_t n, std::uint32_t k, double alpha) {
+  HOURS_EXPECTS(n >= 2 && k >= 1);
+  HOURS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  const auto attacked = static_cast<std::uint32_t>(alpha * n);
+  double product = 1.0;
+  for (std::uint32_t j = attacked + 1; j <= n - 1; ++j) {
+    const double p = std::min(1.0, static_cast<double>(k) / static_cast<double>(j));
+    product *= 1.0 - p;
+  }
+  // If every distance class <= k is inside the attacked range the product
+  // above already reflects it; attacked >= n-1 kills all candidates.
+  if (attacked >= n - 1) return 0.0;
+  return 1.0 - product;
+}
+
+double inter_overlay_failure(double alpha, std::uint32_t q) {
+  HOURS_EXPECTS(alpha >= 0.0 && alpha <= 1.0);
+  return std::pow(alpha, static_cast<double>(q));
+}
+
+double theorem3_hops(std::uint32_t n, double alpha) {
+  HOURS_EXPECTS(n >= 2);
+  HOURS_EXPECTS(alpha >= 0.0 && alpha < 1.0);
+  return std::log(static_cast<double>(n)) * (1.0 - std::log(1.0 - alpha));
+}
+
+double theorem5_damage(std::uint32_t d) { return 1.0 / (static_cast<double>(d) + 1.0); }
+
+double expected_backward_steps(std::uint32_t n, std::uint32_t k, std::uint32_t attacked) {
+  HOURS_EXPECTS(n >= 2 && k >= 1);
+  HOURS_EXPECTS(attacked < n - 1);
+  // Conditioned on delivery: E[steps | found] = sum_m survival(m) renormalized
+  // by P(found). survival(m) = prod_{j=a+1}^{a+m} max(0, 1 - k/j).
+  double survival = 1.0;
+  double expected = 0.0;
+  for (std::uint32_t m = 1; attacked + m <= n - 1; ++m) {
+    const std::uint32_t j = attacked + m;
+    survival *= std::max(0.0, 1.0 - static_cast<double>(k) / static_cast<double>(j));
+    expected += survival;  // P(steps > m) summed = E[steps], pre-truncation
+  }
+  const double p_found = 1.0 - survival;
+  if (p_found <= 0.0) return 0.0;
+  // E[steps * found] = sum_{m} P(m < steps, found eventually); subtracting
+  // the never-found mass (which contributed `survival` at every term).
+  const double found_mass =
+      expected - survival * static_cast<double>(n - 1 - attacked);
+  return found_mass / p_found;
+}
+
+}  // namespace hours::analysis

@@ -1,0 +1,79 @@
+#include "attack/attack.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace hours::attack {
+
+VictimSet plan_random(std::uint32_t ring_size, ids::RingIndex target, std::uint32_t count,
+                      rng::Xoshiro256& rng) {
+  HOURS_EXPECTS(target < ring_size);
+  HOURS_EXPECTS(count < ring_size);  // someone must survive to measure anything
+
+  // Sample `count` distinct indices uniformly from the ring minus the target
+  // by drawing from [0, ring_size-1) and skipping over the target's slot.
+  std::vector<std::uint8_t> chosen(ring_size, 0);
+  VictimSet set;
+  set.victims.reserve(count);
+  std::uint32_t remaining = count;
+  while (remaining > 0) {
+    auto candidate = static_cast<ids::RingIndex>(rng.below(ring_size - 1));
+    if (candidate >= target) candidate += 1;  // never the target
+    if (chosen[candidate] == 0) {
+      chosen[candidate] = 1;
+      set.victims.push_back(candidate);
+      --remaining;
+    }
+  }
+  return set;
+}
+
+VictimSet plan_neighbor(std::uint32_t ring_size, ids::RingIndex target, std::uint32_t count) {
+  HOURS_EXPECTS(target < ring_size);
+  HOURS_EXPECTS(count < ring_size);
+  VictimSet set;
+  set.victims.reserve(count);
+  for (std::uint32_t step = 1; step <= count; ++step) {
+    set.victims.push_back(ids::counter_clockwise_step(target, step, ring_size));
+  }
+  return set;
+}
+
+VictimSet plan(Strategy strategy, std::uint32_t ring_size, ids::RingIndex target,
+               std::uint32_t count, rng::Xoshiro256& rng) {
+  switch (strategy) {
+    case Strategy::kRandom:
+      return plan_random(ring_size, target, count, rng);
+    case Strategy::kNeighbor:
+      return plan_neighbor(ring_size, target, count);
+  }
+  return {};
+}
+
+void strike(overlay::Overlay& ov, const VictimSet& set) {
+  for (const auto v : set.victims) ov.kill(v);
+}
+
+void lift(overlay::Overlay& ov, const VictimSet& set) {
+  for (const auto v : set.victims) ov.revive(v);
+}
+
+VictimSet strike_hierarchy(hierarchy::HierarchyModel& model, const HierarchyAttack& spec,
+                           rng::Xoshiro256& rng) {
+  HOURS_EXPECTS(!spec.target.empty());  // the root has no sibling overlay
+  overlay::Overlay& ov = model.overlay_of(hierarchy::parent(spec.target));
+  VictimSet set = plan(spec.strategy, ov.size(), spec.target.back(), spec.sibling_count, rng);
+  strike(ov, set);
+  if (spec.include_target) ov.kill(spec.target.back());
+  return set;
+}
+
+void lift_hierarchy(hierarchy::HierarchyModel& model, const HierarchyAttack& spec,
+                    const VictimSet& set) {
+  overlay::Overlay& ov = model.overlay_of(hierarchy::parent(spec.target));
+  lift(ov, set);
+  if (spec.include_target) ov.revive(spec.target.back());
+}
+
+}  // namespace hours::attack

@@ -1,0 +1,68 @@
+// DoS attack models from Sections 5 and 6.2.
+//
+// The attacker is topology-aware: the hierarchy is public, and since the
+// name->ID hash is public too, the attacker can infer every overlay's
+// membership and neighbor relations (Section 5's threat model). What it
+// cannot know are the *random* sibling pointers each node drew.
+//
+// Two outsider strategies are modeled, exactly as simulated in the paper:
+//   * random attack   — shut down `count` uniformly chosen siblings of the
+//                       target;
+//   * neighbor attack — shut down the `count` counter-clockwise neighbors of
+//                       the target (the optimal strategy: those are the only
+//                       candidates for the target's exit nodes).
+//
+// Insider attacks (Section 5.3) place compromised nodes that drop or
+// mis-route queries instead of failing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/model.hpp"
+#include "overlay/overlay.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace hours::attack {
+
+enum class Strategy : std::uint8_t { kRandom, kNeighbor };
+
+/// A set of ring indices to shut down within one overlay.
+struct VictimSet {
+  std::vector<ids::RingIndex> victims;
+};
+
+/// `count` victims chosen uniformly among the target's siblings (never the
+/// target itself; add it explicitly when the scenario calls for it).
+[[nodiscard]] VictimSet plan_random(std::uint32_t ring_size, ids::RingIndex target,
+                                    std::uint32_t count, rng::Xoshiro256& rng);
+
+/// The `count` counter-clockwise neighbors of the target.
+[[nodiscard]] VictimSet plan_neighbor(std::uint32_t ring_size, ids::RingIndex target,
+                                      std::uint32_t count);
+
+[[nodiscard]] VictimSet plan(Strategy strategy, std::uint32_t ring_size, ids::RingIndex target,
+                             std::uint32_t count, rng::Xoshiro256& rng);
+
+/// Shuts the victims down / brings them back.
+void strike(overlay::Overlay& ov, const VictimSet& set);
+void lift(overlay::Overlay& ov, const VictimSet& set);
+
+/// A full Section-6.2 scenario: deny the service of `target`'s subtree by
+/// shutting down `target` plus `sibling_count` of its siblings.
+struct HierarchyAttack {
+  hierarchy::NodePath target;   ///< the on-path node of special interest (node T)
+  Strategy strategy = Strategy::kNeighbor;
+  std::uint32_t sibling_count = 0;
+  bool include_target = true;
+};
+
+/// Applies the scenario; returns the victims for later lift().
+VictimSet strike_hierarchy(hierarchy::HierarchyModel& model, const HierarchyAttack& spec,
+                           rng::Xoshiro256& rng);
+
+/// Reverts a strike_hierarchy.
+void lift_hierarchy(hierarchy::HierarchyModel& model, const HierarchyAttack& spec,
+                    const VictimSet& set);
+
+}  // namespace hours::attack

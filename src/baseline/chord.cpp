@@ -1,0 +1,94 @@
+#include "baseline/chord.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hours::baseline {
+
+namespace {
+
+std::uint32_t ceil_log2(std::uint32_t n) {
+  std::uint32_t bits = 0;
+  std::uint32_t value = 1;
+  while (value < n) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+ChordOverlay::ChordOverlay(std::uint32_t size)
+    : size_(size), finger_count_(ceil_log2(size)), alive_(size, 1) {
+  HOURS_EXPECTS(size >= 2);
+}
+
+void ChordOverlay::kill(ids::RingIndex i) {
+  HOURS_EXPECTS(i < size_);
+  alive_[i] = 0;
+}
+
+void ChordOverlay::revive(ids::RingIndex i) {
+  HOURS_EXPECTS(i < size_);
+  alive_[i] = 1;
+}
+
+void ChordOverlay::revive_all() {
+  std::fill(alive_.begin(), alive_.end(), static_cast<std::uint8_t>(1));
+}
+
+std::vector<ids::RingIndex> ChordOverlay::fingers(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < size_);
+  std::vector<ids::RingIndex> out;
+  out.reserve(finger_count_);
+  for (std::uint32_t m = 0; m < finger_count_; ++m) {
+    const auto f = ids::clockwise_step(i, 1U << m, size_);
+    if (f != i && (out.empty() || out.back() != f)) out.push_back(f);
+  }
+  return out;
+}
+
+ChordRouteResult ChordOverlay::route(ids::RingIndex from, ids::RingIndex to) const {
+  HOURS_EXPECTS(from < size_ && to < size_);
+  HOURS_EXPECTS(alive(from));
+
+  ChordRouteResult result;
+  ids::RingIndex node = from;
+  // Greedy progress is strictly decreasing, so size_ iterations suffice.
+  for (std::uint32_t guard = 0; guard <= size_; ++guard) {
+    if (node == to) {
+      result.delivered = alive(to);
+      return result;
+    }
+    const std::uint32_t d_to = ids::clockwise_distance(node, to, size_);
+    // Closest preceding alive finger: largest 2^m <= d_to with finger alive.
+    std::optional<ids::RingIndex> next;
+    for (std::uint32_t m = finger_count_; m-- > 0;) {
+      const std::uint32_t span = 1U << m;
+      if (span > d_to) continue;
+      const auto f = ids::clockwise_step(node, span, size_);
+      if (alive(f)) {
+        next = f;
+        break;
+      }
+      result.failed_probes += 1;
+    }
+    if (!next.has_value()) return result;  // no alive pointer makes progress
+    node = *next;
+    result.hops += 1;
+  }
+  return result;
+}
+
+std::vector<ids::RingIndex> ChordOverlay::inbound_pointer_nodes(std::uint32_t size,
+                                                                ids::RingIndex target) {
+  std::vector<ids::RingIndex> out;
+  const std::uint32_t fingers = ceil_log2(size);
+  for (std::uint32_t m = 0; m < fingers; ++m) {
+    const auto p = ids::counter_clockwise_step(target, 1U << m, size);
+    if (p != target && (out.empty() || out.back() != p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace hours::baseline

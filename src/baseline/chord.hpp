@@ -1,0 +1,64 @@
+// Idealized Chord ring — the comparison baseline of Section 5.2.
+//
+// The paper's argument: in deterministic structured overlays (Chord, CAN,
+// Pastry, Viceroy), connectivity is a pure function of membership, so a
+// topology-aware attacker can enumerate the O(log N) nodes that hold
+// pointers to a victim and shut them down, throttling availability from
+// 100% straight to zero. HOURS' randomized pointers deny the attacker that
+// knowledge. bench/baseline_chord_compare reproduces the contrast.
+//
+// The ring is idealized: node i's m-th finger is node (i + 2^m) mod N, the
+// exact analogue of our index-ring overlays (nodes evenly spaced, successor
+// = index + 1). Forwarding is Chord's greedy closest-preceding-finger rule,
+// made liveness-aware: dead fingers are skipped in preference order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ids/ring.hpp"
+
+namespace hours::baseline {
+
+struct ChordRouteResult {
+  bool delivered = false;
+  std::uint32_t hops = 0;
+  std::uint32_t failed_probes = 0;
+};
+
+class ChordOverlay {
+ public:
+  explicit ChordOverlay(std::uint32_t size);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+  void kill(ids::RingIndex i);
+  void revive(ids::RingIndex i);
+  void revive_all();
+  [[nodiscard]] bool alive(ids::RingIndex i) const noexcept { return alive_[i] != 0; }
+
+  /// Fingers of node `i`: (i + 2^m) mod N for m = 0..ceil(log2 N)-1,
+  /// deduplicated.
+  [[nodiscard]] std::vector<ids::RingIndex> fingers(ids::RingIndex i) const;
+
+  /// Greedy Chord routing from `from` toward `to`; skips dead fingers.
+  /// Fails when no alive finger makes clockwise progress (Chord keeps no
+  /// backward pointers).
+  [[nodiscard]] ChordRouteResult route(ids::RingIndex from, ids::RingIndex to) const;
+
+  /// The deterministic set of nodes that maintain a pointer to `target`:
+  /// (target - 2^m) mod N. Shutting these down makes `target` unreachable —
+  /// the attack Section 5.2 describes.
+  [[nodiscard]] static std::vector<ids::RingIndex> inbound_pointer_nodes(std::uint32_t size,
+                                                                         ids::RingIndex target);
+
+ private:
+  std::uint32_t size_;
+  std::uint32_t finger_count_;
+  std::vector<std::uint8_t> alive_;
+};
+
+}  // namespace hours::baseline
+
+// See also baseline/plain.hpp for the unprotected-hierarchy baseline.

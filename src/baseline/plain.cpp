@@ -1,0 +1,20 @@
+#include "baseline/plain.hpp"
+
+namespace hours::baseline {
+
+PlainRouteResult route_plain(hierarchy::HierarchyModel& model,
+                             const hierarchy::NodePath& dest) {
+  PlainRouteResult result;
+  if (!model.root_alive()) return result;
+
+  hierarchy::NodePath pos;
+  for (const auto index : dest) {
+    if (!model.overlay_of(pos).alive(index)) return result;  // domino effect
+    pos.push_back(index);
+    result.hops += 1;
+  }
+  result.delivered = true;
+  return result;
+}
+
+}  // namespace hours::baseline

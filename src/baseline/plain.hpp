@@ -1,0 +1,21 @@
+// The unprotected service hierarchy — what DNS/LDAP/PKI look like without
+// HOURS (Figure 1's domino effect).
+//
+// Forwarding follows the prescribed top-down path only; a single dead node
+// anywhere on the path denies the whole subtree underneath it.
+#pragma once
+
+#include "hierarchy/model.hpp"
+
+namespace hours::baseline {
+
+struct PlainRouteResult {
+  bool delivered = false;
+  std::uint32_t hops = 0;  ///< path length when delivered
+};
+
+/// Routes a query along the unaugmented tree path from the root to `dest`.
+[[nodiscard]] PlainRouteResult route_plain(hierarchy::HierarchyModel& model,
+                                           const hierarchy::NodePath& dest);
+
+}  // namespace hours::baseline

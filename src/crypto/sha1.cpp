@@ -1,0 +1,141 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace hours::crypto {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t value, unsigned bits) noexcept {
+  return (value << bits) | (value >> (32U - bits));
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301U, 0xEFCDAB89U, 0x98BADCFEU, 0x10325476U, 0xC3D2E1F0U};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f = 0;
+    std::uint32_t k = 0;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999U;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1U;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCU;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6U;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + w[t] + k;
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  total_bytes_ += size;
+
+  if (buffered_ != 0) {
+    const std::size_t take = std::min(size, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, bytes, take);
+    buffered_ += take;
+    bytes += take;
+    size -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+
+  while (size >= 64) {
+    process_block(bytes);
+    bytes += 64;
+    size -= 64;
+  }
+
+  if (size != 0) {
+    std::memcpy(buffer_.data(), bytes, size);
+    buffered_ = size;
+  }
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+
+  // Append 0x80, then zeros, then the 64-bit big-endian bit length.
+  const std::uint8_t pad_byte = 0x80;
+  update(&pad_byte, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(&zero, 1);
+  }
+
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  // Bypass update() for the trailing length: total_bytes_ is already corrupted
+  // by padding, but only the block contents matter now.
+  std::memcpy(buffer_.data() + buffered_, length_bytes, 8);
+  process_block(buffer_.data());
+  buffered_ = 0;
+
+  Sha1Digest digest{};
+  for (int i = 0; i < 5; ++i) {
+    digest[static_cast<std::size_t>(i * 4)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    digest[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    digest[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    digest[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+  }
+  return digest;
+}
+
+Sha1Digest sha1(std::string_view text) noexcept {
+  Sha1 hasher;
+  hasher.update(text);
+  return hasher.finish();
+}
+
+std::string to_hex(const Sha1Digest& digest) {
+  return util::hex_encode(digest.data(), digest.size());
+}
+
+}  // namespace hours::crypto

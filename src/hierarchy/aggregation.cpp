@@ -1,0 +1,70 @@
+#include "hierarchy/aggregation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/splitmix64.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::hierarchy {
+
+namespace {
+
+/// Deterministic, publicly computable ring placement for member (p, c):
+/// the aggregate analogue of SHA-1(name) ordering in Section 3.2.
+std::uint64_t placement_hash(std::uint64_t seed, std::uint32_t parent, std::uint32_t child) {
+  return rng::mix64(rng::mix64(seed, parent), 0x636F7573696EULL + child);
+}
+
+overlay::Overlay build_overlay(std::uint32_t size, std::uint32_t grandchildren,
+                               const overlay::OverlayParams& params) {
+  return overlay::Overlay{
+      size, params, overlay::TableStorage::kEager,
+      grandchildren > 0
+          ? overlay::ChildCountFn{[grandchildren](ids::RingIndex) { return grandchildren; }}
+          : overlay::ChildCountFn{}};
+}
+
+}  // namespace
+
+CousinOverlay::CousinOverlay(std::uint32_t parents, std::uint32_t children_per_parent,
+                             std::uint32_t grandchildren, overlay::OverlayParams params)
+    : parents_(parents),
+      children_per_parent_(children_per_parent),
+      overlay_(build_overlay(parents * children_per_parent, grandchildren, params)) {
+  HOURS_EXPECTS(parents >= 1 && children_per_parent >= 1);
+  const std::uint32_t n = parents * children_per_parent;
+
+  // Sort members by placement hash to assign ring indices.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto ha = placement_hash(params.seed, a / children_per_parent_,
+                                   a % children_per_parent_);
+    const auto hb = placement_hash(params.seed, b / children_per_parent_,
+                                   b % children_per_parent_);
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+
+  index_by_member_.resize(n);
+  member_by_index_.resize(n);
+  for (std::uint32_t ring = 0; ring < n; ++ring) {
+    const std::uint32_t member = order[ring];
+    index_by_member_[member] = ring;
+    member_by_index_[ring] =
+        CousinRef{member / children_per_parent_, member % children_per_parent_};
+  }
+}
+
+ids::RingIndex CousinOverlay::index_of(CousinRef member) const {
+  HOURS_EXPECTS(member.parent < parents_ && member.child < children_per_parent_);
+  return index_by_member_[member.parent * children_per_parent_ + member.child];
+}
+
+CousinRef CousinOverlay::member_at(ids::RingIndex index) const {
+  HOURS_EXPECTS(index < member_by_index_.size());
+  return member_by_index_[index];
+}
+
+}  // namespace hours::hierarchy

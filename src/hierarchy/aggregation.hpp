@@ -1,0 +1,74 @@
+// Overlay aggregation — the paper's stated future work (Section 7,
+// "Unbalanced Hierarchy"):
+//
+//   "in a small-sized overlay (e.g., with tens of nodes), the achievable
+//    DoS resilience is limited. One possible approach is to aggregate
+//    multiple small-size overlays into a large one. But the resulting
+//    architecture may deviate from the original service hierarchy. We plan
+//    to study this issue in the future."
+//
+// This module studies exactly that. A CousinOverlay merges the children of
+// P same-level parents ("cousins") into one randomized overlay of P*C
+// members, positioned by a public hash of (parent, child) — the same
+// unpredictability argument as Section 3.2. Members keep their original
+// administrative parent (admission is unchanged); only the *detour
+// structure* widens, which is the deviation the paper worries about: a
+// node's routing table now holds pointers to cousins its own parent never
+// admitted.
+//
+// The payoff is quantified in bench/future_overlay_aggregation: with C = 4
+// siblings, a per-parent overlay dies to a 4-node attack; the aggregate of
+// 100 such families inherits Eq.(2)-grade resilience of a 400-node ring.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace hours::hierarchy {
+
+/// A member of an aggregated overlay: child `child` of parent `parent`.
+struct CousinRef {
+  std::uint32_t parent = 0;
+  std::uint32_t child = 0;
+
+  friend bool operator==(const CousinRef&, const CousinRef&) = default;
+};
+
+class CousinOverlay {
+ public:
+  /// Aggregates `parents` sibling sets of `children_per_parent` members
+  /// each into one overlay. `grandchildren` is the child count of every
+  /// member (for nephew pointers). Ring positions are a seeded public hash
+  /// of (parent, child).
+  CousinOverlay(std::uint32_t parents, std::uint32_t children_per_parent,
+                std::uint32_t grandchildren, overlay::OverlayParams params);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return overlay_.size(); }
+  [[nodiscard]] overlay::Overlay& overlay() noexcept { return overlay_; }
+
+  /// Ring index of a member / inverse.
+  [[nodiscard]] ids::RingIndex index_of(CousinRef member) const;
+  [[nodiscard]] CousinRef member_at(ids::RingIndex index) const;
+
+  /// Kills/revives a member by its (parent, child) identity.
+  void kill(CousinRef member) { overlay_.kill(index_of(member)); }
+  void revive(CousinRef member) { overlay_.revive(index_of(member)); }
+
+  /// Intra-overlay forwarding toward `od`, entering at `entrance`.
+  [[nodiscard]] overlay::ForwardResult forward(CousinRef entrance, CousinRef od,
+                                               const overlay::ForwardOptions& opts = {}) const {
+    return overlay_.forward(index_of(entrance), index_of(od), opts);
+  }
+
+ private:
+  std::uint32_t parents_;
+  std::uint32_t children_per_parent_;
+  std::vector<ids::RingIndex> index_by_member_;  // [parent * C + child] -> ring index
+  std::vector<CousinRef> member_by_index_;
+  overlay::Overlay overlay_;
+};
+
+}  // namespace hours::hierarchy

@@ -1,0 +1,61 @@
+// Abstract view of an HOURS-protected service hierarchy (Section 2's model).
+//
+// The router only needs four things from a hierarchy: the shape (how many
+// children a node has), the per-sibling-set overlays, liveness, and the
+// root's liveness. Two implementations exist:
+//   * SyntheticHierarchy — lazily materialized, fanout-driven; used by the
+//     benchmark harness at paper scale (Section 6.2's 4-level topology).
+//   * NamedHierarchy — an explicit tree built by admitting named nodes, with
+//     ring indices assigned by the parent sorting children's SHA-1
+//     identifiers, exactly as Section 3.2 describes; used by the examples
+//     and the public API.
+#pragma once
+
+#include "hierarchy/node_path.hpp"
+#include "overlay/overlay.hpp"
+
+namespace hours::hierarchy {
+
+class HierarchyModel {
+ public:
+  virtual ~HierarchyModel() = default;
+
+  HierarchyModel() = default;
+  HierarchyModel(const HierarchyModel&) = delete;
+  HierarchyModel& operator=(const HierarchyModel&) = delete;
+
+  /// Number of children of the node at `path` (0 for leaves). Non-const:
+  /// implementations may refresh cached membership views while walking.
+  [[nodiscard]] virtual std::uint32_t child_count(const NodePath& path) = 0;
+
+  /// The overlay formed by the children of the node at `path`.
+  /// Precondition: child_count(path) > 0.
+  [[nodiscard]] virtual overlay::Overlay& overlay_of(const NodePath& path) = 0;
+
+  [[nodiscard]] virtual bool root_alive() const noexcept = 0;
+  virtual void set_root_alive(bool alive) noexcept = 0;
+
+  /// Liveness of an arbitrary node (root flag, or its parent overlay's bit).
+  [[nodiscard]] bool node_alive(const NodePath& path) {
+    if (path.empty()) return root_alive();
+    return overlay_of(parent(path)).alive(path.back());
+  }
+
+  /// Marks a (non-root) node dead/alive in its parent overlay.
+  void kill(const NodePath& path) {
+    if (path.empty()) {
+      set_root_alive(false);
+      return;
+    }
+    overlay_of(parent(path)).kill(path.back());
+  }
+  void revive(const NodePath& path) {
+    if (path.empty()) {
+      set_root_alive(true);
+      return;
+    }
+    overlay_of(parent(path)).revive(path.back());
+  }
+};
+
+}  // namespace hours::hierarchy

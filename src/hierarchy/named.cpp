@@ -1,0 +1,308 @@
+#include "hierarchy/named.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "rng/splitmix64.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::hierarchy {
+
+struct NamedHierarchy::TreeNode {
+  naming::Name name;
+  ids::Identifier id;
+  bool alive = true;
+  TreeNode* parent = nullptr;                   // primary parent
+  std::vector<TreeNode*> secondary_parents;     // mesh parents (Section 7)
+
+  std::vector<std::unique_ptr<TreeNode>> owned;  // primary children
+  std::vector<TreeNode*> alias_children;         // mesh children (not owned)
+  std::vector<TreeNode*> members;                // owned + alias, id-sorted when !dirty
+  std::unique_ptr<overlay::Overlay> child_overlay;
+  bool dirty = true;  // membership changed since the overlay was built
+
+  [[nodiscard]] std::uint32_t member_count() const noexcept {
+    return static_cast<std::uint32_t>(owned.size() + alias_children.size());
+  }
+};
+
+NamedHierarchy::NamedHierarchy(overlay::OverlayParams params)
+    : params_(params), root_(std::make_unique<TreeNode>()) {
+  params_.validate();
+  root_->name = naming::Name{};
+  root_->id = ids::Identifier::from_name(root_->name.to_string());
+}
+
+NamedHierarchy::~NamedHierarchy() = default;
+
+NamedHierarchy::TreeNode* NamedHierarchy::find_by_name(const naming::Name& name) {
+  // Primary names identify nodes; the walk follows owned children only.
+  TreeNode* node = root_.get();
+  for (std::size_t lvl = 1; lvl <= name.depth(); ++lvl) {
+    const std::string& label = name.label(lvl);
+    TreeNode* next = nullptr;
+    for (const auto& c : node->owned) {
+      if (c->name.labels().back() == label) {
+        next = c.get();
+        break;
+      }
+    }
+    if (next == nullptr) return nullptr;
+    node = next;
+  }
+  return node;
+}
+
+NamedHierarchy::TreeNode* NamedHierarchy::find_by_path(const NodePath& path) {
+  TreeNode* node = root_.get();
+  for (const auto index : path) {
+    refresh(*node);
+    if (index >= node->members.size()) return nullptr;
+    node = node->members[index];
+  }
+  return node;
+}
+
+void NamedHierarchy::refresh(TreeNode& node) {
+  if (!node.dirty) return;
+
+  node.members.clear();
+  node.members.reserve(node.member_count());
+  for (const auto& c : node.owned) node.members.push_back(c.get());
+  for (TreeNode* a : node.alias_children) node.members.push_back(a);
+  std::sort(node.members.begin(), node.members.end(),
+            [](const TreeNode* a, const TreeNode* b) { return a->id < b->id; });
+
+  const auto size = static_cast<std::uint32_t>(node.members.size());
+  if (size > 0) {
+    overlay::OverlayParams params = params_;
+    params.seed = rng::mix64(params_.seed, node.id.top64());
+
+    TreeNode* raw = &node;
+    auto child_count_fn = [raw](ids::RingIndex j) -> std::uint32_t {
+      HOURS_EXPECTS(j < raw->members.size());
+      return raw->members[j]->member_count();
+    };
+    node.child_overlay = std::make_unique<overlay::Overlay>(
+        size, params, overlay::TableStorage::kEager, overlay::ChildCountFn{child_count_fn});
+    // Re-apply liveness: an attacked node stays a (dead) member after a
+    // table refresh; only admission changes shift indices.
+    for (std::uint32_t j = 0; j < size; ++j) {
+      if (!node.members[j]->alive) node.child_overlay->kill(j);
+    }
+  } else {
+    node.child_overlay.reset();
+  }
+  node.dirty = false;
+}
+
+std::uint32_t NamedHierarchy::index_of(TreeNode& parent, const TreeNode* child) {
+  refresh(parent);
+  const auto it = std::find(parent.members.begin(), parent.members.end(), child);
+  HOURS_ASSERT(it != parent.members.end());
+  return static_cast<std::uint32_t>(std::distance(parent.members.begin(), it));
+}
+
+util::Result<naming::Name> NamedHierarchy::admit(const naming::Name& name) {
+  if (name.is_root()) {
+    return util::Error{util::Error::Code::kInvalidArgument, "the root exists implicitly"};
+  }
+  TreeNode* parent_node = find_by_name(name.parent());
+  if (parent_node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound,
+                       "parent not admitted: " + name.parent().to_string()};
+  }
+  if (find_by_name(name) != nullptr) {
+    return util::Error{util::Error::Code::kInvalidArgument,
+                       "already admitted: " + name.to_string()};
+  }
+
+  auto node = std::make_unique<TreeNode>();
+  node->name = name;
+  node->id = ids::Identifier::from_name(name.to_string());
+  node->parent = parent_node;
+  parent_node->owned.push_back(std::move(node));
+  parent_node->dirty = true;
+  ++node_count_;
+  return name;
+}
+
+util::Result<naming::Name> NamedHierarchy::admit_secondary(const naming::Name& name,
+                                                           const naming::Name& parent) {
+  TreeNode* node = find_by_name(name);
+  if (node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "not admitted: " + name.to_string()};
+  }
+  TreeNode* parent_node = find_by_name(parent);
+  if (parent_node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "not admitted: " + parent.to_string()};
+  }
+  // Same-level constraint keeps every path to a node equally long (and,
+  // since depth strictly increases along paths, rules out cycles).
+  if (parent.depth() + 1 != name.depth()) {
+    return util::Error{util::Error::Code::kInvalidArgument,
+                       "secondary parent must sit one level above the node"};
+  }
+  if (node->parent == parent_node ||
+      std::find(node->secondary_parents.begin(), node->secondary_parents.end(), parent_node) !=
+          node->secondary_parents.end()) {
+    return util::Error{util::Error::Code::kInvalidArgument,
+                       "already a parent: " + parent.to_string()};
+  }
+
+  node->secondary_parents.push_back(parent_node);
+  parent_node->alias_children.push_back(node);
+  parent_node->dirty = true;
+  return name;
+}
+
+void NamedHierarchy::unlink_aliases_in_subtree(TreeNode& node) {
+  // The node may be an alias child elsewhere: detach those memberships.
+  for (TreeNode* sp : node.secondary_parents) {
+    std::erase(sp->alias_children, &node);
+    sp->dirty = true;
+  }
+  node.secondary_parents.clear();
+  // The node may have alias children from elsewhere: they survive, minus
+  // this parent.
+  for (TreeNode* ac : node.alias_children) {
+    std::erase(ac->secondary_parents, &node);
+  }
+  node.alias_children.clear();
+  for (const auto& c : node.owned) unlink_aliases_in_subtree(*c);
+}
+
+util::Result<naming::Name> NamedHierarchy::remove(const naming::Name& name) {
+  if (name.is_root()) {
+    return util::Error{util::Error::Code::kInvalidArgument, "cannot remove the root"};
+  }
+  TreeNode* node = find_by_name(name);
+  if (node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "not admitted: " + name.to_string()};
+  }
+  TreeNode* parent_node = node->parent;
+
+  unlink_aliases_in_subtree(*node);
+
+  std::size_t removed = 0;
+  const std::function<void(const TreeNode&)> count_subtree = [&](const TreeNode& n) {
+    removed += 1;
+    for (const auto& c : n.owned) count_subtree(*c);
+  };
+  count_subtree(*node);
+  node_count_ -= removed;
+
+  const auto it = std::find_if(parent_node->owned.begin(), parent_node->owned.end(),
+                               [&](const auto& c) { return c.get() == node; });
+  HOURS_ASSERT(it != parent_node->owned.end());
+  parent_node->owned.erase(it);
+  parent_node->dirty = true;
+  return name;
+}
+
+util::Result<NodePath> NamedHierarchy::resolve(const naming::Name& name) {
+  TreeNode* node = find_by_name(name);
+  if (node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "no such node: " + name.to_string()};
+  }
+  NodePath path(name.depth());
+  TreeNode* walk = node;
+  for (std::size_t i = name.depth(); i-- > 0;) {
+    path[i] = index_of(*walk->parent, walk);
+    walk = walk->parent;
+  }
+  return path;
+}
+
+std::vector<NodePath> NamedHierarchy::resolve_paths(const naming::Name& name,
+                                                    std::size_t max_paths) {
+  TreeNode* node = find_by_name(name);
+  if (node == nullptr) return {};
+
+  // Enumerate ancestor chains depth-first, primary parents first, so the
+  // primary path is emitted first.
+  std::vector<NodePath> out;
+  NodePath suffix;  // indices from the current node down to the target, reversed
+  const std::function<void(TreeNode*)> walk_up = [&](TreeNode* at) {
+    if (out.size() >= max_paths) return;
+    if (at->parent == nullptr && at->secondary_parents.empty()) {
+      // `at` is the root: the reversed suffix is a complete path.
+      NodePath path{suffix.rbegin(), suffix.rend()};
+      out.push_back(std::move(path));
+      return;
+    }
+    std::vector<TreeNode*> parents;
+    if (at->parent != nullptr) parents.push_back(at->parent);
+    parents.insert(parents.end(), at->secondary_parents.begin(),
+                   at->secondary_parents.end());
+    for (TreeNode* p : parents) {
+      if (out.size() >= max_paths) return;
+      suffix.push_back(index_of(*p, at));
+      walk_up(p);
+      suffix.pop_back();
+    }
+  };
+  walk_up(node);
+  return out;
+}
+
+util::Result<naming::Name> NamedHierarchy::name_of(const NodePath& path) {
+  TreeNode* node = find_by_path(path);
+  if (node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "no node at " + to_string(path)};
+  }
+  return node->name;
+}
+
+util::Result<naming::Name> NamedHierarchy::set_alive(const naming::Name& name, bool alive) {
+  TreeNode* node = find_by_name(name);
+  if (node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "not admitted: " + name.to_string()};
+  }
+  node->alive = alive;
+
+  // Mirror into every built overlay the node is a member of; dirty overlays
+  // pick the flag up at refresh time.
+  std::vector<TreeNode*> parents;
+  if (node->parent != nullptr) parents.push_back(node->parent);
+  parents.insert(parents.end(), node->secondary_parents.begin(),
+                 node->secondary_parents.end());
+  for (TreeNode* p : parents) {
+    if (p->dirty || !p->child_overlay) continue;
+    const auto j = index_of(*p, node);
+    if (alive) {
+      p->child_overlay->revive(j);
+    } else {
+      p->child_overlay->kill(j);
+    }
+  }
+  return name;
+}
+
+util::Result<bool> NamedHierarchy::is_alive(const naming::Name& name) {
+  const TreeNode* node = find_by_name(name);
+  if (node == nullptr) {
+    return util::Error{util::Error::Code::kNotFound, "not admitted: " + name.to_string()};
+  }
+  return node->alive;
+}
+
+std::uint32_t NamedHierarchy::child_count(const NodePath& path) {
+  TreeNode* node = find_by_path(path);
+  if (node == nullptr) return 0;
+  return node->member_count();
+}
+
+overlay::Overlay& NamedHierarchy::overlay_of(const NodePath& path) {
+  TreeNode* node = find_by_path(path);
+  HOURS_EXPECTS(node != nullptr);
+  refresh(*node);
+  HOURS_EXPECTS(node->child_overlay != nullptr);
+  return *node->child_overlay;
+}
+
+bool NamedHierarchy::root_alive() const noexcept { return root_->alive; }
+
+void NamedHierarchy::set_root_alive(bool alive) noexcept { root_->alive = alive; }
+
+}  // namespace hours::hierarchy

@@ -1,0 +1,104 @@
+// An explicit, named service hierarchy — the deployment-shaped counterpart
+// of SyntheticHierarchy.
+//
+// Nodes are admitted by hierarchical name under their parent (Section 3.1:
+// HOURS preserves delegated management; a parent enforces admission control
+// over its children, which is what keeps Sybil attackers out in Section
+// 5.3). Each node's overlay identifier is SHA-1(name); the parent assigns
+// ring indices by sorting children identifiers and walking the circle
+// clockwise, exactly as Section 3.2 prescribes.
+//
+// Mesh topology (Section 7): a node may register *secondary parents* at the
+// same level as its primary parent. It then joins every such parent's child
+// overlay as a full member ("HOURS does not prohibit a node with multiple
+// parent nodes from joining multiple overlays"), which yields multiple
+// top-down paths — resolve_paths() enumerates them, and HoursSystem retries
+// queries across them.
+//
+// Membership changes mark the affected overlays dirty; they are
+// re-generated on next access, mirroring the paper's periodic routing-table
+// regeneration (Section 7, "Overlay Maintenance"). Ring indices may shift
+// when membership changes, so NodePaths should be re-resolved from names
+// afterwards.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/model.hpp"
+#include "ids/identifier.hpp"
+#include "naming/name.hpp"
+#include "overlay/params.hpp"
+#include "util/status.hpp"
+
+namespace hours::hierarchy {
+
+class NamedHierarchy final : public HierarchyModel {
+ public:
+  explicit NamedHierarchy(overlay::OverlayParams params);
+  ~NamedHierarchy() override;
+
+  /// Admits a node under its (already admitted) primary parent. The root
+  /// exists implicitly. Fails on duplicates or a missing parent.
+  util::Result<naming::Name> admit(const naming::Name& name);
+
+  /// Mesh topology: registers `parent` as an additional parent of the
+  /// (already admitted) node `name`. The secondary parent must sit at the
+  /// same level as the primary parent (so every path to the node has equal
+  /// length) and must not already be a parent.
+  util::Result<naming::Name> admit_secondary(const naming::Name& name,
+                                             const naming::Name& parent);
+
+  /// Removes a node and its entire subtree from the hierarchy (a voluntary
+  /// leave, as opposed to a DoS failure). Alias memberships are unlinked.
+  util::Result<naming::Name> remove(const naming::Name& name);
+
+  /// Resolves a name to its primary NodePath (ring indices along the path).
+  [[nodiscard]] util::Result<NodePath> resolve(const naming::Name& name);
+
+  /// All top-down paths to `name` (primary-parent path first), up to
+  /// `max_paths`. More than one entry implies mesh parents somewhere on the
+  /// ancestor chain.
+  [[nodiscard]] std::vector<NodePath> resolve_paths(const naming::Name& name,
+                                                    std::size_t max_paths = 8);
+
+  /// Inverse of resolve (any alias path maps back to the node's one name).
+  [[nodiscard]] util::Result<naming::Name> name_of(const NodePath& path);
+
+  /// Marks a node dead/alive (DoS attack semantics: the node is unreachable
+  /// but still a member; its index does not shift). Liveness is mirrored
+  /// into every overlay the node belongs to.
+  util::Result<naming::Name> set_alive(const naming::Name& name, bool alive);
+  [[nodiscard]] util::Result<bool> is_alive(const naming::Name& name);
+
+  /// Number of admitted nodes (excluding the root; aliases do not count).
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+  // -- HierarchyModel ----------------------------------------------------------
+  [[nodiscard]] std::uint32_t child_count(const NodePath& path) override;
+  [[nodiscard]] overlay::Overlay& overlay_of(const NodePath& path) override;
+  [[nodiscard]] bool root_alive() const noexcept override;
+  void set_root_alive(bool alive) noexcept override;
+
+ private:
+  struct TreeNode;
+
+  [[nodiscard]] TreeNode* find_by_name(const naming::Name& name);
+  [[nodiscard]] TreeNode* find_by_path(const NodePath& path);
+
+  /// Sorts the member view (owned + alias children) by identifier and
+  /// (re)builds the overlay if dirty.
+  void refresh(TreeNode& node);
+
+  /// Ring index of `child` within `parent`'s refreshed member view.
+  [[nodiscard]] std::uint32_t index_of(TreeNode& parent, const TreeNode* child);
+
+  void unlink_aliases_in_subtree(TreeNode& node);
+
+  overlay::OverlayParams params_;
+  std::unique_ptr<TreeNode> root_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace hours::hierarchy

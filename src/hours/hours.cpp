@@ -1,0 +1,217 @@
+#include "hours/hours.hpp"
+
+#include <algorithm>
+
+namespace hours {
+
+namespace {
+
+util::Result<naming::Name> parse_name(std::string_view text) { return naming::Name::parse(text); }
+
+QueryResult failed(util::Error::Code code) {
+  QueryResult r;
+  r.failure = code;
+  return r;
+}
+
+}  // namespace
+
+HoursSystem::HoursSystem(HoursConfig config)
+    : config_(config), hierarchy_(config.overlay), router_(hierarchy_) {}
+
+util::Result<naming::Name> HoursSystem::admit(std::string_view name) {
+  auto parsed = parse_name(name);
+  if (!parsed.ok()) return parsed.error();
+  return hierarchy_.admit(parsed.value());
+}
+
+util::Result<naming::Name> HoursSystem::remove(std::string_view name) {
+  auto parsed = parse_name(name);
+  if (!parsed.ok()) return parsed.error();
+  return hierarchy_.remove(parsed.value());
+}
+
+util::Result<naming::Name> HoursSystem::set_alive(std::string_view name, bool alive) {
+  auto parsed = parse_name(name);
+  if (!parsed.ok()) return parsed.error();
+  if (parsed.value().is_root()) {
+    hierarchy_.set_root_alive(alive);
+    return parsed.value();
+  }
+  return hierarchy_.set_alive(parsed.value(), alive);
+}
+
+util::Result<naming::Name> HoursSystem::strike(std::string_view target,
+                                               attack::Strategy strategy,
+                                               std::uint32_t sibling_count) {
+  auto parsed = parse_name(target);
+  if (!parsed.ok()) return parsed.error();
+  if (parsed.value().is_root()) {
+    return util::Error{util::Error::Code::kInvalidArgument,
+                       "the root has no sibling overlay; use set_alive(\".\", false)"};
+  }
+  const std::string key{target};
+  if (active_attacks_.count(key) != 0) {
+    return util::Error{util::Error::Code::kInvalidArgument,
+                       "an attack on this target is already active"};
+  }
+  auto path = hierarchy_.resolve(parsed.value());
+  if (!path.ok()) return path.error();
+
+  const auto parent_path = hierarchy::parent(path.value());
+  auto& overlay = hierarchy_.overlay_of(parent_path);
+  if (sibling_count >= overlay.size()) {
+    return util::Error{util::Error::Code::kInvalidArgument,
+                       "sibling_count must leave at least the target's slot"};
+  }
+
+  // Plan against ring indices, then pin the victims by *name* so the attack
+  // survives membership-driven index shifts until it is lifted.
+  const auto set =
+      attack::plan(strategy, overlay.size(), path.value().back(), sibling_count, attack_rng_);
+  std::vector<std::string> victims{std::string{target}};
+  for (const auto index : set.victims) {
+    auto name = hierarchy_.name_of(hierarchy::child(parent_path, index));
+    if (name.ok()) victims.push_back(name.value().to_string());
+  }
+  for (const auto& victim : victims) {
+    (void)hierarchy_.set_alive(naming::Name::parse(victim).value(), false);
+  }
+  active_attacks_.emplace(key, std::move(victims));
+  return parsed.value();
+}
+
+util::Result<naming::Name> HoursSystem::lift_attack(std::string_view target) {
+  const auto it = active_attacks_.find(std::string{target});
+  if (it == active_attacks_.end()) {
+    return util::Error{util::Error::Code::kNotFound,
+                       "no active attack on: " + std::string{target}};
+  }
+  for (const auto& victim : it->second) {
+    (void)hierarchy_.set_alive(naming::Name::parse(victim).value(), true);
+  }
+  active_attacks_.erase(it);
+  return naming::Name::parse(target);
+}
+
+QueryResult HoursSystem::run_route(const hierarchy::NodePath& start,
+                                   const hierarchy::NodePath& dest, bool record_path) {
+  hierarchy::RouteOptions opts;
+  opts.entrance = config_.entrance;
+  opts.record_path = record_path;
+
+  const hierarchy::RouteOutcome outcome = router_.route(dest, opts, {start});
+
+  QueryResult result;
+  result.delivered = outcome.delivered;
+  result.failure = outcome.failure;
+  result.hops = outcome.hops;
+  result.hierarchical_hops = outcome.hierarchical_hops;
+  result.overlay_hops = outcome.overlay_hops;
+  result.inter_overlay_hops = outcome.inter_overlay_hops;
+  result.backward_steps = outcome.backward_steps;
+  if (record_path) {
+    result.path.reserve(outcome.path.size());
+    for (const auto& p : outcome.path) {
+      auto name = hierarchy_.name_of(p);
+      result.path.push_back(name.ok() ? name.value().to_string() : hierarchy::to_string(p));
+    }
+  }
+  return result;
+}
+
+QueryResult HoursSystem::query(std::string_view dest_name, bool record_path) {
+  auto parsed = parse_name(dest_name);
+  if (!parsed.ok()) return failed(parsed.error().code);
+  const auto paths = hierarchy_.resolve_paths(parsed.value());
+  if (paths.empty()) return failed(util::Error::Code::kNotFound);
+
+  if (hierarchy_.root_alive()) {
+    // Mesh nodes (Section 7) have several top-down paths; try the primary
+    // first and fall through alternates on failure.
+    QueryResult result;
+    for (std::size_t attempt = 0; attempt < paths.size(); ++attempt) {
+      result = run_route({}, paths[attempt], record_path);
+      result.path_attempts = static_cast<std::uint32_t>(attempt + 1);
+      if (result.delivered || result.failure == util::Error::Code::kDead) break;
+    }
+    if (result.delivered) {
+      // Clients cache "the root node or a few frequently visited level-1
+      // nodes" (Section 7): remember the level-1 zone as well as the
+      // destination — the zone sits in the level-1 overlay, which lies on
+      // every top-down path and therefore bootstraps any future query.
+      cache_bootstrap(dest_name);
+      if (parsed.value().depth() > 1) {
+        cache_bootstrap(parsed.value().ancestor_at(1).to_string());
+      }
+    }
+    return result;
+  }
+
+  // Root is down: bootstrap from cached nodes (Section 7) — any cached node
+  // whose overlay lies on the destination's top-down path can start the
+  // query.
+  for (const auto& cached : bootstrap_cache_) {
+    auto cached_name = parse_name(cached);
+    if (!cached_name.ok()) continue;
+    auto start = hierarchy_.resolve(cached_name.value());
+    if (!start.ok() || start.value().empty()) continue;
+    auto alive = hierarchy_.is_alive(cached_name.value());
+    if (!alive.ok() || !alive.value()) continue;
+    for (std::size_t attempt = 0; attempt < paths.size(); ++attempt) {
+      QueryResult result = run_route(start.value(), paths[attempt], record_path);
+      if (result.delivered) {
+        result.path_attempts = static_cast<std::uint32_t>(attempt + 1);
+        result.used_bootstrap_cache = true;
+        cache_bootstrap(dest_name);
+        return result;
+      }
+      if (result.failure == util::Error::Code::kDead) return result;
+    }
+  }
+  return failed(util::Error::Code::kDead);  // no usable entry point
+}
+
+QueryResult HoursSystem::query_from(std::string_view start_name, std::string_view dest_name,
+                                    bool record_path) {
+  auto start_parsed = parse_name(start_name);
+  if (!start_parsed.ok()) return failed(start_parsed.error().code);
+  auto dest_parsed = parse_name(dest_name);
+  if (!dest_parsed.ok()) return failed(dest_parsed.error().code);
+
+  auto start = hierarchy_.resolve(start_parsed.value());
+  if (!start.ok()) return failed(start.error().code);
+  auto dest = hierarchy_.resolve(dest_parsed.value());
+  if (!dest.ok()) return failed(dest.error().code);
+
+  return run_route(start.value(), dest.value(), record_path);
+}
+
+util::Result<naming::Name> HoursSystem::add_record(std::string_view name, store::Record record) {
+  auto parsed = parse_name(name);
+  if (!parsed.ok()) return parsed.error();
+  auto path = hierarchy_.resolve(parsed.value());
+  if (!path.ok()) return path.error();  // records live only at admitted nodes
+  records_.add(parsed.value(), std::move(record));
+  return parsed.value();
+}
+
+HoursSystem::LookupResult HoursSystem::lookup(std::string_view name) {
+  LookupResult result;
+  result.query = query(name);
+  if (result.query.delivered) {
+    auto parsed = parse_name(name);
+    if (parsed.ok()) result.records = records_.records_at(parsed.value());
+  }
+  return result;
+}
+
+void HoursSystem::cache_bootstrap(std::string_view name) {
+  const std::string entry{name};
+  const auto it = std::find(bootstrap_cache_.begin(), bootstrap_cache_.end(), entry);
+  if (it != bootstrap_cache_.end()) bootstrap_cache_.erase(it);
+  bootstrap_cache_.push_front(entry);
+  while (bootstrap_cache_.size() > config_.bootstrap_cache_size) bootstrap_cache_.pop_back();
+}
+
+}  // namespace hours

@@ -1,0 +1,120 @@
+// Public API of the HOURS library.
+//
+// HoursSystem bundles a named service hierarchy (admission-controlled,
+// SHA-1-indexed — Section 3), the mixed hierarchical/overlay query router
+// (Sections 3.3/4.2), attack injection (Section 5's threat model) and the
+// client-side bootstrap cache (Section 7) behind a name-oriented interface:
+//
+//   hours::HoursSystem sys;                       // enhanced design, k=5, q=10
+//   sys.admit("ucla");  sys.admit("cs.ucla");  sys.admit("www.cs.ucla");
+//   sys.set_alive("ucla", false);                 // DoS the level-1 zone
+//   auto r = sys.query("www.cs.ucla");            // still delivered, via overlay
+//   r.delivered, r.hops, r.overlay_hops, ...
+//
+// Scale-oriented experiments should use hierarchy::SyntheticHierarchy with
+// hierarchy::Router directly; this facade favors clarity over bulk setup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include <map>
+
+#include "attack/attack.hpp"
+#include "hierarchy/named.hpp"
+#include "hierarchy/router.hpp"
+#include "naming/name.hpp"
+#include "overlay/params.hpp"
+#include "store/record_store.hpp"
+#include "util/status.hpp"
+
+namespace hours {
+
+struct HoursConfig {
+  overlay::OverlayParams overlay;  ///< design (base/enhanced), k, q, seed
+  hierarchy::EntrancePolicy entrance = hierarchy::EntrancePolicy::kNearestCcwOfOd;
+  /// Client-side bootstrap cache capacity (Section 7): most recently seen
+  /// resolvable nodes, tried in order when the root is down.
+  std::size_t bootstrap_cache_size = 8;
+};
+
+struct QueryResult {
+  bool delivered = false;
+  util::Error::Code failure = util::Error::Code::kInternal;  ///< valid when !delivered
+  std::uint32_t hops = 0;
+  std::uint32_t hierarchical_hops = 0;
+  std::uint32_t overlay_hops = 0;
+  std::uint32_t inter_overlay_hops = 0;
+  std::uint32_t backward_steps = 0;
+  bool used_bootstrap_cache = false;
+  /// Top-down paths tried (> 1 only for mesh nodes with multiple parents,
+  /// Section 7 "Hierarchy with Mesh Topology").
+  std::uint32_t path_attempts = 1;
+  std::vector<std::string> path;  ///< visited node names, when requested
+};
+
+class HoursSystem {
+ public:
+  explicit HoursSystem(HoursConfig config = {});
+
+  /// Admits a node under its already-admitted parent (delegated admission
+  /// control; the root exists implicitly).
+  util::Result<naming::Name> admit(std::string_view name);
+
+  /// Voluntary departure of a node and its subtree.
+  util::Result<naming::Name> remove(std::string_view name);
+
+  /// DoS semantics: the node stops responding but remains a member.
+  util::Result<naming::Name> set_alive(std::string_view name, bool alive);
+
+  /// Coordinated DoS (Section 5's attacker): shuts down `target` plus
+  /// `sibling_count` of its siblings chosen per `strategy`. One attack per
+  /// target at a time; lift_attack() reverses it.
+  util::Result<naming::Name> strike(std::string_view target, attack::Strategy strategy,
+                                    std::uint32_t sibling_count);
+  util::Result<naming::Name> lift_attack(std::string_view target);
+
+  /// Routes a query for `dest_name` from the root; if the root is down,
+  /// falls back to the bootstrap cache (Section 7).
+  [[nodiscard]] QueryResult query(std::string_view dest_name, bool record_path = false);
+
+  /// Routes from an explicit bootstrap node instead of the root.
+  [[nodiscard]] QueryResult query_from(std::string_view start_name, std::string_view dest_name,
+                                       bool record_path = false);
+
+  /// Adds a node to the client's bootstrap cache.
+  void cache_bootstrap(std::string_view name);
+
+  // -- data plane -------------------------------------------------------------
+  /// Attaches a record to the (already admitted) node that owns `name`.
+  util::Result<naming::Name> add_record(std::string_view name, store::Record record);
+
+  /// A routed lookup: the answer is only available if the query actually
+  /// reaches the node holding it — the accessibility HOURS protects.
+  struct LookupResult {
+    QueryResult query;
+    std::vector<store::Record> records;  ///< empty unless query.delivered
+  };
+  [[nodiscard]] LookupResult lookup(std::string_view name);
+
+  [[nodiscard]] const store::RecordStore& records() const noexcept { return records_; }
+
+  [[nodiscard]] hierarchy::NamedHierarchy& hierarchy() noexcept { return hierarchy_; }
+  [[nodiscard]] const HoursConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] QueryResult run_route(const hierarchy::NodePath& start,
+                                      const hierarchy::NodePath& dest, bool record_path);
+
+  HoursConfig config_;
+  hierarchy::NamedHierarchy hierarchy_;
+  hierarchy::Router router_;
+  store::RecordStore records_;
+  std::deque<std::string> bootstrap_cache_;  // most recent first
+  rng::Xoshiro256 attack_rng_{0xA77ACCULL};
+  std::map<std::string, std::vector<std::string>> active_attacks_;  // target -> victims
+};
+
+}  // namespace hours

@@ -1,0 +1,78 @@
+#include "hours/resolver.hpp"
+
+#include <algorithm>
+
+namespace hours {
+
+ResolveResult Resolver::resolve(std::string_view name, std::uint64_t now) {
+  ResolveResult result;
+  const std::string key{name};
+
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (it->second.expires_at > now) {
+      ++stats_.cache_hits;
+      result.answered = true;
+      result.from_cache = true;
+      result.records = it->second.records;
+      return result;
+    }
+    cache_.erase(it);  // expired
+  }
+
+  const auto looked_up = system_.lookup(name);
+  result.hops = looked_up.query.hops;
+  if (!looked_up.query.delivered) {
+    ++stats_.failures;
+    return result;
+  }
+
+  ++stats_.cache_misses;
+  result.answered = true;
+  result.records = looked_up.records;
+
+  // Cache under the minimum record TTL; answers without records get a short
+  // negative-style TTL so existence checks still benefit.
+  std::uint64_t ttl = 60;
+  for (const auto& r : result.records) ttl = std::min<std::uint64_t>(ttl == 60 ? r.ttl : ttl, r.ttl);
+  if (cache_.size() >= capacity_) evict_expired_or_oldest(now);
+  cache_[key] = Entry{now + ttl, result.records};
+  return result;
+}
+
+const std::vector<store::Record>* Resolver::peek(std::string_view name,
+                                                 std::uint64_t now) const {
+  const auto it = cache_.find(std::string{name});
+  if (it == cache_.end() || it->second.expires_at <= now) return nullptr;
+  return &it->second.records;
+}
+
+void Resolver::insert(std::string_view name, std::uint64_t now,
+                      std::vector<store::Record> records) {
+  std::uint64_t ttl = 60;
+  for (const auto& r : records) ttl = std::min<std::uint64_t>(ttl == 60 ? r.ttl : ttl, r.ttl);
+  if (cache_.size() >= capacity_) evict_expired_or_oldest(now);
+  cache_[std::string{name}] = Entry{now + ttl, std::move(records)};
+}
+
+void Resolver::evict_expired_or_oldest(std::uint64_t now) {
+  // Drop everything expired; if nothing is, drop the entry closest to
+  // expiry. Linear scan: client caches are small.
+  bool dropped = false;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.expires_at <= now) {
+      it = cache_.erase(it);
+      ++stats_.evictions;
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped || cache_.empty()) return;
+  const auto victim = std::min_element(
+      cache_.begin(), cache_.end(),
+      [](const auto& a, const auto& b) { return a.second.expires_at < b.second.expires_at; });
+  cache_.erase(victim);
+  ++stats_.evictions;
+}
+
+}  // namespace hours

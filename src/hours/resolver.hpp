@@ -1,0 +1,78 @@
+// Client-side resolver with answer caching (Section 7, "Query Bootstrapping
+// and Caching"; related-work discussion of [Breslau99]/[Jung01]).
+//
+// The paper is explicit that caching is *complementary* to HOURS: it gives
+// only opportunistic resolution (hit rates depend on the query pattern),
+// while HOURS assures forwarding of arbitrary queries. The Resolver models
+// a client: a TTL-bounded answer cache in front of HoursSystem::lookup, with
+// hit/miss/failure accounting so the caching ablation bench can quantify
+// exactly that claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hours/hours.hpp"
+#include "store/record_store.hpp"
+
+namespace hours {
+
+struct ResolverStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;    ///< forwarded to the hierarchy, answered
+  std::uint64_t failures = 0;        ///< forwarded, not answered
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto total = cache_hits + cache_misses + failures;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+};
+
+struct ResolveResult {
+  bool answered = false;
+  bool from_cache = false;
+  std::uint32_t hops = 0;  ///< 0 on a cache hit
+  std::vector<store::Record> records;
+};
+
+class Resolver {
+ public:
+  /// `capacity` bounds the number of cached names (LRU-ish eviction by
+  /// earliest expiry). The system reference must outlive the resolver.
+  explicit Resolver(HoursSystem& system, std::size_t capacity = 1024)
+      : system_(system), capacity_(capacity) {}
+
+  /// Resolves `name` at client time `now` (seconds, monotone). Cached
+  /// answers are served until their TTL expires.
+  [[nodiscard]] ResolveResult resolve(std::string_view name, std::uint64_t now);
+
+  /// Cache-only probe: returns the cached records if present and fresh,
+  /// without touching the hierarchy. Does not update statistics.
+  [[nodiscard]] const std::vector<store::Record>* peek(std::string_view name,
+                                                       std::uint64_t now) const;
+
+  /// Installs an answer obtained out of band (e.g. a comparison harness
+  /// that routes through a different substrate).
+  void insert(std::string_view name, std::uint64_t now, std::vector<store::Record> records);
+
+  [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
+  void clear_cache() noexcept { cache_.clear(); }
+  [[nodiscard]] std::size_t cached_names() const noexcept { return cache_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t expires_at = 0;
+    std::vector<store::Record> records;
+  };
+
+  void evict_expired_or_oldest(std::uint64_t now);
+
+  HoursSystem& system_;
+  std::size_t capacity_;
+  std::map<std::string, Entry> cache_;
+  ResolverStats stats_;
+};
+
+}  // namespace hours

@@ -1,0 +1,57 @@
+#include "ids/identifier.hpp"
+
+#include "util/strings.hpp"
+
+namespace hours::ids {
+
+Identifier::Identifier(const crypto::Sha1Digest& digest) noexcept {
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    limbs_[i] = (static_cast<std::uint32_t>(digest[i * 4]) << 24) |
+                (static_cast<std::uint32_t>(digest[i * 4 + 1]) << 16) |
+                (static_cast<std::uint32_t>(digest[i * 4 + 2]) << 8) |
+                static_cast<std::uint32_t>(digest[i * 4 + 3]);
+  }
+}
+
+Identifier Identifier::from_name(std::string_view name) noexcept {
+  return Identifier{crypto::sha1(name)};
+}
+
+Identifier Identifier::from_uint64(std::uint64_t value) noexcept {
+  Identifier id;
+  id.limbs_[3] = static_cast<std::uint32_t>(value >> 32);
+  id.limbs_[4] = static_cast<std::uint32_t>(value);
+  return id;
+}
+
+std::uint64_t Identifier::clockwise_distance_top64(const Identifier& other) const noexcept {
+  // Compute (other - *this) mod 2^160, then keep the top 64 bits.
+  std::array<std::uint32_t, kLimbs> diff{};
+  std::int64_t borrow = 0;
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    std::int64_t d = static_cast<std::int64_t>(other.limbs_[i]) -
+                     static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (d < 0) {
+      d += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    diff[i] = static_cast<std::uint32_t>(d);
+  }
+  // Mod-2^160 subtraction discards the final borrow (wrap-around).
+  return (static_cast<std::uint64_t>(diff[0]) << 32) | diff[1];
+}
+
+std::string Identifier::to_hex() const {
+  crypto::Sha1Digest bytes{};
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    bytes[i * 4] = static_cast<std::uint8_t>(limbs_[i] >> 24);
+    bytes[i * 4 + 1] = static_cast<std::uint8_t>(limbs_[i] >> 16);
+    bytes[i * 4 + 2] = static_cast<std::uint8_t>(limbs_[i] >> 8);
+    bytes[i * 4 + 3] = static_cast<std::uint8_t>(limbs_[i]);
+  }
+  return util::hex_encode(bytes.data(), bytes.size());
+}
+
+}  // namespace hours::ids

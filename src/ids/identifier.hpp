@@ -1,0 +1,58 @@
+// The circular identifier space of Section 3.2.
+//
+// Each node's identifier is the SHA-1 digest of its name, interpreted as a
+// 160-bit unsigned integer on a circle. Overlay positions (indices) are
+// derived by the parent sorting its children's identifiers and walking the
+// circle clockwise; all per-hop routing decisions then operate on *index*
+// distance (see ids/ring.hpp), which respects the identifier ordering.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha1.hpp"
+
+namespace hours::ids {
+
+/// A point on the 160-bit circular identifier space.
+///
+/// Stored big-endian-most-significant-first so lexicographic comparison of
+/// the limbs equals numeric comparison.
+class Identifier {
+ public:
+  static constexpr std::size_t kBits = 160;
+  static constexpr std::size_t kLimbs = 5;  // 5 x 32-bit limbs
+
+  constexpr Identifier() noexcept = default;
+
+  /// Builds an identifier from a SHA-1 digest.
+  explicit Identifier(const crypto::Sha1Digest& digest) noexcept;
+
+  /// Hashes `name` with SHA-1 — the paper's public name->ID map.
+  static Identifier from_name(std::string_view name) noexcept;
+
+  /// Builds from a 64-bit value (low bits); convenient in tests.
+  static Identifier from_uint64(std::uint64_t value) noexcept;
+
+  auto operator<=>(const Identifier&) const noexcept = default;
+
+  /// Clockwise distance from *this to `other` on the circle, truncated to the
+  /// top 64 bits (sufficient for ordering/tie-breaking decisions).
+  [[nodiscard]] std::uint64_t clockwise_distance_top64(const Identifier& other) const noexcept;
+
+  /// Lowercase hex rendering.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// First 64 bits, useful as a deterministic seed component.
+  [[nodiscard]] std::uint64_t top64() const noexcept {
+    return (static_cast<std::uint64_t>(limbs_[0]) << 32) | limbs_[1];
+  }
+
+ private:
+  std::array<std::uint32_t, kLimbs> limbs_{};  // most significant first
+};
+
+}  // namespace hours::ids

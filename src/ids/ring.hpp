@@ -1,0 +1,49 @@
+// Index-ring arithmetic for overlays (Section 3.2).
+//
+// Within an overlay of N nodes the parent assigns each child an index in
+// [0, N). All routing-table probabilities and greedy decisions are expressed
+// in *clockwise index distance* d_x(i, j) = (j - i) mod N.
+#pragma once
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace hours::ids {
+
+/// Index of a node within its overlay ring.
+using RingIndex = std::uint32_t;
+
+/// Clockwise index distance from `from` to `to` on a ring of `size` nodes.
+[[nodiscard]] constexpr std::uint32_t clockwise_distance(RingIndex from, RingIndex to,
+                                                         std::uint32_t size) noexcept {
+  return (to >= from) ? (to - from) : (size - from + to);
+}
+
+/// Counter-clockwise index distance from `from` to `to`.
+[[nodiscard]] constexpr std::uint32_t counter_clockwise_distance(RingIndex from, RingIndex to,
+                                                                 std::uint32_t size) noexcept {
+  return clockwise_distance(to, from, size);
+}
+
+/// The index `steps` positions clockwise of `from`.
+[[nodiscard]] constexpr RingIndex clockwise_step(RingIndex from, std::uint32_t steps,
+                                                 std::uint32_t size) noexcept {
+  return static_cast<RingIndex>((static_cast<std::uint64_t>(from) + steps) % size);
+}
+
+/// The index `steps` positions counter-clockwise of `from`.
+[[nodiscard]] constexpr RingIndex counter_clockwise_step(RingIndex from, std::uint32_t steps,
+                                                         std::uint32_t size) noexcept {
+  const std::uint64_t s = steps % size;
+  return static_cast<RingIndex>((static_cast<std::uint64_t>(from) + size - s) % size);
+}
+
+/// True if walking clockwise from `from`, index `a` is reached no later than
+/// `b` (ties count as "not later").
+[[nodiscard]] constexpr bool clockwise_not_after(RingIndex from, RingIndex a, RingIndex b,
+                                                 std::uint32_t size) noexcept {
+  return clockwise_distance(from, a, size) <= clockwise_distance(from, b, size);
+}
+
+}  // namespace hours::ids

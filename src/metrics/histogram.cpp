@@ -1,0 +1,74 @@
+#include "metrics/histogram.hpp"
+
+#include <cmath>
+
+namespace hours::metrics {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value >= bins_.size()) bins_.resize(value + 1, 0);
+  bins_[value] += count;
+  total_count_ += count;
+  sum_ += static_cast<long double>(value) * static_cast<long double>(count);
+  sum_sq_ += static_cast<long double>(value) * static_cast<long double>(value) *
+             static_cast<long double>(count);
+}
+
+std::uint64_t Histogram::count_at(std::uint64_t value) const noexcept {
+  return value < bins_.size() ? bins_[value] : 0;
+}
+
+std::uint64_t Histogram::max_value() const noexcept {
+  for (std::size_t i = bins_.size(); i-- > 0;) {
+    if (bins_[i] != 0) return i;
+  }
+  return 0;
+}
+
+std::uint64_t Histogram::min_value() const noexcept {
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] != 0) return i;
+  }
+  return 0;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_count_ == 0) return 0.0;
+  return static_cast<double>(sum_ / static_cast<long double>(total_count_));
+}
+
+double Histogram::variance() const noexcept {
+  if (total_count_ == 0) return 0.0;
+  const long double n = static_cast<long double>(total_count_);
+  const long double m = sum_ / n;
+  return static_cast<double>(sum_sq_ / n - m * m);
+}
+
+std::uint64_t Histogram::quantile(double p) const {
+  HOURS_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (total_count_ == 0) return 0;
+  const auto needed = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total_count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t v = 0; v < bins_.size(); ++v) {
+    seen += bins_[v];
+    if (seen >= needed) return v;
+  }
+  return max_value();
+}
+
+double Histogram::cdf(std::uint64_t value) const noexcept {
+  if (total_count_ == 0) return 0.0;
+  std::uint64_t seen = 0;
+  const std::size_t limit = std::min<std::size_t>(bins_.size(), value + 1);
+  for (std::size_t v = 0; v < limit; ++v) seen += bins_[v];
+  return static_cast<double>(seen) / static_cast<double>(total_count_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t v = 0; v < other.bins_.size(); ++v) {
+    if (other.bins_[v] != 0) add(v, other.bins_[v]);
+  }
+}
+
+}  // namespace hours::metrics

@@ -1,0 +1,54 @@
+// Exact integer histogram for hop counts, table sizes and workloads.
+//
+// All quantities the paper plots are small non-negative integers, so an
+// exact counting histogram (vector indexed by value) supports means and
+// percentiles with no approximation error even over millions of samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace hours::metrics {
+
+class Histogram {
+ public:
+  /// Records one observation of `value`.
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_count_; }
+  [[nodiscard]] bool empty() const noexcept { return total_count_ == 0; }
+
+  /// Number of observations equal to `value`.
+  [[nodiscard]] std::uint64_t count_at(std::uint64_t value) const noexcept;
+
+  /// Largest observed value (0 if empty).
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+  /// Smallest observed value (0 if empty).
+  [[nodiscard]] std::uint64_t min_value() const noexcept;
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Exact p-quantile (p in [0, 1]): smallest value v such that at least
+  /// ceil(p * total) observations are <= v.
+  [[nodiscard]] std::uint64_t quantile(double p) const;
+
+  /// Fraction of observations <= value.
+  [[nodiscard]] double cdf(std::uint64_t value) const noexcept;
+
+  /// Per-value counts (index = value); trailing zero bins trimmed.
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_count_ = 0;
+  long double sum_ = 0;
+  long double sum_sq_ = 0;
+};
+
+}  // namespace hours::metrics

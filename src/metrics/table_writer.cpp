@@ -1,0 +1,69 @@
+#include "metrics/table_writer.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace hours::metrics {
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HOURS_EXPECTS(!headers_.empty());
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  HOURS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableWriter::fmt(std::uint64_t value) { return std::to_string(value); }
+
+void TableWriter::print(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::cout << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+                << (c + 1 == cells.size() ? " |" : " | ");
+    }
+    std::cout << '\n';
+  };
+
+  std::cout << "\n== " << title << " ==\n";
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 3;
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+bool TableWriter::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) {
+    HOURS_LOG_WARN("cannot open CSV output '%s'", path.c_str());
+    return false;
+  }
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c] << (c + 1 == cells.size() ? '\n' : ',');
+    }
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+}  // namespace hours::metrics

@@ -1,0 +1,37 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench prints a fixed-width table (the same rows/series the paper
+// reports) and mirrors it to a CSV file next to the binary so results can be
+// re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hours::metrics {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Adds a row; cells are pre-formatted strings. Row width must match.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::uint64_t value);
+
+  /// Renders the table with padded columns to stdout, preceded by `title`.
+  void print(const std::string& title) const;
+
+  /// Writes headers+rows as CSV. Returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hours::metrics

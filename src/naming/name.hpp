@@ -1,0 +1,72 @@
+// Hierarchical names for the open service hierarchy (Section 2).
+//
+// Names mirror DNS presentation order: the most specific label first and the
+// root last, e.g. "www.cs.ucla" where "ucla" is a level-1 zone under the
+// (implicit, empty-named) root. Each node in the hierarchy manages the
+// portion of the name space rooted at its own name and may delegate
+// sub-portions to children.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace hours::naming {
+
+/// An absolute hierarchical name: a sequence of labels from root (index 0)
+/// down to the most specific label. The root itself is the empty sequence.
+class Name {
+ public:
+  /// The root name (empty label sequence).
+  Name() = default;
+
+  /// Parses a dotted name in DNS presentation order ("leaf.mid.top").
+  /// Empty string parses to the root. Labels must be non-empty and must not
+  /// contain dots.
+  static util::Result<Name> parse(std::string_view text);
+
+  /// Builds from root-first labels.
+  static Name from_labels(std::vector<std::string> root_first_labels);
+
+  auto operator<=>(const Name&) const = default;
+
+  /// Number of labels; 0 for the root. Equals the node's level in the tree.
+  [[nodiscard]] std::size_t depth() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+
+  /// Root-first labels.
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  /// Label at `level` (1-based: label(1) is the top-most label).
+  [[nodiscard]] const std::string& label(std::size_t level) const;
+
+  /// The name one level up; precondition: !is_root().
+  [[nodiscard]] Name parent() const;
+
+  /// The ancestor at `level` (0 = root, depth() = *this).
+  [[nodiscard]] Name ancestor_at(std::size_t level) const;
+
+  /// This name extended with one more specific label.
+  [[nodiscard]] Name child(std::string_view label) const;
+
+  /// True if *this is `other` or an ancestor of `other`.
+  [[nodiscard]] bool is_prefix_of(const Name& other) const noexcept;
+
+  /// True if *this is a strict ancestor of `other`.
+  [[nodiscard]] bool is_ancestor_of(const Name& other) const noexcept {
+    return depth() < other.depth() && is_prefix_of(other);
+  }
+
+  /// DNS presentation order ("leaf.mid.top"); "." for the root.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  std::vector<std::string> labels_;  // root-first
+};
+
+}  // namespace hours::naming

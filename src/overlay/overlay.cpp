@@ -1,0 +1,275 @@
+#include "overlay/overlay.hpp"
+
+#include <algorithm>
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::overlay {
+
+Overlay::Overlay(std::uint32_t size, OverlayParams params, TableStorage storage,
+                 ChildCountFn child_count)
+    : size_(size),
+      params_(params),
+      storage_(storage),
+      child_count_(std::move(child_count)),
+      alive_(size, 1),
+      alive_count_(size),
+      scratch_table_(0, size == 0 ? 1 : size) {
+  HOURS_EXPECTS(size >= 1);
+  params_.validate();
+  if (storage_ == TableStorage::kEager) {
+    tables_.reserve(size_);
+    for (ids::RingIndex i = 0; i < size_; ++i) {
+      tables_.push_back(build_routing_table(size_, i, params_, child_count_));
+    }
+  }
+}
+
+void Overlay::kill(ids::RingIndex i) {
+  HOURS_EXPECTS(i < size_);
+  if (alive_[i] != 0) {
+    alive_[i] = 0;
+    --alive_count_;
+  }
+}
+
+void Overlay::revive(ids::RingIndex i) {
+  HOURS_EXPECTS(i < size_);
+  if (alive_[i] == 0) {
+    alive_[i] = 1;
+    ++alive_count_;
+  }
+}
+
+void Overlay::revive_all() {
+  std::fill(alive_.begin(), alive_.end(), static_cast<std::uint8_t>(1));
+  alive_count_ = size_;
+}
+
+void Overlay::set_behavior(ids::RingIndex i, NodeBehavior behavior) {
+  HOURS_EXPECTS(i < size_);
+  if (behaviors_.empty()) behaviors_.assign(size_, NodeBehavior::kHonest);
+  behaviors_[i] = behavior;
+}
+
+void Overlay::reseed(std::uint64_t new_seed) {
+  params_.seed = new_seed;
+  if (storage_ == TableStorage::kEager) {
+    tables_.clear();
+    tables_.reserve(size_);
+    for (ids::RingIndex i = 0; i < size_; ++i) {
+      tables_.push_back(build_routing_table(size_, i, params_, child_count_));
+    }
+  }
+  // Lazy storage regenerates from params_.seed on every access.
+}
+
+const RoutingTable& Overlay::table(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < size_);
+  if (storage_ == TableStorage::kEager) return tables_[i];
+  scratch_table_ = build_routing_table(size_, i, params_, child_count_);
+  return scratch_table_;
+}
+
+std::optional<ids::RingIndex> Overlay::nearest_alive_ccw(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < size_);
+  for (std::uint32_t step = 1; step < size_; ++step) {
+    const ids::RingIndex candidate = ids::counter_clockwise_step(i, step, size_);
+    if (alive(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<ids::RingIndex> Overlay::nearest_alive_cw(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < size_);
+  for (std::uint32_t step = 1; step < size_; ++step) {
+    const ids::RingIndex candidate = ids::clockwise_step(i, step, size_);
+    if (alive(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<ids::RingIndex> Overlay::pick_nephew(const TableEntry& entry,
+                                                   const ForwardOptions& opts) const {
+  auto nephew_alive = [&](ids::RingIndex child) {
+    return opts.child_alive == nullptr || child >= opts.child_alive->size() ||
+           (*opts.child_alive)[child] != 0;
+  };
+
+  if (!opts.next_od.has_value()) {
+    for (const ids::RingIndex n : entry.nephews) {
+      if (nephew_alive(n)) return n;
+    }
+    return std::nullopt;
+  }
+
+  // "the query is forwarded to the nephew that is closest, in the ID space,
+  // to the next level OD-node" (Section 3.3). Child indices follow identifier
+  // order, so clockwise index distance implements ID-space closeness.
+  const std::uint32_t child_ring =
+      opts.child_alive != nullptr && !opts.child_alive->empty()
+          ? static_cast<std::uint32_t>(opts.child_alive->size())
+          : 0;
+  std::optional<ids::RingIndex> best;
+  std::uint64_t best_distance = 0;
+  for (const ids::RingIndex n : entry.nephews) {
+    if (!nephew_alive(n)) continue;
+    const std::uint64_t d =
+        child_ring > 0
+            ? ids::clockwise_distance(n, *opts.next_od, child_ring)
+            : (n >= *opts.next_od ? n - *opts.next_od : *opts.next_od - n);
+    if (!best.has_value() || d < best_distance) {
+      best = n;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+Overlay::Step Overlay::decide(ids::RingIndex node, ids::RingIndex od, bool backward,
+                              const ForwardOptions& opts) const {
+  Step step;
+  const RoutingTable& t = table(node);
+
+  // Compromised misrouter: ignores the algorithm, picks a random alive entry
+  // (Section 5.3 — mis-routing insider).
+  if (behavior(node) == NodeBehavior::kMisrouter) {
+    // Deterministic per (node, overlay): the stream position still varies by
+    // call because the engine state is shared across decisions.
+    static thread_local rng::Xoshiro256 misroute_rng{0xBADC0FFEEULL};
+    std::vector<ids::RingIndex> alive_entries;
+    for (const auto& e : t.entries()) {
+      if (alive(e.sibling)) alive_entries.push_back(e.sibling);
+    }
+    if (alive_entries.empty()) return step;  // stuck
+    step.kind = Step::Kind::kHop;
+    step.target = alive_entries[misroute_rng.below(alive_entries.size())];
+    return step;
+  }
+
+  // Rule 1 (Algorithm 3, lines 1-7): the OD itself is in the routing table.
+  if (const TableEntry* entry = t.find(od)) {
+    if (alive(od)) {
+      step.kind = Step::Kind::kHop;
+      step.target = od;
+      return step;
+    }
+    step.failed_probes += 1;  // probed the dead OD
+    if (auto nephew = pick_nephew(*entry, opts)) {
+      step.kind = Step::Kind::kNephewExit;
+      step.target = *nephew;
+      return step;
+    }
+    // Entry unusable (no nephews kept, or all nephews dead): continue with
+    // the normal forwarding rules below.
+  }
+
+  if (!backward) {
+    // Rule 2 (lines 10-16): greedy clockwise. The best candidate is the alive
+    // entry with the largest clockwise distance strictly below d(node, od) —
+    // overshooting can never be closer on the clockwise metric.
+    const std::uint32_t d_od = ids::clockwise_distance(node, od, size_);
+    std::size_t pos = t.last_before_distance(d_od);
+    for (; pos < t.entries().size(); --pos) {
+      const auto& candidate = t.entries()[pos];
+      if (alive(candidate.sibling)) {
+        step.kind = Step::Kind::kHop;
+        step.target = candidate.sibling;
+        return step;
+      }
+      step.failed_probes += 1;
+      if (pos == 0) break;
+    }
+    // Greedy failed: the node itself is the closest alive point known —
+    // flip to backward mode (line 14). The base design has no backward
+    // pointers, so the query is stuck.
+    if (params_.design == Design::kBase) return step;
+    step.entered_backward = true;
+  }
+
+  // Rule 3 (lines 17-19): backward step to the counter-clockwise neighbor.
+  if (ring_repaired_) {
+    if (auto ccw = nearest_alive_ccw(node)) {
+      step.kind = Step::Kind::kHop;
+      step.target = *ccw;
+      step.backward_move = true;
+      return step;
+    }
+    step.kind = Step::Kind::kStuck;
+    return step;
+  }
+  const auto ccw = t.ccw_neighbor();
+  if (ccw.has_value() && alive(*ccw)) {
+    step.kind = Step::Kind::kHop;
+    step.target = *ccw;
+    step.backward_move = true;
+    return step;
+  }
+  if (ccw.has_value()) step.failed_probes += 1;
+  step.kind = Step::Kind::kStuck;  // un-repaired ring gap dead-ends the query
+  return step;
+}
+
+ForwardResult Overlay::forward(ids::RingIndex entrance, ids::RingIndex od,
+                               const ForwardOptions& opts) const {
+  HOURS_EXPECTS(entrance < size_ && od < size_);
+  HOURS_EXPECTS(alive(entrance));
+
+  ForwardResult result;
+  const std::uint32_t max_hops =
+      opts.max_hops != 0 ? opts.max_hops : 4 * size_ + 64;
+
+  ids::RingIndex node = entrance;
+  bool backward = false;
+  if (opts.record_path) result.path.push_back(node);
+
+  if (behavior(node) == NodeBehavior::kDropper) {
+    result.kind = ExitKind::kDropped;
+    result.last_node = node;
+    return result;
+  }
+
+  while (true) {
+    if (node == od) {
+      result.kind = ExitKind::kArrivedAtOd;
+      result.last_node = node;
+      return result;
+    }
+
+    const Step step = decide(node, od, backward, opts);
+    result.failed_probes += step.failed_probes;
+
+    switch (step.kind) {
+      case Step::Kind::kStuck:
+        result.kind = ExitKind::kUnreachable;
+        result.last_node = node;
+        return result;
+      case Step::Kind::kNephewExit:
+        result.kind = ExitKind::kNephewExit;
+        result.last_node = node;
+        result.nephew = step.target;
+        return result;
+      case Step::Kind::kHop:
+        if (result.hops >= max_hops) {
+          result.kind = ExitKind::kUnreachable;
+          result.last_node = node;
+          return result;
+        }
+        if (step.entered_backward) backward = true;
+        node = step.target;
+        result.hops += 1;
+        if (step.backward_move) result.backward_steps += 1;
+        if (opts.record_path) result.path.push_back(node);
+        if (behavior(node) == NodeBehavior::kDropper) {
+          result.kind = ExitKind::kDropped;
+          result.last_node = node;
+          return result;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace hours::overlay

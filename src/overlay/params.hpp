@@ -1,0 +1,44 @@
+// Overlay construction parameters (Sections 3.2 and 4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace hours::overlay {
+
+/// Which HOURS design an overlay is built with.
+///
+/// * kBase (Section 3): sibling pointer to distance d with probability 1/d;
+///   q nephew pointers only to children of the immediate clockwise neighbor;
+///   no counter-clockwise pointer, no backward forwarding.
+/// * kEnhanced (Section 4): sibling pointer with probability min(1, k/d);
+///   q nephew pointers for *every* sibling entry; one counter-clockwise
+///   neighbor pointer; backward forwarding enabled.
+enum class Design : std::uint8_t { kBase, kEnhanced };
+
+struct OverlayParams {
+  Design design = Design::kEnhanced;
+
+  /// Redundancy factor k (Section 4.1). Ignored (treated as 1) in the base
+  /// design.
+  std::uint32_t k = 5;
+
+  /// Nephew pointers per routing-table entry (q in the paper).
+  std::uint32_t q = 10;
+
+  /// Seed for all randomness in this overlay; per-node table seeds derive
+  /// deterministically from it, so tables can be regenerated on demand.
+  std::uint64_t seed = 0x484F555253ULL;  // "HOURS"
+
+  [[nodiscard]] std::uint32_t effective_k() const noexcept {
+    return design == Design::kBase ? 1U : k;
+  }
+
+  void validate() const {
+    HOURS_EXPECTS(k >= 1);
+    HOURS_EXPECTS(q >= 1);
+  }
+};
+
+}  // namespace hours::overlay

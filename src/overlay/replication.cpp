@@ -1,0 +1,46 @@
+#include "overlay/replication.hpp"
+
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace hours::overlay {
+
+ReplicatedOverlay::ReplicatedOverlay(Overlay& overlay, std::uint32_t replicas)
+    : overlay_(overlay),
+      replicas_(replicas),
+      server_alive_(static_cast<std::size_t>(overlay.size()) * replicas, 1),
+      alive_count_(overlay.size(), replicas) {
+  HOURS_EXPECTS(replicas >= 1);
+  // Take ownership of logical liveness: every node starts reachable.
+  overlay_.revive_all();
+}
+
+bool ReplicatedOverlay::kill_server(ids::RingIndex node, std::uint32_t server) {
+  HOURS_EXPECTS(node < overlay_.size() && server < replicas_);
+  auto& bit = server_alive_[static_cast<std::size_t>(node) * replicas_ + server];
+  if (bit == 0) return false;
+  bit = 0;
+  if (--alive_count_[node] == 0) overlay_.kill(node);
+  return true;
+}
+
+bool ReplicatedOverlay::revive_server(ids::RingIndex node, std::uint32_t server) {
+  HOURS_EXPECTS(node < overlay_.size() && server < replicas_);
+  auto& bit = server_alive_[static_cast<std::size_t>(node) * replicas_ + server];
+  if (bit != 0) return false;
+  bit = 1;
+  if (alive_count_[node]++ == 0) overlay_.revive(node);
+  return true;
+}
+
+std::uint32_t ReplicatedOverlay::alive_servers(ids::RingIndex node) const {
+  HOURS_EXPECTS(node < overlay_.size());
+  return alive_count_[node];
+}
+
+std::uint64_t ReplicatedOverlay::total_alive_servers() const noexcept {
+  return std::accumulate(alive_count_.begin(), alive_count_.end(), std::uint64_t{0});
+}
+
+}  // namespace hours::overlay

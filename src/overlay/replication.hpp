@@ -1,0 +1,57 @@
+// Server replication (Section 7, "Server Replication").
+//
+// "A pointer to a node that is replicated at multiple servers actually
+//  stores the addresses of all these servers. When a query is forwarded
+//  using this pointer, it is actually forwarded to any server that is
+//  alive."
+//
+// In the simulation model this means a logical overlay node stays reachable
+// until *all* of its replica servers are shut down. ReplicatedOverlay wraps
+// an Overlay with per-node replica counters and keeps the wrapped overlay's
+// logical liveness in sync, so all forwarding machinery works unchanged
+// while attacks operate on individual servers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace hours::overlay {
+
+class ReplicatedOverlay {
+ public:
+  /// Wraps `overlay`; every logical node starts with `replicas` alive
+  /// servers. The wrapped overlay must outlive this object and its logical
+  /// liveness is owned by this wrapper from now on.
+  ReplicatedOverlay(Overlay& overlay, std::uint32_t replicas);
+
+  [[nodiscard]] std::uint32_t replication_factor() const noexcept { return replicas_; }
+  [[nodiscard]] Overlay& overlay() noexcept { return overlay_; }
+
+  /// Shuts down one specific server of a logical node. Returns false if
+  /// that server was already down.
+  bool kill_server(ids::RingIndex node, std::uint32_t server);
+
+  /// Brings one server back. Returns false if it was already up.
+  bool revive_server(ids::RingIndex node, std::uint32_t server);
+
+  /// Servers of `node` still alive.
+  [[nodiscard]] std::uint32_t alive_servers(ids::RingIndex node) const;
+
+  /// A logical node is reachable while any server survives.
+  [[nodiscard]] bool node_reachable(ids::RingIndex node) const {
+    return alive_servers(node) > 0;
+  }
+
+  /// Total alive servers across the overlay.
+  [[nodiscard]] std::uint64_t total_alive_servers() const noexcept;
+
+ private:
+  Overlay& overlay_;
+  std::uint32_t replicas_;
+  std::vector<std::uint8_t> server_alive_;  // [node * replicas_ + server]
+  std::vector<std::uint32_t> alive_count_;  // per node
+};
+
+}  // namespace hours::overlay

@@ -1,0 +1,58 @@
+#include "overlay/routing_table.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace hours::overlay {
+
+void RoutingTable::add_entry(TableEntry entry) {
+  HOURS_EXPECTS(entry.sibling != owner_ && entry.sibling < ring_size_);
+  if (!entries_.empty()) {
+    const auto prev = ids::clockwise_distance(owner_, entries_.back().sibling, ring_size_);
+    const auto next = ids::clockwise_distance(owner_, entry.sibling, ring_size_);
+    HOURS_EXPECTS(next > prev);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void RoutingTable::insert_entry(TableEntry entry) {
+  HOURS_EXPECTS(entry.sibling != owner_ && entry.sibling < ring_size_);
+  const auto target = ids::clockwise_distance(owner_, entry.sibling, ring_size_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), target, [this](const TableEntry& e, std::uint32_t d) {
+        return ids::clockwise_distance(owner_, e.sibling, ring_size_) < d;
+      });
+  if (it != entries_.end() && it->sibling == entry.sibling) {
+    *it = std::move(entry);
+    return;
+  }
+  entries_.insert(it, std::move(entry));
+}
+
+const TableEntry* RoutingTable::find(ids::RingIndex j) const noexcept {
+  const auto target = ids::clockwise_distance(owner_, j, ring_size_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), target, [this](const TableEntry& e, std::uint32_t d) {
+        return ids::clockwise_distance(owner_, e.sibling, ring_size_) < d;
+      });
+  if (it != entries_.end() && it->sibling == j) return &*it;
+  return nullptr;
+}
+
+std::size_t RoutingTable::last_before_distance(std::uint32_t distance) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), distance, [this](const TableEntry& e, std::uint32_t d) {
+        return ids::clockwise_distance(owner_, e.sibling, ring_size_) < d;
+      });
+  if (it == entries_.begin()) return entries_.size();
+  return static_cast<std::size_t>(std::distance(entries_.begin(), it)) - 1;
+}
+
+std::size_t RoutingTable::nephew_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& entry : entries_) total += entry.nephews.size();
+  return total;
+}
+
+}  // namespace hours::overlay

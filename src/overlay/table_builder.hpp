@@ -1,0 +1,36 @@
+// Routing-table generation — Algorithm 1 of the paper, in both the base form
+// (pointer probability 1/d) and the enhanced form (min(1, k/d), nephews for
+// every entry, counter-clockwise pointer).
+//
+// Generation is deterministic per (overlay seed, owner index): a node's table
+// can be regenerated on demand instead of stored, which the Figure-7
+// scalability bench relies on at 2,000,000 nodes.
+#pragma once
+
+#include <functional>
+
+#include "overlay/params.hpp"
+#include "overlay/routing_table.hpp"
+
+namespace hours::overlay {
+
+/// Returns the child-overlay size of sibling `j` — how many children node j
+/// has. Used to sample nephew pointers. An empty function means "no
+/// children anywhere" (single-overlay experiments).
+using ChildCountFn = std::function<std::uint32_t(ids::RingIndex)>;
+
+/// Builds the routing table of node `owner` in an overlay of `ring_size`
+/// nodes, exactly as Algorithm 1 prescribes:
+///
+///  1. sample sibling pointer distances (probability min(1, k_eff/d));
+///  2. for each chosen sibling with children, sample q distinct nephew
+///     pointers among its children — in the base design only the immediate
+///     clockwise neighbor's entry carries nephews (Section 3.2), in the
+///     enhanced design every entry does (Section 4.1, step 2);
+///  3. in the enhanced design, record the counter-clockwise neighbor pointer
+///     required by backward forwarding (Section 4.2).
+[[nodiscard]] RoutingTable build_routing_table(std::uint32_t ring_size, ids::RingIndex owner,
+                                               const OverlayParams& params,
+                                               const ChildCountFn& child_count = {});
+
+}  // namespace hours::overlay

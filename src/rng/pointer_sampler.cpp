@@ -1,0 +1,89 @@
+#include "rng/pointer_sampler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace hours::rng {
+
+std::vector<std::uint32_t> sample_pointer_distances_naive(std::uint32_t n, std::uint32_t k,
+                                                          Xoshiro256& rng) {
+  HOURS_EXPECTS(n >= 1 && k >= 1);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t d = 1; d < n; ++d) {
+    if (d <= k) {
+      out.push_back(d);  // probability min(1, k/d) = 1
+    } else if (rng.bernoulli(static_cast<double>(k) / static_cast<double>(d))) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// P(no pointer at any distance in (d, e]) for d >= k:
+/// Prod_{i=0}^{k-1} (d - i) / (e - i).
+double survival(std::uint32_t d, std::uint32_t e, std::uint32_t k) {
+  double s = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    s *= static_cast<double>(d - i) / static_cast<double>(e - i);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sample_pointer_distances(std::uint32_t n, std::uint32_t k,
+                                                    Xoshiro256& rng) {
+  HOURS_EXPECTS(n >= 1 && k >= 1);
+  std::vector<std::uint32_t> out;
+  const std::uint32_t certain = std::min(k, n - 1);
+  out.reserve(certain + 8);
+  for (std::uint32_t d = 1; d <= certain; ++d) out.push_back(d);
+  if (n <= k + 1) return out;
+
+  std::uint32_t d = k;  // all distances <= d are decided
+  while (d < n - 1) {
+    const double u = rng.uniform();
+    // Smallest e in (d, n-1] with survival(d, e) <= u is the next success;
+    // survival is strictly decreasing in e.
+    if (survival(d, n - 1, k) > u) break;  // no further successes
+    std::uint32_t lo = d + 1;
+    std::uint32_t hi = n - 1;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (survival(d, mid, k) <= u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    out.push_back(lo);
+    d = lo;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t q, Xoshiro256& rng) {
+  if (q >= n) {
+    std::vector<std::uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0U);
+    return all;
+  }
+  // Floyd's algorithm: q draws, no rejection loop degeneration.
+  std::vector<std::uint32_t> out;
+  out.reserve(q);
+  for (std::uint32_t j = n - q; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.below(j + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace hours::rng

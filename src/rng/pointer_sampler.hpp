@@ -1,0 +1,42 @@
+// Samplers for Algorithm 1's pointer distribution.
+//
+// A node keeps a sibling pointer at clockwise index distance d with
+// probability min(1, k/d) (k = 1 reproduces the base design's 1/d). The
+// naive generator draws one Bernoulli per distance — O(N) per node, which is
+// hopeless for the 2,000,000-node overlay of Figure 7. JumpSampler draws the
+// *gaps between successes* exactly, in O(k log N) expected time per table,
+// using the telescoping identity
+//
+//   P(no success in (d, e]) = Prod_{j=d+1}^{e} (1 - k/j)
+//                           = Prod_{i=0}^{k-1} (d - i) / (e - i)        (d >= k)
+//
+// which is monotone in e and therefore invertible by binary search. The two
+// samplers are distribution-identical (chi-squared-tested in
+// tests/rng_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace hours::rng {
+
+/// Reference O(N) sampler: one Bernoulli(min(1, k/d)) per distance.
+/// Returns the sorted distances d in [1, n-1] that received a pointer.
+[[nodiscard]] std::vector<std::uint32_t> sample_pointer_distances_naive(std::uint32_t n,
+                                                                        std::uint32_t k,
+                                                                        Xoshiro256& rng);
+
+/// Exact O(k log N)-per-table jump sampler; same distribution as the naive
+/// sampler, suitable for multi-million-node overlays.
+[[nodiscard]] std::vector<std::uint32_t> sample_pointer_distances(std::uint32_t n,
+                                                                  std::uint32_t k,
+                                                                  Xoshiro256& rng);
+
+/// Samples `q` distinct uniform values from [0, n) (q << n expected).
+/// If q >= n, returns all of [0, n).
+[[nodiscard]] std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t q,
+                                                         Xoshiro256& rng);
+
+}  // namespace hours::rng

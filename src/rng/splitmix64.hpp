@@ -1,0 +1,26 @@
+// SplitMix64 — the standard seeding/stream-splitting mixer (Steele et al.).
+// Used to derive independent, reproducible seeds for per-node generators.
+#pragma once
+
+#include <cstdint>
+
+namespace hours::rng {
+
+/// Advances `state` and returns the next SplitMix64 output.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two words into one — used for seed derivation
+/// (e.g. overlay seed x node index -> per-node table seed).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t state = a ^ (0x9E3779B97F4A7C15ULL + (b << 6) + (b >> 2));
+  std::uint64_t first = splitmix64_next(state);
+  return first ^ splitmix64_next(state);
+}
+
+}  // namespace hours::rng

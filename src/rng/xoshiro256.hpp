@@ -1,0 +1,71 @@
+// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality 64-bit generator.
+// Satisfies std::uniform_random_bit_generator, so it composes with <random>
+// distributions, but the simulators mostly use the uniform helpers below for
+// speed and cross-platform reproducibility (std distributions are not
+// bit-reproducible across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "rng/splitmix64.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::rng {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // Expand one word into four with SplitMix64, per the authors' guidance.
+    std::uint64_t sm = seed;
+    for (auto& limb : state_) limb = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (unbiased
+  /// enough for simulation at these bounds; exact rejection not needed).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    HOURS_EXPECTS(bound > 0);
+    // 128-bit multiply-high.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Bernoulli(p).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace hours::rng

@@ -1,0 +1,338 @@
+#include "sim/hierarchy_protocol.hpp"
+
+#include <algorithm>
+
+#include "ids/ring.hpp"
+#include "overlay/table_builder.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::sim {
+
+namespace {
+
+std::uint32_t total_nodes(const std::vector<std::uint32_t>& fanout) {
+  std::uint64_t total = 1;
+  std::uint64_t level_nodes = 1;
+  for (const auto f : fanout) {
+    level_nodes *= f;
+    total += level_nodes;
+    HOURS_EXPECTS(total < 5'000'000);  // event engine is for protocol-scale trees
+  }
+  return static_cast<std::uint32_t>(total);
+}
+
+std::uint64_t overlay_seed(std::uint64_t base, const hierarchy::NodePath& parent_path) {
+  std::uint64_t seed = rng::mix64(base, 0x6576656E74ULL /* "event" */);
+  for (const auto index : parent_path) seed = rng::mix64(seed, index);
+  return seed;
+}
+
+}  // namespace
+
+HierarchySimulation::HierarchySimulation(HierarchySimConfig config)
+    : config_(std::move(config)),
+      transport_(sim_, config_.transport, total_nodes(config_.fanout), config_.seed) {
+  HOURS_EXPECTS(!config_.fanout.empty());
+  config_.params.validate();
+
+  // Breadth-first materialization: children of each node get contiguous ids,
+  // so a sibling set is the id range [sibling_base, sibling_base + ring).
+  nodes_.reserve(total_nodes(config_.fanout));
+  nodes_.push_back(Node{});
+  nodes_[0].path = {};
+  nodes_[0].parent = 0;
+  id_by_path_[{}] = 0;
+
+  std::vector<std::uint32_t> frontier{0};
+  for (std::size_t level = 0; level < config_.fanout.size(); ++level) {
+    const std::uint32_t f = config_.fanout[level];
+    std::vector<std::uint32_t> next_frontier;
+    next_frontier.reserve(frontier.size() * f);
+    for (const auto parent_id : frontier) {
+      nodes_[parent_id].first_child = static_cast<std::uint32_t>(nodes_.size());
+      nodes_[parent_id].child_count = f;
+      for (std::uint32_t j = 0; j < f; ++j) {
+        Node child;
+        child.path = hierarchy::child(nodes_[parent_id].path, j);
+        child.parent = parent_id;
+        child.sibling_base = nodes_[parent_id].first_child;
+        child.ring_size = f;
+        id_by_path_[child.path] = static_cast<std::uint32_t>(nodes_.size());
+        next_frontier.push_back(static_cast<std::uint32_t>(nodes_.size()));
+        nodes_.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  // Routing tables: one randomized overlay per sibling set (Algorithm 1).
+  const std::uint32_t child_fanout_levels = static_cast<std::uint32_t>(config_.fanout.size());
+  for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+    Node& node = nodes_[id];
+    const auto level = static_cast<std::uint32_t>(node.path.size());
+    const std::uint32_t nephew_ring =
+        level < child_fanout_levels ? config_.fanout[level] : 0;
+    overlay::OverlayParams params = config_.params;
+    params.seed = overlay_seed(config_.seed, nodes_[node.parent].path);
+    node.table = overlay::build_routing_table(
+        node.ring_size, node.path.back(), params,
+        nephew_ring > 0 ? overlay::ChildCountFn{[nephew_ring](ids::RingIndex) {
+          return nephew_ring;
+        }}
+                        : overlay::ChildCountFn{});
+  }
+
+  transport_.set_handler([this](std::uint32_t to, const Transport<Message>::Envelope& env) {
+    handle(to, env.payload);
+  });
+}
+
+std::uint32_t HierarchySimulation::id_of(const hierarchy::NodePath& path) const {
+  const auto it = id_by_path_.find(path);
+  HOURS_EXPECTS(it != id_by_path_.end());
+  return it->second;
+}
+
+const hierarchy::NodePath& HierarchySimulation::path_of(std::uint32_t id) const {
+  HOURS_EXPECTS(id < nodes_.size());
+  return nodes_[id].path;
+}
+
+void HierarchySimulation::kill(const hierarchy::NodePath& path) {
+  transport_.set_alive(id_of(path), false);
+}
+
+void HierarchySimulation::revive(const hierarchy::NodePath& path) {
+  const auto id = id_of(path);
+  transport_.set_alive(id, true);
+  // Peers would un-suspect a revived node after its next probe round; the
+  // query engine has no probes, so model that refresh directly.
+  for (auto& node : nodes_) node.suspected.erase(id);
+}
+
+bool HierarchySimulation::alive(const hierarchy::NodePath& path) const {
+  return transport_.alive(id_of(path));
+}
+
+void HierarchySimulation::set_behavior(const hierarchy::NodePath& path,
+                                       overlay::NodeBehavior behavior) {
+  nodes_[id_of(path)].behavior = behavior;
+}
+
+std::uint64_t HierarchySimulation::inject_query(const hierarchy::NodePath& dest,
+                                                const hierarchy::NodePath& start) {
+  HOURS_EXPECTS(id_by_path_.count(dest) == 1);
+  const auto start_id = id_of(start);
+  HOURS_EXPECTS(transport_.alive(start_id));
+
+  const std::uint64_t qid = next_qid_++;
+  queries_[qid] = QueryOutcome{};
+  Message msg;
+  msg.qid = qid;
+  msg.dest = dest;
+  sim_.schedule(0, [this, start_id, msg] { handle(start_id, msg); });
+  return qid;
+}
+
+const HierarchySimulation::QueryOutcome& HierarchySimulation::query(std::uint64_t qid) const {
+  const auto it = queries_.find(qid);
+  HOURS_EXPECTS(it != queries_.end());
+  return it->second;
+}
+
+HierarchySimulation::QueryOutcome HierarchySimulation::run_query(
+    const hierarchy::NodePath& dest, const hierarchy::NodePath& start,
+    std::size_t max_events) {
+  const auto qid = inject_query(dest, start);
+  // No time limit: the engine has no periodic timers, so the queue drains
+  // when the query (and any forks) terminate. A time limit would fast-
+  // forward the clock past suspicion expiries between back-to-back queries.
+  sim_.run(/*limit=*/0, max_events);
+  return query(qid);
+}
+
+void HierarchySimulation::finish(std::uint64_t qid, bool delivered, std::uint32_t hops) {
+  // Failure is provisional: a lost ack forks the query (the sender retries
+  // while the original copy keeps forwarding), and one fork giving up must
+  // not mask another fork delivering. Success is final.
+  auto& outcome = queries_[qid];
+  if (outcome.done && (outcome.delivered || !delivered)) return;
+  outcome.done = true;
+  outcome.delivered = delivered;
+  outcome.hops = hops;
+  outcome.completed_at = sim_.now();
+}
+
+bool HierarchySimulation::is_suspected(const Node& node, std::uint32_t id) const {
+  const auto it = node.suspected.find(id);
+  if (it == node.suspected.end()) return false;
+  if (config_.suspicion_ttl != 0 && it->second <= sim_.now()) return false;  // expired
+  return true;
+}
+
+void HierarchySimulation::suspect(Node& node, std::uint32_t id) {
+  const Ticks expiry = config_.suspicion_ttl == 0
+                           ? ~Ticks{0}
+                           : sim_.now() + config_.suspicion_ttl;
+  node.suspected[id] = expiry;
+}
+
+std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
+                                                              Message& msg) const {
+  std::vector<std::uint32_t> out;
+  const auto& dest = msg.dest;
+  const std::size_t level = node.path.size();
+  auto push = [&](std::uint32_t id) {
+    if (!is_suspected(node, id) &&
+        std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+      return true;
+    }
+    return false;
+  };
+
+  if (hierarchy::is_prefix(node.path, dest) && node.path.size() < dest.size()) {
+    // Algorithm 2 at an ancestor: the on-path child first; on its silence,
+    // alive children nearest counter-clockwise of it serve as overlay
+    // entrances (footnote 4 / line 6).
+    const ids::RingIndex next_index = dest[level];
+    HOURS_EXPECTS(next_index < node.child_count);
+    push(node.first_child + next_index);
+    for (std::uint32_t step = 1; step < node.child_count; ++step) {
+      push(node.first_child +
+           ids::counter_clockwise_step(next_index, step, node.child_count));
+    }
+    return out;
+  }
+
+  if (level == 0 || !hierarchy::is_prefix(hierarchy::parent(node.path), dest) ||
+      level > dest.size()) {
+    // Unrelated position (bootstrap start below/aside): climb.
+    if (level > 0) push(node.parent);
+    return out;
+  }
+
+  // Algorithm 3: overlay forwarding toward OD = dest[level-1] among
+  // siblings.
+  const ids::RingIndex self_index = node.path.back();
+  const ids::RingIndex od = dest[level - 1];
+  const std::uint32_t d_od = ids::clockwise_distance(self_index, od, node.ring_size);
+
+  // Rule 1: OD in the routing table — try it, then its nephews (children of
+  // the OD, i.e. the next-level overlay), closest to the next-level OD
+  // first.
+  if (const overlay::TableEntry* entry = node.table.find(od)) {
+    push(sibling_id(node, od));
+    if (level < dest.size() && !entry->nephews.empty()) {
+      const auto od_node_id = sibling_id(node, od);
+      const Node& od_node = nodes_[od_node_id];
+      std::vector<ids::RingIndex> ordered = entry->nephews;
+      const ids::RingIndex next_od = dest[level];
+      std::sort(ordered.begin(), ordered.end(), [&](ids::RingIndex a, ids::RingIndex b) {
+        return ids::clockwise_distance(a, next_od, od_node.child_count) <
+               ids::clockwise_distance(b, next_od, od_node.child_count);
+      });
+      for (const auto n : ordered) push(od_node.first_child + n);
+    }
+  }
+
+  if (!msg.backward) {
+    // Rule 2: greedy — alive-looking entries strictly closer to the OD,
+    // closest first.
+    const std::size_t start_pos = node.table.last_before_distance(d_od);
+    bool any_greedy = false;
+    for (std::size_t pos = start_pos; pos < node.table.entries().size(); --pos) {
+      const auto sibling = node.table.entries()[pos].sibling;
+      if (sibling != od && push(sibling_id(node, sibling))) {
+        any_greedy = true;  // an un-suspected candidate actually exists
+      }
+      if (pos == 0) break;
+    }
+    if (!any_greedy && out.empty()) {
+      msg.backward = true;  // Algorithm 3 line 14
+    }
+  }
+
+  if (msg.backward && config_.params.design == overlay::Design::kEnhanced) {
+    // Rule 3: counter-clockwise steps. With a repaired ring the node's CCW
+    // pointer reaches the nearest alive sibling (tried here in order);
+    // without repair only the immediate neighbor is known.
+    const std::uint32_t reach = config_.assume_ring_repaired ? node.ring_size - 1 : 1;
+    for (std::uint32_t step = 1; step <= reach; ++step) {
+      push(sibling_id(node,
+                      ids::counter_clockwise_step(self_index, step, node.ring_size)));
+    }
+  }
+  return out;
+}
+
+void HierarchySimulation::handle(std::uint32_t at, const Message& msg) {
+  auto& outcome = queries_[msg.qid];
+  if (outcome.done && outcome.delivered) return;  // already answered
+
+  const Node& node = nodes_[at];
+  if (node.path == msg.dest) {
+    finish(msg.qid, true, msg.hops);
+    return;
+  }
+
+  // Insiders (Section 5.3). The transport already acked, so the upstream
+  // sender believes this hop succeeded.
+  if (node.behavior == overlay::NodeBehavior::kDropper) {
+    return;  // silently swallowed; the query never settles
+  }
+  if (node.behavior == overlay::NodeBehavior::kMisrouter) {
+    // Forward to a uniformly random table entry, ignoring the algorithm;
+    // honest downstream nodes resume greedy forwarding.
+    if (!node.table.entries().empty()) {
+      const auto& entries = node.table.entries();
+      const auto pick = entries[misroute_rng_.below(entries.size())].sibling;
+      Message forwarded = msg;
+      forwarded.hops += 1;
+      if (forwarded.hops <= 4 * node_count() + 64) {
+        transport_.send_expect_ack(at, sibling_id(node, pick), forwarded, nullptr, nullptr);
+        return;
+      }
+    }
+    return;
+  }
+
+  Message m = msg;
+  if (m.hops > 4 * node_count() + 64) {
+    finish(m.qid, false, m.hops);
+    return;
+  }
+  auto candidates = candidates_at(node, m);
+  if (candidates.empty()) {
+    finish(m.qid, false, m.hops);
+    return;
+  }
+  try_candidates(at, m, std::move(candidates));
+}
+
+void HierarchySimulation::try_candidates(std::uint32_t at, Message msg,
+                                         std::vector<std::uint32_t> candidates) {
+  const auto& outcome = queries_[msg.qid];
+  if (outcome.done && outcome.delivered) return;
+  if (candidates.empty()) {
+    // Every candidate timed out; re-decide with the enriched suspicion set
+    // (this is where a stalled greedy flips to backward mode).
+    handle(at, msg);
+    return;
+  }
+  const std::uint32_t next = candidates.front();
+  candidates.erase(candidates.begin());
+
+  Message forwarded = msg;
+  forwarded.hops += 1;
+  transport_.send_expect_ack(
+      at, next, forwarded, /*on_ack=*/nullptr,
+      /*on_timeout=*/[this, at, msg, next, remaining = std::move(candidates)]() mutable {
+        suspect(nodes_[at], next);
+        queries_[msg.qid].timeouts += 1;
+        try_candidates(at, msg, std::move(remaining));
+      });
+}
+
+}  // namespace hours::sim

@@ -1,0 +1,149 @@
+// Event-driven, message-level simulation of a full HOURS-protected service
+// hierarchy.
+//
+// Where the graph engine (hierarchy/router.hpp) consults a liveness oracle,
+// here every forwarding decision is taken by a node process from purely
+// local state: its routing table (Algorithm 1), a suspicion set learned
+// from ack timeouts, and the Algorithm 2/3 rules. Queries travel as
+// messages with per-hop acks; dead servers simply never answer, and the
+// sender walks its candidate list on each timeout. This demonstrates the
+// protocol end to end under realistic asynchrony, including message loss.
+//
+// Scale note: this engine targets protocol fidelity, not the 2M-node
+// figures (those use the graph engine); hierarchies here are thousands of
+// nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hierarchy/node_path.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/params.hpp"
+#include "overlay/routing_table.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/simulator.hpp"
+#include "sim/transport.hpp"
+
+namespace hours::sim {
+
+struct HierarchySimConfig {
+  /// fanout[i] = children per level-i node (small trees; every node is
+  /// materialized as a process).
+  std::vector<std::uint32_t> fanout{8, 8};
+  overlay::OverlayParams params;
+  TransportConfig transport;
+  std::uint64_t seed = 0x486965722dULL;
+  /// How long an ack-timeout keeps a peer suspected. Periodic probing would
+  /// refresh liveness in a deployment; expiry models that, so transient
+  /// (loss-induced) false suspicion heals. 0 disables expiry.
+  Ticks suspicion_ttl = 4'000;
+  /// When true, backward forwarding steps to the nearest alive
+  /// counter-clockwise sibling (active recovery assumed converged — the
+  /// ring protocol in sim/ring_protocol.hpp demonstrates the convergence
+  /// itself). When false, a dead counter-clockwise neighbor dead-ends the
+  /// query.
+  bool assume_ring_repaired = true;
+};
+
+class HierarchySimulation {
+ public:
+  explicit HierarchySimulation(HierarchySimConfig config);
+
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const HierarchySimConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  // -- topology ------------------------------------------------------------------
+  [[nodiscard]] std::uint32_t id_of(const hierarchy::NodePath& path) const;
+  [[nodiscard]] const hierarchy::NodePath& path_of(std::uint32_t id) const;
+
+  // -- liveness ------------------------------------------------------------------
+  void kill(const hierarchy::NodePath& path);
+  void revive(const hierarchy::NodePath& path);
+  [[nodiscard]] bool alive(const hierarchy::NodePath& path) const;
+
+  // -- insiders (Section 5.3) ------------------------------------------------------
+  /// Compromised-node behavior. Unlike a DoS'd server, an insider *acks*
+  /// every message (the transport cannot tell), so a dropper is stealthy:
+  /// upstream nodes learn nothing from timeouts and the query simply
+  /// vanishes (the client-side outcome stays done = false).
+  void set_behavior(const hierarchy::NodePath& path, overlay::NodeBehavior behavior);
+
+  // -- queries -------------------------------------------------------------------
+  struct QueryOutcome {
+    bool done = false;
+    bool delivered = false;
+    std::uint32_t hops = 0;           ///< successful transfers
+    std::uint32_t timeouts = 0;       ///< dead/lossy attempts that timed out
+    Ticks completed_at = 0;
+  };
+
+  /// Injects a query at the root (default) or `start` for `dest`.
+  std::uint64_t inject_query(const hierarchy::NodePath& dest,
+                             const hierarchy::NodePath& start = {});
+  [[nodiscard]] const QueryOutcome& query(std::uint64_t qid) const;
+
+  /// Convenience: injects, runs the simulator until the query settles (or
+  /// `max_events` fire), and returns the outcome.
+  QueryOutcome run_query(const hierarchy::NodePath& dest,
+                         const hierarchy::NodePath& start = {},
+                         std::size_t max_events = 10'000'000);
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return transport_.messages_sent();
+  }
+
+ private:
+  struct Message {
+    std::uint64_t qid = 0;
+    hierarchy::NodePath dest;
+    bool backward = false;  ///< Algorithm 3 mode bit
+    std::uint32_t hops = 0;
+  };
+
+  struct Node {
+    hierarchy::NodePath path;
+    std::uint32_t parent = 0;          ///< id; self for the root
+    std::uint32_t first_child = 0;     ///< id of child ring index 0
+    std::uint32_t child_count = 0;
+    std::uint32_t sibling_base = 0;    ///< id of sibling ring index 0
+    std::uint32_t ring_size = 1;       ///< sibling overlay size
+    overlay::RoutingTable table{0, 1};
+    overlay::NodeBehavior behavior = overlay::NodeBehavior::kHonest;
+    std::map<std::uint32_t, Ticks> suspected;  ///< id -> suspicion expiry
+  };
+
+  [[nodiscard]] bool is_suspected(const Node& node, std::uint32_t id) const;
+  void suspect(Node& node, std::uint32_t id);
+
+  void handle(std::uint32_t at, const Message& msg);
+  void try_candidates(std::uint32_t at, Message msg, std::vector<std::uint32_t> candidates);
+  void finish(std::uint64_t qid, bool delivered, std::uint32_t hops);
+
+  /// Algorithm 2+3 decision at node `at`: ordered candidate ids for the
+  /// next hop, or empty when the query must fail here.
+  [[nodiscard]] std::vector<std::uint32_t> candidates_at(const Node& node, Message& msg) const;
+
+  [[nodiscard]] std::uint32_t sibling_id(const Node& node, ids::RingIndex index) const {
+    return node.sibling_base + index;
+  }
+
+  HierarchySimConfig config_;
+  Simulator sim_;
+  std::vector<Node> nodes_;
+  std::map<hierarchy::NodePath, std::uint32_t> id_by_path_;
+  Transport<Message> transport_;
+
+  rng::Xoshiro256 misroute_rng_{0x5E3ULL};
+  std::uint64_t next_qid_ = 1;
+  std::map<std::uint64_t, QueryOutcome> queries_;
+};
+
+}  // namespace hours::sim

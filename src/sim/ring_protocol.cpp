@@ -1,0 +1,476 @@
+#include "sim/ring_protocol.hpp"
+
+#include <algorithm>
+
+#include "overlay/table_builder.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace hours::sim {
+
+namespace {
+
+TransportConfig transport_config(const RingSimConfig& config) {
+  TransportConfig t;
+  t.latency_min = config.latency_min;
+  t.latency_max = config.latency_max;
+  t.ack_timeout = config.ack_timeout;
+  t.loss_probability = config.loss_probability;
+  return t;
+}
+
+}  // namespace
+
+RingSimulation::RingSimulation(RingSimConfig config)
+    : config_(config),
+      rng_(rng::mix64(config.seed, 0x70726F746FULL)),
+      transport_(sim_, transport_config(config), config.size, config.seed) {
+  HOURS_EXPECTS(config_.size >= 3);
+  config_.params.validate();
+
+  nodes_.resize(config_.size);
+  for (ids::RingIndex i = 0; i < config_.size; ++i) {
+    Node& node = nodes_[i];
+    node.table = overlay::build_routing_table(config_.size, i, config_.params);
+    node.cw_succ = ids::clockwise_step(i, 1, config_.size);
+    node.ccw = ids::counter_clockwise_step(i, 1, config_.size);
+  }
+  transport_.set_handler(
+      [this](std::uint32_t to, const Transport<Message>::Envelope& env) {
+        handle(static_cast<ids::RingIndex>(to), env.from, env.payload);
+      });
+}
+
+void RingSimulation::start() {
+  for (ids::RingIndex i = 0; i < config_.size; ++i) {
+    schedule_probe(i, rng_.below(config_.probe_period));  // staggered
+  }
+}
+
+void RingSimulation::kill(ids::RingIndex i) {
+  HOURS_EXPECTS(i < config_.size);
+  nodes_[i].alive = false;
+  transport_.set_alive(i, false);
+}
+
+void RingSimulation::revive(ids::RingIndex i) {
+  HOURS_EXPECTS(i < config_.size);
+  Node& node = nodes_[i];
+  node.alive = true;
+  transport_.set_alive(i, true);
+  node.suspected.clear();
+  node.ccw_suspected = false;
+  node.awaiting_claim = false;
+}
+
+bool RingSimulation::alive(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < config_.size);
+  return nodes_[i].alive;
+}
+
+ids::RingIndex RingSimulation::cw_successor(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < config_.size);
+  return nodes_[i].cw_succ;
+}
+
+ids::RingIndex RingSimulation::ccw_neighbor(ids::RingIndex i) const {
+  HOURS_EXPECTS(i < config_.size);
+  return nodes_[i].ccw;
+}
+
+bool RingSimulation::ring_connected() const {
+  ids::RingIndex start = config_.size;
+  std::uint32_t alive_total = 0;
+  for (ids::RingIndex i = 0; i < config_.size; ++i) {
+    if (nodes_[i].alive) {
+      ++alive_total;
+      if (start == config_.size) start = i;
+    }
+  }
+  if (alive_total == 0) return false;
+
+  std::uint32_t visited = 0;
+  ids::RingIndex at = start;
+  do {
+    if (!nodes_[at].alive) return false;  // pointer leads into a dead node
+    ++visited;
+    if (visited > alive_total) return false;  // short cycle that skips nodes
+    at = nodes_[at].cw_succ;
+  } while (at != start);
+  return visited == alive_total;
+}
+
+// -- transport ------------------------------------------------------------------
+
+void RingSimulation::send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
+                                     std::function<void()> on_ack,
+                                     std::function<void()> on_timeout) {
+  transport_.send_expect_ack(from, to, std::move(msg), std::move(on_ack),
+                             std::move(on_timeout));
+}
+
+void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Message& msg) {
+  Node& node = nodes_[at];
+
+  // Hearing from a peer proves it alive.
+  node.suspected.erase(from);
+
+  switch (msg.type) {
+    case Message::Type::kProbe: {
+      // Besides the transport-level ack, report our counter-clockwise
+      // pointer: Chord-style stabilization. If the prober over-skipped us
+      // (a loss-induced false suspicion made it adopt a farther successor),
+      // this is how it finds its way back to the nearest alive node.
+      Message info;
+      info.type = Message::Type::kCcwInfo;
+      info.origin = node.ccw;
+      transport_.post(at, from, info);
+      break;
+    }
+    case Message::Type::kCcwInfo: {
+      // `from` is (normally) our successor telling us who precedes it. If
+      // that node sits strictly between us and our current successor, probe
+      // it and adopt it on response.
+      const ids::RingIndex suggested = msg.origin;
+      if (from != node.cw_succ || suggested == at) break;
+      if (ids::clockwise_distance(at, suggested, config_.size) >=
+          ids::clockwise_distance(at, node.cw_succ, config_.size)) {
+        break;
+      }
+      Message probe;
+      probe.type = Message::Type::kProbe;
+      ++probes_sent_;
+      send_expect_ack(at, suggested, probe,
+                      /*on_ack=*/
+                      [this, at, suggested] {
+                        Node& self = nodes_[at];
+                        if (!self.alive) return;
+                        self.suspected.erase(suggested);
+                        if (ids::clockwise_distance(at, suggested, config_.size) <
+                            ids::clockwise_distance(at, self.cw_succ, config_.size)) {
+                          self.cw_succ = suggested;
+                          self.cw_miss_count = 0;
+                          Message claim;
+                          claim.type = Message::Type::kNeighborClaim;
+                          ++claims_sent_;
+                          send_expect_ack(at, suggested, claim, nullptr, nullptr);
+                        }
+                      },
+                      /*on_timeout=*/nullptr);
+      break;
+    }
+    case Message::Type::kNeighborClaim: {
+      // `from` asserts it is our closest alive counter-clockwise neighbor.
+      // Accept if our current pointer is suspect, or the claimant sits
+      // strictly closer counter-clockwise.
+      const auto current = ids::counter_clockwise_distance(at, node.ccw, config_.size);
+      const auto offered = ids::counter_clockwise_distance(at, from, config_.size);
+      if (node.ccw_suspected || offered < current) {
+        node.ccw = from;
+        node.ccw_suspected = false;
+        node.awaiting_claim = false;
+        node.ccw_miss_count = 0;
+      }
+      break;
+    }
+    case Message::Type::kRepair:
+      forward_repair(at, msg.origin);
+      break;
+    case Message::Type::kQuery:
+      process_query(at, msg);
+      break;
+  }
+}
+
+// -- probing & recovery ------------------------------------------------------------
+
+void RingSimulation::schedule_probe(ids::RingIndex i, Ticks delay) {
+  sim_.schedule(delay, [this, i] { probe_cycle(i); });
+}
+
+void RingSimulation::probe_cycle(ids::RingIndex i) {
+  Node& node = nodes_[i];
+  if (!node.alive) {
+    schedule_probe(i, config_.probe_period);  // dormant; resumes if revived
+    return;
+  }
+
+  // Probe the clockwise successor; on silence, walk the table for the next
+  // responsive sibling (conventional neighborhood recovery).
+  {
+    Message probe;
+    probe.type = Message::Type::kProbe;
+    ++probes_sent_;
+    const ids::RingIndex succ = node.cw_succ;
+    send_expect_ack(i, succ, probe,
+                    /*on_ack=*/[this, i] { nodes_[i].cw_miss_count = 0; },
+                    /*on_timeout=*/[this, i, succ] {
+      Node& self = nodes_[i];
+      if (!self.alive || self.cw_succ != succ) return;
+      if (++self.cw_miss_count < config_.probe_failure_threshold) return;
+      self.cw_miss_count = 0;
+      self.suspected.insert(succ);
+      // Candidates: remaining table entries in increasing clockwise distance.
+      std::vector<ids::RingIndex> candidates;
+      for (const auto& entry : self.table.entries()) {
+        if (entry.sibling != succ && self.suspected.count(entry.sibling) == 0) {
+          candidates.push_back(entry.sibling);
+        }
+      }
+      advance_cw_successor(i, std::move(candidates));
+    });
+  }
+
+  // Probe the counter-clockwise neighbor; on silence, wait one probe period
+  // for a NeighborClaim before inferring massive failure (Section 4.3).
+  {
+    Message probe;
+    probe.type = Message::Type::kProbe;
+    ++probes_sent_;
+    const ids::RingIndex ccw = node.ccw;
+    send_expect_ack(i, ccw, probe,
+                    /*on_ack=*/
+                    [this, i] {
+                      nodes_[i].ccw_suspected = false;
+                      nodes_[i].ccw_miss_count = 0;
+                    },
+                    /*on_timeout=*/[this, i, ccw] {
+                      Node& self = nodes_[i];
+                      if (!self.alive || self.ccw != ccw) return;
+                      if (++self.ccw_miss_count < config_.probe_failure_threshold) return;
+                      self.ccw_miss_count = 0;
+                      if (self.awaiting_claim) return;  // a silence check is pending
+                      // Re-armed on every silent probe period: if a Repair or
+                      // its closing NeighborClaim is lost in transit, the next
+                      // period simply tries again until the ring closes.
+                      self.ccw_suspected = true;
+                      self.awaiting_claim = true;
+                      self.awaiting_check_event =
+                          sim_.schedule(config_.probe_period, [this, i] { ccw_silence_check(i); });
+                    });
+  }
+
+  schedule_probe(i, config_.probe_period);
+}
+
+void RingSimulation::advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates) {
+  Node& node = nodes_[i];
+  if (!node.alive) return;
+  if (candidates.empty()) {
+    // Whole known clockwise side is silent; the far side of the gap will
+    // reach us through active recovery.
+    return;
+  }
+  const ids::RingIndex candidate = candidates.front();
+  candidates.erase(candidates.begin());
+
+  Message probe;
+  probe.type = Message::Type::kProbe;
+  ++probes_sent_;
+  send_expect_ack(
+      i, candidate, probe,
+      /*on_ack=*/
+      [this, i, candidate] {
+        Node& self = nodes_[i];
+        if (!self.alive) return;
+        self.cw_succ = candidate;
+        Message claim;
+        claim.type = Message::Type::kNeighborClaim;
+        ++claims_sent_;
+        send_expect_ack(i, candidate, claim, nullptr, nullptr);
+      },
+      /*on_timeout=*/
+      [this, i, candidate, remaining = std::move(candidates)]() mutable {
+        nodes_[i].suspected.insert(candidate);
+        advance_cw_successor(i, std::move(remaining));
+      });
+}
+
+void RingSimulation::ccw_silence_check(ids::RingIndex i) {
+  Node& node = nodes_[i];
+  if (!node.alive || !node.awaiting_claim) return;
+  node.awaiting_claim = false;
+  start_active_recovery(i);
+}
+
+void RingSimulation::start_active_recovery(ids::RingIndex origin) {
+  ++repairs_sent_;
+  HOURS_LOG_DEBUG("node %u starts active recovery", origin);
+  forward_repair(origin, origin);
+}
+
+std::vector<ids::RingIndex> RingSimulation::progress_candidates(const Node& node,
+                                                                ids::RingIndex at,
+                                                                ids::RingIndex target) const {
+  // The Repair originator routes toward itself: its own clockwise distance
+  // is the full circle, not zero, so every entry makes "progress".
+  const std::uint32_t self_distance =
+      at == target ? config_.size : ids::clockwise_distance(at, target, config_.size);
+  std::vector<ids::RingIndex> out;
+  for (const auto& entry : node.table.entries()) {
+    const ids::RingIndex s = entry.sibling;
+    if (s == target || node.suspected.count(s) != 0) continue;
+    if (ids::clockwise_distance(s, target, config_.size) < self_distance) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [&](ids::RingIndex a, ids::RingIndex b) {
+    return ids::clockwise_distance(a, target, config_.size) <
+           ids::clockwise_distance(b, target, config_.size);
+  });
+  return out;
+}
+
+void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin) {
+  Node& node = nodes_[at];
+  if (!node.alive) return;
+
+  // Both Figure-3 rules reduce to: try the alive entries that make clockwise
+  // progress toward the originator, nearest first, never the originator
+  // itself (that is the "second best choice" when the originator is in the
+  // table). When nothing responds, this node is the far edge of the gap —
+  // attach.
+  std::vector<ids::RingIndex> candidates = progress_candidates(node, at, origin);
+  if (candidates.empty()) {
+    attach_repair(at, origin);
+    return;
+  }
+
+  struct Attempt {
+    RingSimulation* self;
+    ids::RingIndex at;
+    ids::RingIndex origin;
+    std::vector<ids::RingIndex> remaining;
+
+    void run() {
+      if (!self->nodes_[at].alive) return;
+      if (remaining.empty()) {
+        self->attach_repair(at, origin);
+        return;
+      }
+      const ids::RingIndex next = remaining.front();
+      remaining.erase(remaining.begin());
+      Message repair;
+      repair.type = Message::Type::kRepair;
+      repair.origin = origin;
+      Attempt copy = *this;
+      self->send_expect_ack(
+          at, next, repair, /*on_ack=*/nullptr,
+          /*on_timeout=*/[copy, next]() mutable {
+            copy.self->nodes_[copy.at].suspected.insert(next);
+            copy.run();
+          });
+    }
+  };
+
+  Attempt attempt{this, at, origin, std::move(candidates)};
+  attempt.run();
+}
+
+void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin) {
+  Node& node = nodes_[at];
+  if (at == origin) return;
+
+  // "It creates a new routing entry for node s+1": the gap's far edge now
+  // points at the originator and claims the counter-clockwise neighborship.
+  node.table.insert_entry(overlay::TableEntry{origin, {}});
+  const auto current = ids::clockwise_distance(at, node.cw_succ, config_.size);
+  const auto offered = ids::clockwise_distance(at, origin, config_.size);
+  if (node.suspected.count(node.cw_succ) != 0 || offered < current) {
+    node.cw_succ = origin;
+  }
+  Message claim;
+  claim.type = Message::Type::kNeighborClaim;
+  ++claims_sent_;
+  send_expect_ack(at, origin, claim, nullptr, nullptr);
+}
+
+// -- queries ------------------------------------------------------------------------
+
+std::uint64_t RingSimulation::inject_query(ids::RingIndex from, ids::RingIndex od) {
+  HOURS_EXPECTS(from < config_.size && od < config_.size);
+  HOURS_EXPECTS(nodes_[from].alive);
+  const std::uint64_t qid = next_qid_++;
+  queries_[qid] = QueryOutcome{};
+
+  Message query;
+  query.type = Message::Type::kQuery;
+  query.qid = qid;
+  query.od = od;
+  sim_.schedule(0, [this, from, query] { process_query(from, query); });
+  return qid;
+}
+
+const RingSimulation::QueryOutcome& RingSimulation::query(std::uint64_t qid) const {
+  const auto it = queries_.find(qid);
+  HOURS_EXPECTS(it != queries_.end());
+  return it->second;
+}
+
+void RingSimulation::finish_query(std::uint64_t qid, bool delivered, std::uint32_t hops) {
+  auto& outcome = queries_[qid];
+  outcome.done = true;
+  outcome.delivered = delivered;
+  outcome.hops = hops;
+  outcome.completed_at = sim_.now();
+}
+
+void RingSimulation::process_query(ids::RingIndex at, Message msg) {
+  Node& node = nodes_[at];
+  if (!node.alive) return;
+
+  if (at == msg.od) {
+    finish_query(msg.qid, true, msg.hops);
+    return;
+  }
+
+  std::vector<ids::RingIndex> candidates;
+  if (!msg.backward) {
+    // Rule 1: the OD itself if we hold a pointer and do not suspect it.
+    if (node.table.find(msg.od) != nullptr && node.suspected.count(msg.od) == 0) {
+      candidates.push_back(msg.od);
+    }
+    const auto greedy = progress_candidates(node, at, msg.od);
+    candidates.insert(candidates.end(), greedy.begin(), greedy.end());
+    if (candidates.empty()) {
+      msg.backward = true;  // Algorithm 3 line 14: flip to backward mode
+    }
+  }
+  if (msg.backward) {
+    if (node.suspected.count(node.ccw) == 0) {
+      candidates.push_back(node.ccw);
+    }
+  }
+  if (candidates.empty()) {
+    finish_query(msg.qid, false, msg.hops);
+    return;
+  }
+  try_query_candidates(at, msg, std::move(candidates));
+}
+
+void RingSimulation::try_query_candidates(ids::RingIndex at, Message msg,
+                                          std::vector<ids::RingIndex> candidates) {
+  if (!nodes_[at].alive) return;
+  if (candidates.empty()) {
+    // Everything we tried timed out; re-run the decision with the updated
+    // suspicion set (it may flip the query to backward mode).
+    process_query(at, msg);
+    return;
+  }
+  const ids::RingIndex next = candidates.front();
+  candidates.erase(candidates.begin());
+
+  Message forwarded = msg;
+  forwarded.hops += 1;
+  if (forwarded.hops > 4 * config_.size) {
+    finish_query(msg.qid, false, msg.hops);
+    return;
+  }
+  send_expect_ack(
+      at, next, forwarded, /*on_ack=*/nullptr,
+      /*on_timeout=*/[this, at, msg, next, remaining = std::move(candidates)]() mutable {
+        nodes_[at].suspected.insert(next);
+        try_query_candidates(at, msg, std::move(remaining));
+      });
+}
+
+}  // namespace hours::sim

@@ -1,0 +1,161 @@
+// Event-driven overlay-ring protocol: periodic neighbor probing,
+// conventional neighborhood recovery, and Section 4.3's *active recovery*.
+//
+// This is the message-level counterpart of the graph engine. Nodes know only
+// their own routing table; liveness is learned through probe/ack timeouts,
+// gaps are bridged by Repair messages exactly as Figure 3 describes:
+//
+//   * every node probes its clockwise successor and counter-clockwise
+//     neighbor once per probe period;
+//   * when a clockwise successor dies, the node walks its table for the next
+//     responsive sibling and claims to be its counter-clockwise neighbor
+//     (conventional recovery — works while gaps are shorter than k);
+//   * when a node's counter-clockwise side goes silent for a full probe
+//     period with no claim arriving, it infers massive failure and emits a
+//     Repair message destined to itself; the node that cannot forward the
+//     Repair any closer creates a routing entry for the originator and
+//     becomes its new counter-clockwise neighbor, closing the gap.
+//
+// Queries ride the same machinery (greedy with per-hop timeout fallback and
+// backward mode), so integration tests can show end-to-end service before,
+// during, and after recovery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "overlay/params.hpp"
+#include "overlay/routing_table.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/simulator.hpp"
+#include "sim/transport.hpp"
+
+namespace hours::sim {
+
+struct RingSimConfig {
+  std::uint32_t size = 16;
+  overlay::OverlayParams params;  // design/k/q/seed for table generation
+  std::uint64_t seed = 0x52494E47ULL;
+
+  Ticks probe_period = 1000;
+  Ticks latency_min = 10;
+  Ticks latency_max = 50;
+  Ticks ack_timeout = 250;  ///< must exceed 2 * latency_max
+  double loss_probability = 0.0;  ///< i.i.d. per transmission (incl. acks)
+  /// Consecutive probe misses before a neighbor is declared dead. One miss
+  /// is enough on loss-free links; lossy links need >= 2-3 or false
+  /// suspicion keeps churning the ring.
+  std::uint32_t probe_failure_threshold = 1;
+};
+
+class RingSimulation {
+ public:
+  explicit RingSimulation(RingSimConfig config);
+
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const RingSimConfig& config() const noexcept { return config_; }
+
+  /// Schedules the initial (staggered) probe timers. Call once.
+  void start();
+
+  void kill(ids::RingIndex i);
+  void revive(ids::RingIndex i);
+  [[nodiscard]] bool alive(ids::RingIndex i) const;
+
+  // -- protocol introspection (tests) ------------------------------------------
+  [[nodiscard]] ids::RingIndex cw_successor(ids::RingIndex i) const;
+  [[nodiscard]] ids::RingIndex ccw_neighbor(ids::RingIndex i) const;
+
+  /// True if following cw-successor pointers from any alive node visits every
+  /// alive node exactly once and returns — i.e. no gap survived.
+  [[nodiscard]] bool ring_connected() const;
+
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+  [[nodiscard]] std::uint64_t repairs_sent() const noexcept { return repairs_sent_; }
+  [[nodiscard]] std::uint64_t claims_sent() const noexcept { return claims_sent_; }
+
+  // -- queries -------------------------------------------------------------------
+  struct QueryOutcome {
+    bool done = false;
+    bool delivered = false;
+    std::uint32_t hops = 0;
+    Ticks completed_at = 0;
+  };
+
+  /// Injects a query at `from` destined to overlay node `od`; returns its id.
+  std::uint64_t inject_query(ids::RingIndex from, ids::RingIndex od);
+  [[nodiscard]] const QueryOutcome& query(std::uint64_t qid) const;
+
+ private:
+  struct Message {
+    enum class Type : std::uint8_t {
+      kProbe,
+      kCcwInfo,  ///< probe response: "my counter-clockwise neighbor is msg.origin"
+      kNeighborClaim,
+      kRepair,
+      kQuery,
+    };
+    Type type = Type::kProbe;
+    ids::RingIndex origin = 0;  ///< Repair: the gap-side originator
+    std::uint64_t qid = 0;      ///< Query
+    ids::RingIndex od = 0;      ///< Query: overlay destination
+    bool backward = false;      ///< Query: Algorithm 3 mode bit
+    std::uint32_t hops = 0;     ///< Query: hops so far
+  };
+
+  struct Node {
+    bool alive = true;
+    overlay::RoutingTable table{0, 1};
+    ids::RingIndex cw_succ = 0;
+    ids::RingIndex ccw = 0;
+    bool ccw_suspected = false;
+    bool awaiting_claim = false;
+    std::uint32_t cw_miss_count = 0;   ///< consecutive failed probes of cw_succ
+    std::uint32_t ccw_miss_count = 0;  ///< consecutive failed probes of ccw
+    std::uint64_t awaiting_check_event = 0;
+    std::set<ids::RingIndex> suspected;  ///< peers believed dead (learned via timeouts)
+  };
+
+  void send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
+                       std::function<void()> on_ack, std::function<void()> on_timeout);
+  void handle(ids::RingIndex at, ids::RingIndex from, const Message& msg);
+
+  // Probing and recovery.
+  void schedule_probe(ids::RingIndex i, Ticks delay);
+  void probe_cycle(ids::RingIndex i);
+  void advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates);
+  void ccw_silence_check(ids::RingIndex i);
+  void start_active_recovery(ids::RingIndex origin);
+  void forward_repair(ids::RingIndex at, ids::RingIndex origin);
+  void attach_repair(ids::RingIndex at, ids::RingIndex origin);
+
+  // Queries.
+  void process_query(ids::RingIndex at, Message msg);
+  void try_query_candidates(ids::RingIndex at, Message msg,
+                            std::vector<ids::RingIndex> candidates);
+  void finish_query(std::uint64_t qid, bool delivered, std::uint32_t hops);
+
+  /// Greedy candidates at `at` toward `target`, nearest-to-target first,
+  /// excluding `target` itself and suspected peers.
+  [[nodiscard]] std::vector<ids::RingIndex> progress_candidates(const Node& node,
+                                                                ids::RingIndex at,
+                                                                ids::RingIndex target) const;
+
+  RingSimConfig config_;
+  Simulator sim_;
+  rng::Xoshiro256 rng_;
+  std::vector<Node> nodes_;
+  Transport<Message> transport_;
+
+  std::uint64_t next_qid_ = 1;
+  std::map<std::uint64_t, QueryOutcome> queries_;
+
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t repairs_sent_ = 0;
+  std::uint64_t claims_sent_ = 0;
+};
+
+}  // namespace hours::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace hours::sim {
+
+std::uint64_t Simulator::schedule(Ticks delay, Action action) {
+  HOURS_EXPECTS(action != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{now_ + delay, id, std::move(action)});
+  return id;
+}
+
+void Simulator::cancel(std::uint64_t id) {
+  cancelled_.push_back(id);
+  ++cancelled_pending_;
+}
+
+std::size_t Simulator::run(Ticks limit, std::size_t max_events) {
+  const Ticks deadline = limit == 0 ? 0 : now_ + limit;
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    const Event& top = queue_.top();
+    if (deadline != 0 && top.at > deadline) break;
+
+    if (std::find(cancelled_.begin(), cancelled_.end(), top.id) != cancelled_.end()) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), top.id),
+                       cancelled_.end());
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+
+    // Copy out before pop: the action may schedule (and thus reallocate).
+    Action action = std::move(const_cast<Event&>(top).action);
+    now_ = top.at;
+    queue_.pop();
+    action();
+    ++executed;
+  }
+  if (deadline != 0 && now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace hours::sim

@@ -1,0 +1,144 @@
+// Message transport for event-driven protocol simulations.
+//
+// Wraps the discrete-event Simulator with node-addressed messaging:
+// randomized latency, optional message loss, delivery suppression to dead
+// nodes, and an ack/timeout primitive (every non-ack message is
+// acknowledged by the transport before the recipient's handler runs, so
+// protocol code expresses "try, and on silence do X" directly).
+//
+// Header-only template: the payload type is supplied by the protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+#include "sim/simulator.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::sim {
+
+struct TransportConfig {
+  Ticks latency_min = 10;
+  Ticks latency_max = 50;
+  Ticks ack_timeout = 250;  ///< must exceed 2 * latency_max (+ loss retries)
+  double loss_probability = 0.0;  ///< each transmission dropped i.i.d.
+};
+
+template <typename Payload>
+class Transport {
+ public:
+  using Address = std::uint32_t;
+
+  struct Envelope {
+    Address from = 0;
+    std::uint64_t token = 0;
+    Payload payload{};
+  };
+
+  /// Invoked for every delivered (non-ack) message at the recipient.
+  using Handler = std::function<void(Address to, const Envelope&)>;
+
+  Transport(Simulator& sim, TransportConfig config, std::uint32_t node_count,
+            std::uint64_t seed)
+      : sim_(sim), config_(config), alive_(node_count, 1), rng_(seed) {
+    HOURS_EXPECTS(config_.ack_timeout > 2 * config_.latency_max);
+    HOURS_EXPECTS(config_.loss_probability >= 0.0 && config_.loss_probability < 1.0);
+  }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  void set_alive(Address node, bool alive) {
+    HOURS_EXPECTS(node < alive_.size());
+    alive_[node] = alive ? 1 : 0;
+  }
+  [[nodiscard]] bool alive(Address node) const {
+    HOURS_EXPECTS(node < alive_.size());
+    return alive_[node] != 0;
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+
+  /// Fire-and-forget.
+  void post(Address from, Address to, Payload payload) {
+    Envelope env;
+    env.from = from;
+    env.payload = std::move(payload);
+    transmit(to, std::move(env), /*is_ack=*/false);
+  }
+
+  /// Sends and expects a transport-level ack. Exactly one of on_ack /
+  /// on_timeout fires (either may be null).
+  void send_expect_ack(Address from, Address to, Payload payload,
+                       std::function<void()> on_ack, std::function<void()> on_timeout) {
+    const std::uint64_t token = next_token_++;
+    Envelope env;
+    env.from = from;
+    env.token = token;
+    env.payload = std::move(payload);
+    transmit(to, std::move(env), /*is_ack=*/false);
+
+    Pending pending;
+    pending.on_ack = std::move(on_ack);
+    pending.timeout_event =
+        sim_.schedule(config_.ack_timeout, [this, token, cb = std::move(on_timeout)] {
+          const auto it = pending_.find(token);
+          if (it == pending_.end()) return;
+          pending_.erase(it);
+          if (cb) cb();
+        });
+    pending_.emplace(token, std::move(pending));
+  }
+
+ private:
+  struct Pending {
+    std::function<void()> on_ack;
+    std::uint64_t timeout_event = 0;
+  };
+
+  [[nodiscard]] Ticks draw_latency() {
+    return config_.latency_min + rng_.below(config_.latency_max - config_.latency_min + 1);
+  }
+
+  void transmit(Address to, Envelope env, bool is_ack) {
+    ++messages_sent_;
+    if (config_.loss_probability > 0.0 && rng_.bernoulli(config_.loss_probability)) {
+      ++messages_lost_;
+      return;
+    }
+    sim_.schedule(draw_latency(), [this, to, env = std::move(env), is_ack] {
+      if (!alive(to)) return;  // shut-down servers receive nothing
+      if (is_ack) {
+        const auto it = pending_.find(env.token);
+        if (it == pending_.end()) return;  // raced with its own timeout
+        sim_.cancel(it->second.timeout_event);
+        auto on_ack = std::move(it->second.on_ack);
+        pending_.erase(it);
+        if (on_ack) on_ack();
+        return;
+      }
+      if (env.token != 0) {
+        Envelope ack;
+        ack.from = to;
+        ack.token = env.token;
+        transmit(env.from, std::move(ack), /*is_ack=*/true);
+      }
+      if (handler_) handler_(to, env);
+    });
+  }
+
+  Simulator& sim_;
+  TransportConfig config_;
+  std::vector<std::uint8_t> alive_;
+  rng::Xoshiro256 rng_;
+  Handler handler_;
+  std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_lost_ = 0;
+};
+
+}  // namespace hours::sim

@@ -1,0 +1,39 @@
+#include "store/record_store.hpp"
+
+#include <algorithm>
+
+namespace hours::store {
+
+const std::vector<Record> RecordStore::kEmpty{};
+
+void RecordStore::add(const naming::Name& name, Record record) {
+  by_name_[name].push_back(std::move(record));
+  ++total_;
+}
+
+std::size_t RecordStore::remove(const naming::Name& name, const std::string& type) {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return 0;
+  auto& records = it->second;
+  const auto removed =
+      static_cast<std::size_t>(std::erase_if(records, [&](const Record& r) { return r.type == type; }));
+  total_ -= removed;
+  if (records.empty()) by_name_.erase(it);
+  return removed;
+}
+
+const std::vector<Record>& RecordStore::records_at(const naming::Name& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+std::vector<Record> RecordStore::records_at(const naming::Name& name,
+                                            const std::string& type) const {
+  std::vector<Record> out;
+  for (const auto& r : records_at(name)) {
+    if (r.type == type) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace hours::store

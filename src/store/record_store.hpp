@@ -1,0 +1,52 @@
+// The data plane of the lookup service.
+//
+// An open service hierarchy exists to serve *answers* — DNS resource
+// records, LDAP entries, PKI certificates. Each node holds the records for
+// the portion of the name space it manages (Section 2's naming model); a
+// query is useful only if it reaches the node holding the answer, which is
+// precisely the accessibility property HOURS protects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "naming/name.hpp"
+
+namespace hours::store {
+
+/// One record, shaped loosely after a DNS RR: a type tag, an opaque value
+/// and a time-to-live governing client-side caching (Section 7).
+struct Record {
+  std::string type;   ///< e.g. "A", "CERT", "ENTRY"
+  std::string value;
+  std::uint64_t ttl = 3600;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+class RecordStore {
+ public:
+  /// Adds a record under `name` (the owning node's name).
+  void add(const naming::Name& name, Record record);
+
+  /// Removes all records of `type` under `name`; returns how many.
+  std::size_t remove(const naming::Name& name, const std::string& type);
+
+  /// All records held at `name` (empty if none).
+  [[nodiscard]] const std::vector<Record>& records_at(const naming::Name& name) const;
+
+  /// Records of one type at `name`.
+  [[nodiscard]] std::vector<Record> records_at(const naming::Name& name,
+                                               const std::string& type) const;
+
+  [[nodiscard]] std::size_t total_records() const noexcept { return total_; }
+
+ private:
+  std::map<naming::Name, std::vector<Record>> by_name_;
+  std::size_t total_ = 0;
+  static const std::vector<Record> kEmpty;
+};
+
+}  // namespace hours::store

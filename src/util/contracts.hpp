@@ -1,0 +1,29 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6/I.8, GSL Expects/Ensures). Violations indicate programmer error and
+// terminate with a diagnostic; they are never used for recoverable errors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hours::util {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "[hours] %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace hours::util
+
+#define HOURS_EXPECTS(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                                 \
+          : ::hours::util::contract_violation("precondition", #cond, __FILE__, __LINE__))
+
+#define HOURS_ENSURES(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                                 \
+          : ::hours::util::contract_violation("postcondition", #cond, __FILE__, __LINE__))
+
+#define HOURS_ASSERT(cond)                                                       \
+  ((cond) ? static_cast<void>(0)                                                 \
+          : ::hours::util::contract_violation("invariant", #cond, __FILE__, __LINE__))

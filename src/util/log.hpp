@@ -1,0 +1,25 @@
+// Tiny leveled logger. Deliberately minimal: benchmarks and simulations are
+// hot loops, so logging is compiled around an early level check and all state
+// lives in one translation unit (no global construction-order issues).
+#pragma once
+
+#include <cstdarg>
+
+namespace hours::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// printf-style logging. Thread-compatible (benchmarks are single-threaded;
+/// the event simulator owns all node state on one thread by design).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace hours::util
+
+#define HOURS_LOG_DEBUG(...) ::hours::util::logf(::hours::util::LogLevel::kDebug, __VA_ARGS__)
+#define HOURS_LOG_INFO(...) ::hours::util::logf(::hours::util::LogLevel::kInfo, __VA_ARGS__)
+#define HOURS_LOG_WARN(...) ::hours::util::logf(::hours::util::LogLevel::kWarn, __VA_ARGS__)
+#define HOURS_LOG_ERROR(...) ::hours::util::logf(::hours::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,25 @@
+#include "util/status.hpp"
+
+namespace hours::util {
+
+const char* to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInvalidArgument:
+      return "invalid_argument";
+    case Error::Code::kNotFound:
+      return "not_found";
+    case Error::Code::kUnreachable:
+      return "unreachable";
+    case Error::Code::kHopLimit:
+      return "hop_limit";
+    case Error::Code::kDead:
+      return "dead";
+    case Error::Code::kDropped:
+      return "dropped";
+    case Error::Code::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace hours::util

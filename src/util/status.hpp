@@ -1,0 +1,65 @@
+// Minimal expected-style result type for recoverable errors (E.ref: use
+// exceptions only for truly exceptional conditions; routing failures are a
+// normal outcome in this domain, so they travel as values).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/contracts.hpp"
+
+namespace hours::util {
+
+/// Error payload: a stable code plus a human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kUnreachable,   ///< routing could not reach the destination
+    kHopLimit,      ///< forwarding exceeded its loop-protection budget
+    kDead,          ///< the addressed node is out of service
+    kDropped,       ///< swallowed by a compromised node (Section 5.3)
+    kInternal,
+  };
+
+  Code code = Code::kInternal;
+  std::string message;
+};
+
+/// Human-readable name for an error code.
+const char* to_string(Error::Code code);
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Result(Error error) : rep_(std::move(error)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    HOURS_EXPECTS(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    HOURS_EXPECTS(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    HOURS_EXPECTS(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    HOURS_EXPECTS(!ok());
+    return std::get<Error>(rep_);
+  }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+}  // namespace hours::util

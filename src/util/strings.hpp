@@ -1,0 +1,22 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hours::util {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// Lower-cases ASCII characters in place and returns the result.
+std::string to_lower(std::string_view input);
+
+/// Formats a byte span as lowercase hex.
+std::string hex_encode(const unsigned char* data, std::size_t size);
+
+}  // namespace hours::util

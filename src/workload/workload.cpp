@@ -1,0 +1,47 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+
+namespace hours::workload {
+
+ZipfSampler::ZipfSampler(std::size_t universe, double exponent, std::uint64_t seed)
+    : exponent_(exponent), cdf_(universe), rng_(seed) {
+  HOURS_EXPECTS(universe >= 1);
+  HOURS_EXPECTS(exponent >= 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < universe; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::next() {
+  const double u = rng_.uniform();
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+HotspotSampler::HotspotSampler(std::size_t universe, std::size_t hot_item, double hot_fraction,
+                               std::uint64_t seed)
+    : universe_(universe), hot_item_(hot_item), hot_fraction_(hot_fraction), rng_(seed) {
+  HOURS_EXPECTS(universe >= 1);
+  HOURS_EXPECTS(hot_item < universe);
+  HOURS_EXPECTS(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+}
+
+std::size_t HotspotSampler::next() {
+  if (rng_.bernoulli(hot_fraction_)) return hot_item_;
+  return static_cast<std::size_t>(rng_.below(universe_));
+}
+
+}  // namespace hours::workload

@@ -1,0 +1,79 @@
+// Query-workload generators for experiments and examples.
+//
+// The paper's evaluation feeds streams of queries into the hierarchy
+// (uniform source/destination pairs in Section 6.1, a fixed hot destination
+// in Section 6.2), and its caching discussion leans on the Zipf-like
+// popularity of real DNS/web workloads [Breslau99, Jung01]. This module
+// provides those three patterns behind one sampler interface so benches,
+// tests and examples draw from identical, seeded distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::workload {
+
+/// Samples item indices from [0, universe).
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  Sampler() = default;
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  [[nodiscard]] virtual std::size_t universe() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t next() = 0;
+};
+
+/// Uniform over the universe — Section 6.1's random source/destination pairs.
+class UniformSampler final : public Sampler {
+ public:
+  UniformSampler(std::size_t universe, std::uint64_t seed) : universe_(universe), rng_(seed) {
+    HOURS_EXPECTS(universe >= 1);
+  }
+  [[nodiscard]] std::size_t universe() const noexcept override { return universe_; }
+  [[nodiscard]] std::size_t next() override {
+    return static_cast<std::size_t>(rng_.below(universe_));
+  }
+
+ private:
+  std::size_t universe_;
+  rng::Xoshiro256 rng_;
+};
+
+/// Zipf(s): P(rank i) ~ 1/(i+1)^s. s = 0 degenerates to uniform; web/DNS
+/// traces sit around s ~ 0.7-1.0 [Breslau99].
+class ZipfSampler final : public Sampler {
+ public:
+  ZipfSampler(std::size_t universe, double exponent, std::uint64_t seed);
+  [[nodiscard]] std::size_t universe() const noexcept override { return cdf_.size(); }
+  [[nodiscard]] std::size_t next() override;
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;
+  rng::Xoshiro256 rng_;
+};
+
+/// Hotspot: one fixed destination with probability `hot_fraction`, uniform
+/// otherwise — Section 6.2's attacker-interesting node D plus background
+/// traffic.
+class HotspotSampler final : public Sampler {
+ public:
+  HotspotSampler(std::size_t universe, std::size_t hot_item, double hot_fraction,
+                 std::uint64_t seed);
+  [[nodiscard]] std::size_t universe() const noexcept override { return universe_; }
+  [[nodiscard]] std::size_t next() override;
+
+ private:
+  std::size_t universe_;
+  std::size_t hot_item_;
+  double hot_fraction_;
+  rng::Xoshiro256 rng_;
+};
+
+}  // namespace hours::workload

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/resilience.hpp"
+
+namespace hours::analysis {
+namespace {
+
+TEST(Harmonic, SmallValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_NEAR(harmonic(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(Harmonic, AsymptoticBranchIsContinuous) {
+  // The exact and asymptotic branches must agree around the switch point.
+  const double exact = harmonic(1'000'000);
+  const double expansion =
+      std::log(1e6) + 0.57721566490153286060 + 1.0 / 2e6 - 1.0 / (12.0 * 1e12);
+  EXPECT_NEAR(exact, expansion, 1e-9);
+}
+
+TEST(ExpectedTableSize, BaseIsHarmonic) {
+  EXPECT_NEAR(expected_table_size(1000, 1), harmonic(999), 1e-12);
+}
+
+TEST(ExpectedTableSize, EnhancedScalesByK) {
+  const double base = expected_table_size(50'000, 1);
+  const double enhanced = expected_table_size(50'000, 5);
+  // Exact: k + k(H_{N-1} - H_k).
+  EXPECT_NEAR(enhanced, 5.0 * (1.0 + harmonic(49'999) - harmonic(5)), 1e-9);
+  // Paper's loose statement "increases by k times on average" holds within
+  // the H_k correction.
+  EXPECT_GT(enhanced / base, 4.0);
+  EXPECT_LT(enhanced / base, 5.0);
+}
+
+TEST(ExpectedTableSize, DegenerateRings) {
+  EXPECT_DOUBLE_EQ(expected_table_size(1, 5), 0.0);
+  EXPECT_DOUBLE_EQ(expected_table_size(4, 10), 3.0);  // all pointers certain
+}
+
+TEST(DeliveryRandomAttack, Boundaries) {
+  EXPECT_NEAR(delivery_random_attack(200, 5, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(delivery_random_attack(200, 5, 1.0), 0.0, 1e-12);
+}
+
+TEST(DeliveryRandomAttack, MonotoneInAlphaAndK) {
+  double previous = 1.1;
+  for (double alpha = 0.1; alpha < 1.0; alpha += 0.1) {
+    const double p = delivery_random_attack(200, 5, alpha);
+    EXPECT_LT(p, previous);
+    previous = p;
+  }
+  EXPECT_LT(delivery_random_attack(200, 1, 0.5), delivery_random_attack(200, 5, 0.5));
+  EXPECT_LT(delivery_random_attack(200, 5, 0.5), delivery_random_attack(200, 10, 0.5));
+}
+
+TEST(DeliveryRandomAttack, PaperFigure4Shape) {
+  // "The random attack has almost negligible impact ... until more than 80%
+  // of the nodes are attacked" (k = 5).
+  EXPECT_GT(delivery_random_attack(200, 5, 0.5), 0.99);
+  EXPECT_GT(delivery_random_attack(200, 5, 0.8), 0.90);
+  EXPECT_LT(delivery_random_attack(200, 5, 0.99), 0.60);
+}
+
+TEST(DeliveryNeighborAttack, Boundaries) {
+  EXPECT_NEAR(delivery_neighbor_attack(200, 5, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(delivery_neighbor_attack(200, 5, 1.0), 0.0, 1e-12);
+}
+
+TEST(DeliveryNeighborAttack, WorseThanRandom) {
+  for (double alpha = 0.2; alpha < 1.0; alpha += 0.2) {
+    EXPECT_LE(delivery_neighbor_attack(200, 5, alpha),
+              delivery_random_attack(200, 5, alpha) + 1e-9)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(DeliveryNeighborAttack, PaperFigure4Numbers) {
+  // "the attackers still need to shut down more than 80% of the nodes to
+  // halve the service accessibility when k = 5".
+  EXPECT_GT(delivery_neighbor_attack(200, 5, 0.8), 0.5);
+  // "If we increase k to 10, even though 90% nodes are under attack, we can
+  // still achieve a delivery ratio as high as 64%."
+  EXPECT_NEAR(delivery_neighbor_attack(200, 10, 0.9), 0.64, 0.05);
+}
+
+TEST(InterOverlayFailure, IsAlphaToTheQ) {
+  EXPECT_NEAR(inter_overlay_failure(0.5, 10), std::pow(0.5, 10), 1e-15);
+  EXPECT_NEAR(inter_overlay_failure(0.0, 3), 0.0, 1e-15);
+  EXPECT_NEAR(inter_overlay_failure(1.0, 3), 1.0, 1e-15);
+}
+
+TEST(Theorem3, ReducesToLogNWithoutAttack) {
+  EXPECT_NEAR(theorem3_hops(1000, 0.0), std::log(1000.0), 1e-12);
+  // Hops grow as the attack densifies.
+  EXPECT_GT(theorem3_hops(1000, 0.9), theorem3_hops(1000, 0.1));
+}
+
+TEST(Theorem5, DamageDecaysWithDistance) {
+  EXPECT_DOUBLE_EQ(theorem5_damage(0), 1.0);
+  EXPECT_DOUBLE_EQ(theorem5_damage(1), 0.5);
+  EXPECT_DOUBLE_EQ(theorem5_damage(9), 0.1);
+}
+
+TEST(ExpectedBasePathLength, IsLnN) {
+  EXPECT_NEAR(expected_base_path_length(50'000), 10.82, 0.01);
+  EXPECT_NEAR(expected_base_path_length(2'000'000), 14.51, 0.01);
+}
+
+TEST(BackwardSteps, ZeroWhenExitsAreCertain) {
+  // With no dead block, the stall point's k certain counter-clockwise
+  // holders make the expected walk short.
+  EXPECT_LT(expected_backward_steps(1000, 5, 0), 1.0);
+}
+
+TEST(BackwardSteps, GrowsLinearlyInBlockWidth) {
+  const double at100 = expected_backward_steps(1000, 5, 100);
+  const double at200 = expected_backward_steps(1000, 5, 200);
+  const double at400 = expected_backward_steps(1000, 5, 400);
+  EXPECT_GT(at200, 1.5 * at100);
+  EXPECT_GT(at400, 1.5 * at200);
+  // Continuum model: E ~ attacked / (k - 1) for attacked >> k, before ring
+  // truncation bites.
+  EXPECT_NEAR(at200, 200.0 / 4.0, 12.0);
+}
+
+TEST(BackwardSteps, LargerKShortensTheWalk) {
+  EXPECT_LT(expected_backward_steps(1000, 10, 300), expected_backward_steps(1000, 5, 300));
+  EXPECT_LT(expected_backward_steps(1000, 5, 300), expected_backward_steps(1000, 2, 300));
+}
+
+}  // namespace
+}  // namespace hours::analysis

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/attack.hpp"
+#include "hierarchy/synthetic.hpp"
+
+namespace hours::attack {
+namespace {
+
+overlay::OverlayParams params() {
+  overlay::OverlayParams p;
+  p.k = 5;
+  p.q = 4;
+  return p;
+}
+
+TEST(PlanRandom, NeverPicksTargetAndIsDistinct) {
+  rng::Xoshiro256 rng{7};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto set = plan_random(100, 42, 60, rng);
+    EXPECT_EQ(set.victims.size(), 60U);
+    std::set<ids::RingIndex> unique;
+    for (const auto v : set.victims) {
+      EXPECT_NE(v, 42U);
+      EXPECT_LT(v, 100U);
+      unique.insert(v);
+    }
+    EXPECT_EQ(unique.size(), 60U);
+  }
+}
+
+TEST(PlanRandom, CoversTheRingUniformly) {
+  rng::Xoshiro256 rng{11};
+  std::vector<int> counts(50, 0);
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (const auto v : plan_random(50, 0, 5, rng).victims) counts[v]++;
+  }
+  EXPECT_EQ(counts[0], 0);  // the target
+  for (std::uint32_t i = 1; i < 50; ++i) {
+    // Each non-target chosen with probability 5/49.
+    EXPECT_NEAR(counts[i], 5000.0 * 5 / 49, 150) << i;
+  }
+}
+
+TEST(PlanNeighbor, ExactCounterClockwiseBlock) {
+  const auto set = plan_neighbor(100, 5, 8);
+  ASSERT_EQ(set.victims.size(), 8U);
+  EXPECT_EQ(set.victims.front(), 4U);
+  EXPECT_EQ(set.victims.back(), 97U);  // wrapped
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(set.victims[s], ids::counter_clockwise_step(5, s + 1, 100));
+  }
+}
+
+TEST(StrikeAndLift, RoundTrip) {
+  overlay::Overlay ov{30, params()};
+  const auto set = plan_neighbor(30, 10, 6);
+  strike(ov, set);
+  EXPECT_EQ(ov.alive_count(), 24U);
+  for (const auto v : set.victims) EXPECT_FALSE(ov.alive(v));
+  lift(ov, set);
+  EXPECT_EQ(ov.alive_count(), 30U);
+}
+
+TEST(StrikeHierarchy, KillsTargetAndSiblings) {
+  hierarchy::SyntheticSpec spec;
+  spec.fanout = {50, 10};
+  hierarchy::SyntheticHierarchy h{spec, params()};
+  rng::Xoshiro256 rng{3};
+
+  HierarchyAttack attack;
+  attack.target = {20};
+  attack.strategy = Strategy::kNeighbor;
+  attack.sibling_count = 12;
+
+  const auto set = strike_hierarchy(h, attack, rng);
+  EXPECT_FALSE(h.node_alive({20}));
+  EXPECT_EQ(h.overlay_of({}).alive_count(), 50U - 13U);
+
+  lift_hierarchy(h, attack, set);
+  EXPECT_TRUE(h.node_alive({20}));
+  EXPECT_EQ(h.overlay_of({}).alive_count(), 50U);
+}
+
+TEST(StrikeHierarchy, CanSpareTheTarget) {
+  hierarchy::SyntheticSpec spec;
+  spec.fanout = {20, 4};
+  hierarchy::SyntheticHierarchy h{spec, params()};
+  rng::Xoshiro256 rng{3};
+
+  HierarchyAttack attack;
+  attack.target = {7};
+  attack.strategy = Strategy::kRandom;
+  attack.sibling_count = 5;
+  attack.include_target = false;
+
+  (void)strike_hierarchy(h, attack, rng);
+  EXPECT_TRUE(h.node_alive({7}));
+  EXPECT_EQ(h.overlay_of({}).alive_count(), 15U);
+}
+
+}  // namespace
+}  // namespace hours::attack

@@ -1,0 +1,140 @@
+// Chord baseline and plain-hierarchy baseline: the Section 5.2 comparison.
+#include <gtest/gtest.h>
+
+#include "baseline/chord.hpp"
+#include "baseline/plain.hpp"
+#include "hierarchy/synthetic.hpp"
+
+namespace hours::baseline {
+namespace {
+
+TEST(Chord, FingersArePowersOfTwo) {
+  ChordOverlay c{64};
+  const auto f = c.fingers(10);
+  ASSERT_EQ(f.size(), 6U);
+  EXPECT_EQ(f[0], 11U);
+  EXPECT_EQ(f[1], 12U);
+  EXPECT_EQ(f[2], 14U);
+  EXPECT_EQ(f[5], 42U);
+}
+
+TEST(Chord, FingersDeduplicateOnTinyRings) {
+  ChordOverlay c{3};
+  const auto f = c.fingers(0);
+  EXPECT_EQ(f, (std::vector<ids::RingIndex>{1, 2}));
+}
+
+TEST(Chord, RoutesEverywhereWhenHealthy) {
+  ChordOverlay c{128};
+  for (ids::RingIndex from = 0; from < 128; from += 13) {
+    for (ids::RingIndex to = 0; to < 128; to += 17) {
+      const auto r = c.route(from, to);
+      EXPECT_TRUE(r.delivered) << from << "->" << to;
+      EXPECT_LE(r.hops, 7U);  // <= log2(128)
+    }
+  }
+}
+
+TEST(Chord, HopsAreLogTwo) {
+  ChordOverlay c{1024};
+  std::uint64_t total = 0;
+  std::uint32_t count = 0;
+  for (ids::RingIndex to = 1; to < 1024; to += 7) {
+    const auto r = c.route(0, to);
+    ASSERT_TRUE(r.delivered);
+    total += r.hops;
+    ++count;
+  }
+  const double mean = static_cast<double>(total) / count;
+  EXPECT_NEAR(mean, 5.0, 1.0);  // ~ (log2 N)/2
+}
+
+TEST(Chord, InboundPointerNodes) {
+  const auto preds = ChordOverlay::inbound_pointer_nodes(64, 10);
+  ASSERT_EQ(preds.size(), 6U);
+  EXPECT_EQ(preds[0], 9U);    // 10 - 1
+  EXPECT_EQ(preds[1], 8U);    // 10 - 2
+  EXPECT_EQ(preds[2], 6U);    // 10 - 4
+  EXPECT_EQ(preds[5], 42U);   // 10 - 32 (wraps)
+}
+
+TEST(Chord, TopologyAwareAttackSeversTarget) {
+  // Section 5.2: kill the O(log N) deterministic in-pointers and the target
+  // becomes unreachable from everywhere, even though it is alive.
+  ChordOverlay c{256};
+  const ids::RingIndex target = 100;
+  for (const auto p : ChordOverlay::inbound_pointer_nodes(256, target)) c.kill(p);
+
+  int delivered = 0;
+  for (ids::RingIndex from = 0; from < 256; from += 5) {
+    if (!c.alive(from) || from == target) continue;
+    if (c.route(from, target).delivered) ++delivered;
+  }
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(c.alive(target));
+}
+
+TEST(Chord, SameBudgetRandomAttackBarelyHurts) {
+  ChordOverlay c{256};
+  const ids::RingIndex target = 100;
+  // Same number of victims, but scattered instead of the in-pointer set.
+  for (ids::RingIndex v = 3; v <= 3 + 7 * 8; v += 8) {
+    if (v != target) c.kill(v);
+  }
+  int delivered = 0;
+  int sources = 0;
+  for (ids::RingIndex from = 0; from < 256; from += 5) {
+    if (!c.alive(from)) continue;
+    ++sources;
+    if (c.route(from, target).delivered) ++delivered;
+  }
+  EXPECT_GT(static_cast<double>(delivered) / sources, 0.85);
+}
+
+TEST(Chord, FallsBackToSmallerFingersAroundFailures) {
+  ChordOverlay c{64};
+  // Kill the big fingers of node 0 toward 63; routing must still arrive via
+  // smaller spans.
+  c.kill(32);
+  c.kill(16);
+  const auto r = c.route(0, 63);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GE(r.failed_probes, 1U);
+}
+
+TEST(Plain, DeliversAlongTreePath) {
+  hierarchy::SyntheticSpec spec;
+  spec.fanout = {8, 8};
+  overlay::OverlayParams params;
+  hierarchy::SyntheticHierarchy h{spec, params};
+  const auto r = route_plain(h, {3, 4});
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 2U);
+}
+
+TEST(Plain, DominoEffect) {
+  // Figure 1: one dead ancestor denies the whole subtree.
+  hierarchy::SyntheticSpec spec;
+  spec.fanout = {8, 8, 8};
+  overlay::OverlayParams params;
+  hierarchy::SyntheticHierarchy h{spec, params};
+  h.kill({3});
+  for (ids::RingIndex a = 0; a < 8; ++a) {
+    for (ids::RingIndex b = 0; b < 8; ++b) {
+      EXPECT_FALSE(route_plain(h, {3, a, b}).delivered);
+    }
+  }
+  EXPECT_TRUE(route_plain(h, {4, 0, 0}).delivered);
+}
+
+TEST(Plain, DeadRootDeniesEverything) {
+  hierarchy::SyntheticSpec spec;
+  spec.fanout = {4};
+  overlay::OverlayParams params;
+  hierarchy::SyntheticHierarchy h{spec, params};
+  h.set_root_alive(false);
+  EXPECT_FALSE(route_plain(h, {2}).delivered);
+}
+
+}  // namespace
+}  // namespace hours::baseline

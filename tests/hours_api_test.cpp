@@ -1,0 +1,186 @@
+// The public HoursSystem facade: admission, queries, attacks, bootstrap
+// cache.
+#include <gtest/gtest.h>
+
+#include "hours/hours.hpp"
+
+namespace hours {
+namespace {
+
+HoursConfig small_config() {
+  HoursConfig cfg;
+  cfg.overlay.k = 3;
+  cfg.overlay.q = 2;
+  return cfg;
+}
+
+// HoursSystem is intentionally pinned (the router holds a reference to the
+// hierarchy), so tests populate it in place.
+void populate(HoursSystem& sys) {
+  for (const char* zone : {"ucla", "mit", "cmu", "gatech", "uw"}) {
+    EXPECT_TRUE(sys.admit(zone).ok());
+    for (const char* dept : {"cs", "ee", "math"}) {
+      EXPECT_TRUE(sys.admit(std::string{dept} + "." + zone).ok());
+      for (const char* host : {"www", "ns1"}) {
+        EXPECT_TRUE(sys.admit(std::string{host} + "." + dept + "." + zone).ok());
+      }
+    }
+  }
+}
+
+struct SmallSystem {
+  HoursSystem sys{small_config()};
+  SmallSystem() { populate(sys); }
+};
+
+TEST(HoursApi, AdmissionValidation) {
+  HoursSystem sys;
+  EXPECT_FALSE(sys.admit("a..b").ok());
+  EXPECT_FALSE(sys.admit("www.unknown").ok());
+  EXPECT_TRUE(sys.admit("zone").ok());
+  EXPECT_FALSE(sys.admit("zone").ok());
+}
+
+TEST(HoursApi, HealthyQueriesUseTreePath) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  const auto r = sys.query("www.cs.ucla");
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 3U);
+  EXPECT_EQ(r.hierarchical_hops, 3U);
+  EXPECT_EQ(r.overlay_hops, 0U);
+}
+
+TEST(HoursApi, RecordPathNamesNodes) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  const auto r = sys.query("www.cs.ucla", /*record_path=*/true);
+  ASSERT_TRUE(r.delivered);
+  ASSERT_EQ(r.path.size(), 4U);
+  EXPECT_EQ(r.path.front(), ".");
+  EXPECT_EQ(r.path.back(), "www.cs.ucla");
+}
+
+TEST(HoursApi, QueryUnknownNameFails) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  const auto r = sys.query("nonexistent.cs.ucla");
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.failure, util::Error::Code::kNotFound);
+}
+
+TEST(HoursApi, DetourAroundDeadZone) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  ASSERT_TRUE(sys.set_alive("ucla", false).ok());
+  const auto r = sys.query("www.cs.ucla");
+  ASSERT_TRUE(r.delivered);
+  EXPECT_GT(r.overlay_hops + r.inter_overlay_hops, 0U);
+
+  // The unprotected path would be dead: the destination's ancestor is down.
+  EXPECT_FALSE(sys.query("ucla").delivered);
+}
+
+TEST(HoursApi, DeadDestinationReportsDead) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  ASSERT_TRUE(sys.set_alive("www.cs.ucla", false).ok());
+  const auto r = sys.query("www.cs.ucla");
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.failure, util::Error::Code::kDead);
+}
+
+TEST(HoursApi, BootstrapCacheSurvivesRootDeath) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  // Populate the cache with a successful query.
+  ASSERT_TRUE(sys.query("cs.mit").delivered);
+
+  ASSERT_TRUE(sys.set_alive(".", false).ok());
+
+  // Same subtree as the cached node: climbs to "mit" and descends.
+  const auto near = sys.query("www.ee.mit");
+  EXPECT_TRUE(near.delivered);
+  EXPECT_TRUE(near.used_bootstrap_cache);
+
+  // Different subtree: climbs to "mit", crosses the level-1 overlay.
+  const auto far = sys.query("www.cs.ucla");
+  EXPECT_TRUE(far.delivered);
+  EXPECT_TRUE(far.used_bootstrap_cache);
+}
+
+TEST(HoursApi, QueryFromExplicitStart) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  ASSERT_TRUE(sys.set_alive(".", false).ok());
+  const auto r = sys.query_from("gatech", "www.cs.gatech");
+  ASSERT_TRUE(r.delivered);
+  const auto sideways = sys.query_from("mit", "cs.ucla");
+  // mit is a sibling of ucla: the level-1 overlay carries the query across.
+  EXPECT_TRUE(sideways.delivered);
+  EXPECT_GT(sideways.overlay_hops, 0U);
+}
+
+TEST(HoursApi, RemoveSubtreeThenQueryFails) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  ASSERT_TRUE(sys.remove("cs.ucla").ok());
+  EXPECT_FALSE(sys.query("www.cs.ucla").delivered);
+  EXPECT_TRUE(sys.query("ee.ucla").delivered);  // membership refresh keeps the rest working
+}
+
+TEST(HoursApi, ReviveRestoresTreePath) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  ASSERT_TRUE(sys.set_alive("ucla", false).ok());
+  ASSERT_TRUE(sys.query("www.cs.ucla").delivered);
+  ASSERT_TRUE(sys.set_alive("ucla", true).ok());
+  const auto r = sys.query("www.cs.ucla");
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 3U);
+  EXPECT_EQ(r.overlay_hops, 0U);
+}
+
+TEST(HoursApi, StrikeAndLiftAttack) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+
+  // Neighbor attack on "ucla" plus 2 of its 4 siblings.
+  ASSERT_TRUE(sys.strike("ucla", attack::Strategy::kNeighbor, 2).ok());
+  EXPECT_FALSE(sys.hierarchy().is_alive(naming::Name::parse("ucla").value()).value());
+  // HOURS still serves the subtree.
+  EXPECT_TRUE(sys.query("www.cs.ucla").delivered);
+  // Double strike rejected.
+  EXPECT_FALSE(sys.strike("ucla", attack::Strategy::kRandom, 1).ok());
+
+  ASSERT_TRUE(sys.lift_attack("ucla").ok());
+  EXPECT_TRUE(sys.hierarchy().is_alive(naming::Name::parse("ucla").value()).value());
+  const auto r = sys.query("www.cs.ucla");
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.overlay_hops, 0U);  // clean tree path again
+  EXPECT_FALSE(sys.lift_attack("ucla").ok());  // nothing active anymore
+}
+
+TEST(HoursApi, StrikeValidation) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  EXPECT_FALSE(sys.strike(".", attack::Strategy::kNeighbor, 1).ok());
+  EXPECT_FALSE(sys.strike("ghost", attack::Strategy::kNeighbor, 1).ok());
+  EXPECT_FALSE(sys.strike("ucla", attack::Strategy::kNeighbor, 99).ok());
+  EXPECT_FALSE(sys.lift_attack("ucla").ok());
+}
+
+TEST(HoursApi, StrikeVictimsSurviveMembershipChanges) {
+  SmallSystem wrapper;
+  HoursSystem& sys = wrapper.sys;
+  ASSERT_TRUE(sys.strike("mit", attack::Strategy::kRandom, 1).ok());
+  // Admission shifts ring indices; victims are pinned by name.
+  ASSERT_TRUE(sys.admit("stanford").ok());
+  ASSERT_TRUE(sys.lift_attack("mit").ok());
+  for (const char* zone : {"ucla", "mit", "cmu", "gatech", "uw", "stanford"}) {
+    EXPECT_TRUE(sys.hierarchy().is_alive(naming::Name::parse(zone).value()).value()) << zone;
+  }
+}
+
+}  // namespace
+}  // namespace hours

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "ids/identifier.hpp"
+#include "ids/ring.hpp"
+
+namespace hours::ids {
+namespace {
+
+TEST(Identifier, FromNameMatchesSha1Ordering) {
+  const auto a = Identifier::from_name("alpha");
+  const auto b = Identifier::from_name("alpha");
+  const auto c = Identifier::from_name("beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Identifier, HexRoundTrip) {
+  const auto id = Identifier::from_name("abc");
+  // SHA-1("abc") is the RFC vector.
+  EXPECT_EQ(id.to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Identifier, ComparisonIsNumeric) {
+  const auto small = Identifier::from_uint64(5);
+  const auto large = Identifier::from_uint64(6);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_LE(small, small);
+}
+
+TEST(Identifier, ClockwiseDistanceWraps) {
+  const auto a = Identifier::from_uint64(10);
+  const auto b = Identifier::from_uint64(4);
+  // a -> b wraps around the whole circle; the top 64 bits of the distance
+  // are dominated by the wrap.
+  EXPECT_GT(a.clockwise_distance_top64(b), 0U);
+  // b -> a is a tiny forward step; top 64 bits are zero.
+  EXPECT_EQ(b.clockwise_distance_top64(a), 0U);
+}
+
+TEST(Identifier, DistanceToSelfIsZero) {
+  const auto a = Identifier::from_name("self");
+  EXPECT_EQ(a.clockwise_distance_top64(a), 0U);
+}
+
+TEST(Ring, ClockwiseDistance) {
+  EXPECT_EQ(clockwise_distance(2, 7, 10), 5U);
+  EXPECT_EQ(clockwise_distance(7, 2, 10), 5U);
+  EXPECT_EQ(clockwise_distance(9, 0, 10), 1U);
+  EXPECT_EQ(clockwise_distance(4, 4, 10), 0U);
+}
+
+TEST(Ring, CounterClockwiseDistance) {
+  EXPECT_EQ(counter_clockwise_distance(2, 7, 10), 5U);
+  EXPECT_EQ(counter_clockwise_distance(0, 9, 10), 1U);
+}
+
+TEST(Ring, Steps) {
+  EXPECT_EQ(clockwise_step(8, 3, 10), 1U);
+  EXPECT_EQ(counter_clockwise_step(1, 3, 10), 8U);
+  EXPECT_EQ(clockwise_step(0, 10, 10), 0U);
+  EXPECT_EQ(counter_clockwise_step(0, 25, 10), 5U);
+}
+
+TEST(Ring, StepsAreInverse) {
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    for (std::uint32_t s = 0; s < 30; ++s) {
+      EXPECT_EQ(counter_clockwise_step(clockwise_step(i, s, 10), s, 10), i);
+    }
+  }
+}
+
+TEST(Ring, ClockwiseNotAfter) {
+  EXPECT_TRUE(clockwise_not_after(0, 3, 5, 10));
+  EXPECT_FALSE(clockwise_not_after(0, 5, 3, 10));
+  EXPECT_TRUE(clockwise_not_after(8, 9, 2, 10));  // 9 comes before 2 from 8
+}
+
+}  // namespace
+}  // namespace hours::ids

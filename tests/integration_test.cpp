@@ -1,0 +1,197 @@
+// End-to-end scenarios across modules: paper-shaped hierarchies under
+// coordinated attacks, delivery-ratio invariants, insider damage, and a
+// chaos test interleaving kills, revives and queries.
+#include <gtest/gtest.h>
+
+#include "analysis/resilience.hpp"
+#include "attack/attack.hpp"
+#include "baseline/plain.hpp"
+#include "hierarchy/router.hpp"
+#include "hierarchy/synthetic.hpp"
+
+namespace hours {
+namespace {
+
+using hierarchy::NodePath;
+using hierarchy::Router;
+using hierarchy::SyntheticHierarchy;
+using hierarchy::SyntheticSpec;
+
+overlay::OverlayParams params(std::uint32_t k, std::uint32_t q = 10) {
+  overlay::OverlayParams p;
+  p.design = overlay::Design::kEnhanced;
+  p.k = k;
+  p.q = q;
+  return p;
+}
+
+TEST(Integration, HoursBeatsPlainUnderAncestorAttack) {
+  SyntheticSpec spec;
+  spec.fanout = {100, 20, 3};
+  SyntheticHierarchy h{spec, params(5)};
+  Router router{h};
+  const NodePath dest{40, 7, 1};
+
+  h.kill({40});
+
+  EXPECT_FALSE(baseline::route_plain(h, dest).delivered);
+  EXPECT_TRUE(router.route(dest).delivered);
+}
+
+TEST(Integration, DeliveryUnderModerateNeighborAttackIsPerfect) {
+  SyntheticSpec spec;
+  spec.fanout = {200, 50, 2};
+  SyntheticHierarchy h{spec, params(5)};
+  Router router{h};
+  rng::Xoshiro256 rng{17};
+
+  attack::HierarchyAttack plan;
+  plan.target = {60};
+  plan.strategy = attack::Strategy::kNeighbor;
+  plan.sibling_count = 40;  // 20% of the overlay
+  (void)attack::strike_hierarchy(h, plan, rng);
+
+  int delivered = 0;
+  constexpr int kQueries = 300;
+  for (int i = 0; i < kQueries; ++i) {
+    const NodePath dest{60, static_cast<ids::RingIndex>(i % 50),
+                        static_cast<ids::RingIndex>(i % 2)};
+    if (router.route(dest).delivered) ++delivered;
+  }
+  EXPECT_EQ(delivered, kQueries);
+}
+
+TEST(Integration, MonteCarloDeliveryTracksEquationTwo) {
+  // Single-overlay delivery probability vs the Eq.(2) closed form, at one
+  // operating point (N=200, k=5, alpha=0.85 — deep into the degraded zone).
+  constexpr std::uint32_t kN = 200;
+  constexpr std::uint32_t kK = 5;
+  constexpr std::uint32_t kAttacked = 170;
+
+  int exits = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    overlay::OverlayParams p = params(kK, 4);
+    p.seed = 1000 + static_cast<std::uint64_t>(t);
+    overlay::Overlay ov{kN, p, overlay::TableStorage::kEager,
+                        [](ids::RingIndex) { return 10U; }};
+    const ids::RingIndex od = 50;
+    ov.kill(od);
+    attack::strike(ov, attack::plan_neighbor(kN, od, kAttacked));
+
+    const auto entrance = ov.nearest_alive_ccw(od);
+    ASSERT_TRUE(entrance.has_value());
+    const auto res = ov.forward(*entrance, od);
+    if (res.kind == overlay::ExitKind::kNephewExit) ++exits;
+  }
+
+  const double measured = static_cast<double>(exits) / kTrials;
+  const double predicted = analysis::delivery_neighbor_attack(kN, kK, 170.0 / 200.0);
+  EXPECT_NEAR(measured, predicted, 0.08);
+}
+
+TEST(Integration, InsiderDropperDamageMatchesTheoremFive) {
+  // A compromised node at index distance d counter-clockwise of the victim
+  // drops queries; accessibility falls by ~1/(d+1) (Theorem 5) because the
+  // dropper intercepts exactly the greedy traffic that lands on it.
+  constexpr std::uint32_t kN = 100;
+  const ids::RingIndex victim = 70;
+  const std::uint32_t d = 4;
+
+  int delivered = 0;
+  int total = 0;
+  constexpr int kSeeds = 60;
+  for (int s = 0; s < kSeeds; ++s) {
+    overlay::OverlayParams p = params(1, 2);  // base-like randomness, k=1
+    p.design = overlay::Design::kEnhanced;
+    p.seed = 7000 + static_cast<std::uint64_t>(s);
+    overlay::Overlay ov{kN, p};
+    ov.set_behavior(ids::counter_clockwise_step(victim, d, kN),
+                    overlay::NodeBehavior::kDropper);
+    for (ids::RingIndex from = 0; from < kN; from += 3) {
+      const auto res = ov.forward(from, victim);
+      ++total;
+      if (res.kind == overlay::ExitKind::kArrivedAtOd) ++delivered;
+    }
+  }
+  const double ratio = static_cast<double>(delivered) / total;
+  const double predicted = 1.0 - analysis::theorem5_damage(d);
+  EXPECT_NEAR(ratio, predicted, 0.08);
+}
+
+TEST(Integration, ChaosKillsRevivesAndQueries) {
+  SyntheticSpec spec;
+  spec.fanout = {64, 16, 2};
+  SyntheticHierarchy h{spec, params(5, 4)};
+  Router router{h};
+  rng::Xoshiro256 rng{99};
+
+  std::vector<NodePath> killed;
+  int failures_with_alive_path = 0;
+  for (int step = 0; step < 500; ++step) {
+    const auto action = rng.below(10);
+    if (action < 3) {
+      const NodePath victim{static_cast<ids::RingIndex>(rng.below(64))};
+      h.kill(victim);
+      killed.push_back(victim);
+    } else if (action < 5 && !killed.empty()) {
+      const auto i = rng.below(killed.size());
+      h.revive(killed[i]);
+      killed.erase(killed.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      const NodePath dest{static_cast<ids::RingIndex>(rng.below(64)),
+                          static_cast<ids::RingIndex>(rng.below(16)),
+                          static_cast<ids::RingIndex>(rng.below(2))};
+      const auto out = router.route(dest);
+      if (!h.node_alive(dest)) {
+        EXPECT_FALSE(out.delivered);
+      } else if (!out.delivered) {
+        // With k=5 and scattered level-1 kills, failures should be
+        // essentially nonexistent.
+        ++failures_with_alive_path;
+      }
+    }
+  }
+  EXPECT_LE(failures_with_alive_path, 1);
+}
+
+TEST(Integration, GracefulDegradationCurve) {
+  // Delivery ratio must fall monotonically (within noise) and hops must rise
+  // as the neighbor attack widens — the paper's graceful-degradation claim.
+  SyntheticSpec spec;
+  spec.fanout = {300, 20};
+  SyntheticHierarchy h{spec, params(5, 10)};
+  Router router{h};
+  rng::Xoshiro256 rng{5};
+
+  double previous_hops = 0.0;
+  for (const std::uint32_t attacked : {0U, 60U, 150U}) {
+    attack::HierarchyAttack plan;
+    plan.target = {100};
+    plan.strategy = attack::Strategy::kNeighbor;
+    plan.sibling_count = attacked;
+    const auto victims = attack::strike_hierarchy(h, plan, rng);
+
+    std::uint64_t hops = 0;
+    int delivered = 0;
+    constexpr int kQueries = 200;
+    for (int i = 0; i < kQueries; ++i) {
+      const NodePath dest{100, static_cast<ids::RingIndex>(i % 20)};
+      const auto out = router.route(dest);
+      if (out.delivered) {
+        ++delivered;
+        hops += out.hops;
+      }
+    }
+    ASSERT_GT(delivered, 0);
+    const double mean_hops = static_cast<double>(hops) / delivered;
+    EXPECT_GE(mean_hops + 0.5, previous_hops) << attacked;  // non-decreasing within noise
+    previous_hops = mean_hops;
+    EXPECT_EQ(delivered, kQueries) << "delivery must hold at alpha <= 0.5";
+
+    attack::lift_hierarchy(h, plan, victims);
+  }
+}
+
+}  // namespace
+}  // namespace hours

@@ -1,0 +1,127 @@
+// Randomized invariant checks ("fuzz-lite"): hundreds of random
+// hierarchy/attack/query scenarios, each validated against properties that
+// must hold for *every* execution, independent of the random draw:
+//
+//   I1  delivered  =>  the destination is alive
+//   I2  failure codes classify correctly (kDead iff destination dead)
+//   I3  recorded paths are contiguous (each hop moves to a parent, child,
+//       sibling, or nephew) and end at the destination
+//   I4  hop counters are consistent (total = hierarchical + overlay +
+//       inter-overlay; path length = hops + 1)
+//   I5  reviving everything restores pure tree-path routing
+#include <gtest/gtest.h>
+
+#include "attack/attack.hpp"
+#include "hierarchy/router.hpp"
+#include "hierarchy/synthetic.hpp"
+
+namespace hours {
+namespace {
+
+using hierarchy::NodePath;
+
+bool adjacent(const NodePath& a, const NodePath& b) {
+  // parent <-> child
+  if (a.size() + 1 == b.size() && hierarchy::is_prefix(a, b)) return true;
+  if (b.size() + 1 == a.size() && hierarchy::is_prefix(b, a)) return true;
+  // siblings
+  if (a.size() == b.size() && !a.empty() &&
+      hierarchy::parent(a) == hierarchy::parent(b)) {
+    return true;
+  }
+  // uncle -> nephew (inter-overlay hop): a and parent(b) are siblings
+  if (a.size() + 1 == b.size() && !a.empty() &&
+      hierarchy::parent(a) == hierarchy::parent(hierarchy::parent(b))) {
+    return true;
+  }
+  return false;
+}
+
+struct Scenario {
+  std::uint64_t seed;
+};
+
+class RandomScenarios : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RandomScenarios, InvariantsHold) {
+  rng::Xoshiro256 rng{GetParam().seed};
+
+  hierarchy::SyntheticSpec spec;
+  spec.fanout = {static_cast<std::uint32_t>(8 + rng.below(56)),
+                 static_cast<std::uint32_t>(4 + rng.below(12)),
+                 static_cast<std::uint32_t>(1 + rng.below(3))};
+  overlay::OverlayParams params;
+  params.design = overlay::Design::kEnhanced;
+  params.k = static_cast<std::uint32_t>(1 + rng.below(8));
+  params.q = static_cast<std::uint32_t>(1 + rng.below(6));
+  params.seed = rng();
+
+  hierarchy::SyntheticHierarchy h{spec, params};
+  hierarchy::Router router{h, rng()};
+
+  // Random attack on a random level-1 node and some of its siblings.
+  attack::HierarchyAttack plan;
+  plan.target = {static_cast<ids::RingIndex>(rng.below(spec.fanout[0]))};
+  plan.strategy = rng.bernoulli(0.5) ? attack::Strategy::kNeighbor : attack::Strategy::kRandom;
+  plan.sibling_count = static_cast<std::uint32_t>(rng.below(spec.fanout[0] / 2));
+  plan.include_target = rng.bernoulli(0.8);
+  (void)attack::strike_hierarchy(h, plan, rng);
+
+  // Also kill a few random level-2 nodes under the target.
+  auto& target_overlay = h.overlay_of(plan.target);
+  for (int j = 0; j < 3; ++j) {
+    target_overlay.kill(static_cast<ids::RingIndex>(rng.below(target_overlay.size())));
+  }
+
+  hierarchy::RouteOptions opts;
+  opts.record_path = true;
+
+  for (int q = 0; q < 30; ++q) {
+    const NodePath dest{static_cast<ids::RingIndex>(rng.below(spec.fanout[0])),
+                        static_cast<ids::RingIndex>(rng.below(spec.fanout[1])),
+                        static_cast<ids::RingIndex>(rng.below(spec.fanout[2]))};
+    const auto out = router.route(dest, opts);
+    const bool dest_alive = h.node_alive(dest);
+
+    if (out.delivered) {
+      ASSERT_TRUE(dest_alive) << "I1: delivered to a dead node";  // I1
+      // I4: counters are consistent.
+      EXPECT_EQ(out.hops,
+                out.hierarchical_hops + out.overlay_hops + out.inter_overlay_hops);
+      ASSERT_FALSE(out.path.empty());
+      EXPECT_EQ(out.path.size(), out.hops + 1U);
+      EXPECT_EQ(out.path.back(), dest);
+      // I3: contiguity.
+      for (std::size_t i = 1; i < out.path.size(); ++i) {
+        ASSERT_TRUE(adjacent(out.path[i - 1], out.path[i]))
+            << "I3: jump from " << hierarchy::to_string(out.path[i - 1]) << " to "
+            << hierarchy::to_string(out.path[i]);
+      }
+    } else {
+      // I2: classification.
+      if (!dest_alive) {
+        EXPECT_EQ(out.failure, util::Error::Code::kDead);
+      } else {
+        EXPECT_NE(out.failure, util::Error::Code::kDead);
+      }
+    }
+  }
+
+  // I5: heal everything; tree-path routing returns.
+  h.overlay_of({}).revive_all();
+  target_overlay.revive_all();
+  const NodePath probe{plan.target[0], 0, 0};
+  const auto healed = router.route(probe);
+  ASSERT_TRUE(healed.delivered);
+  EXPECT_EQ(healed.hops, 3U);
+  EXPECT_EQ(healed.overlay_hops, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenarios,
+                         ::testing::Values(Scenario{1}, Scenario{2}, Scenario{3}, Scenario{4},
+                                           Scenario{5}, Scenario{6}, Scenario{7}, Scenario{8},
+                                           Scenario{9}, Scenario{10}, Scenario{11},
+                                           Scenario{12}));
+
+}  // namespace
+}  // namespace hours

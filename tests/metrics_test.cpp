@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "metrics/histogram.hpp"
+#include "metrics/table_writer.hpp"
+
+namespace hours::metrics {
+namespace {
+
+TEST(Histogram, Empty) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_count(), 0U);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0U);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (const std::uint64_t v : {1, 2, 2, 3, 3, 3}) h.add(v);
+  EXPECT_EQ(h.total_count(), 6U);
+  EXPECT_EQ(h.count_at(2), 2U);
+  EXPECT_EQ(h.count_at(9), 0U);
+  EXPECT_EQ(h.min_value(), 1U);
+  EXPECT_EQ(h.max_value(), 3U);
+  EXPECT_NEAR(h.mean(), 14.0 / 6.0, 1e-12);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h;
+  h.add(5, 10);
+  h.add(7, 30);
+  EXPECT_EQ(h.total_count(), 40U);
+  EXPECT_NEAR(h.mean(), (5.0 * 10 + 7.0 * 30) / 40.0, 1e-12);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 1U);
+  EXPECT_EQ(h.quantile(0.5), 50U);
+  EXPECT_EQ(h.quantile(0.9), 90U);
+  EXPECT_EQ(h.quantile(1.0), 100U);
+}
+
+TEST(Histogram, Cdf) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 10; ++v) h.add(v);
+  EXPECT_NEAR(h.cdf(4), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf(9), 1.0, 1e-12);
+  EXPECT_NEAR(h.cdf(100), 1.0, 1e-12);
+}
+
+TEST(Histogram, Variance) {
+  Histogram h;
+  h.add(2);
+  h.add(4);
+  EXPECT_NEAR(h.variance(), 1.0, 1e-9);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a;
+  Histogram b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 4U);
+  EXPECT_EQ(a.count_at(2), 2U);
+  EXPECT_EQ(a.max_value(), 3U);
+}
+
+TEST(TableWriter, FormatHelpers) {
+  EXPECT_EQ(TableWriter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::fmt(std::uint64_t{42}), "42");
+}
+
+TEST(TableWriter, CsvRoundTrip) {
+  TableWriter table{{"alpha", "delivery"}};
+  table.add_row({"0.1", "0.999"});
+  table.add_row({"0.9", "0.640"});
+
+  const std::string path = ::testing::TempDir() + "/hours_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+
+  std::ifstream in{path};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "alpha,delivery\n0.1,0.999\n0.9,0.640\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, PrintRendersAlignedTable) {
+  TableWriter table{{"name", "value"}};
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-long", "22"});
+  ::testing::internal::CaptureStdout();
+  table.print("demo");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| beta-long | 22    |"), std::string::npos);
+}
+
+TEST(TableWriter, CsvFailsOnBadPath) {
+  TableWriter table{{"x"}};
+  EXPECT_FALSE(table.write_csv("/nonexistent-dir/impossible.csv"));
+}
+
+}  // namespace
+}  // namespace hours::metrics

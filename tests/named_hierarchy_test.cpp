@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hierarchy/named.hpp"
+#include "ids/identifier.hpp"
+
+namespace hours::hierarchy {
+namespace {
+
+overlay::OverlayParams params() {
+  overlay::OverlayParams p;
+  p.k = 3;
+  p.q = 2;
+  return p;
+}
+
+naming::Name name(std::string_view text) { return naming::Name::parse(text).value(); }
+
+TEST(NamedHierarchy, AdmissionRequiresParent) {
+  NamedHierarchy h{params()};
+  EXPECT_FALSE(h.admit(name("www.cs.ucla")).ok());  // ucla not admitted yet
+  EXPECT_TRUE(h.admit(name("ucla")).ok());
+  EXPECT_TRUE(h.admit(name("cs.ucla")).ok());
+  EXPECT_TRUE(h.admit(name("www.cs.ucla")).ok());
+  EXPECT_EQ(h.node_count(), 3U);
+}
+
+TEST(NamedHierarchy, RejectsDuplicatesAndRoot) {
+  NamedHierarchy h{params()};
+  EXPECT_TRUE(h.admit(name("zone")).ok());
+  EXPECT_FALSE(h.admit(name("zone")).ok());
+  EXPECT_FALSE(h.admit(naming::Name{}).ok());
+}
+
+TEST(NamedHierarchy, IndicesFollowSha1Order) {
+  NamedHierarchy h{params()};
+  const std::vector<std::string> labels{"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (const auto& l : labels) ASSERT_TRUE(h.admit(name(l)).ok());
+
+  // Expected ring order: children sorted by SHA-1 of their full names.
+  std::vector<std::pair<ids::Identifier, std::string>> expected;
+  for (const auto& l : labels) {
+    expected.emplace_back(ids::Identifier::from_name(l), l);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  for (std::uint32_t i = 0; i < expected.size(); ++i) {
+    const auto resolved = h.resolve(name(expected[i].second));
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_EQ(resolved.value(), (NodePath{i})) << expected[i].second;
+  }
+}
+
+TEST(NamedHierarchy, ResolveAndNameOfAreInverse) {
+  NamedHierarchy h{params()};
+  ASSERT_TRUE(h.admit(name("top")).ok());
+  ASSERT_TRUE(h.admit(name("a.top")).ok());
+  ASSERT_TRUE(h.admit(name("b.top")).ok());
+  ASSERT_TRUE(h.admit(name("x.a.top")).ok());
+
+  for (const char* text : {"top", "a.top", "b.top", "x.a.top"}) {
+    const auto path = h.resolve(name(text));
+    ASSERT_TRUE(path.ok()) << text;
+    const auto back = h.name_of(path.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().to_string(), text);
+  }
+  EXPECT_FALSE(h.resolve(name("missing.top")).ok());
+  EXPECT_FALSE(h.name_of({9, 9}).ok());
+}
+
+TEST(NamedHierarchy, LivenessByName) {
+  NamedHierarchy h{params()};
+  ASSERT_TRUE(h.admit(name("zone")).ok());
+  ASSERT_TRUE(h.admit(name("srv.zone")).ok());
+
+  EXPECT_TRUE(h.is_alive(name("srv.zone")).value());
+  ASSERT_TRUE(h.set_alive(name("srv.zone"), false).ok());
+  EXPECT_FALSE(h.is_alive(name("srv.zone")).value());
+
+  // Mirrored into the overlay liveness used by the router.
+  const auto path = h.resolve(name("srv.zone")).value();
+  EXPECT_FALSE(h.overlay_of(parent(path)).alive(path.back()));
+
+  ASSERT_TRUE(h.set_alive(name("srv.zone"), true).ok());
+  EXPECT_TRUE(h.overlay_of(parent(path)).alive(path.back()));
+  EXPECT_FALSE(h.set_alive(name("ghost.zone"), false).ok());
+}
+
+TEST(NamedHierarchy, DeadNodeStaysMemberAcrossRefresh) {
+  NamedHierarchy h{params()};
+  ASSERT_TRUE(h.admit(name("zone")).ok());
+  for (const char* l : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(h.admit(name(std::string{l} + ".zone")).ok());
+  }
+  ASSERT_TRUE(h.set_alive(name("b.zone"), false).ok());
+
+  // A membership change forces an overlay rebuild; the DoS'd node must stay
+  // a dead member (failures are not leaves).
+  ASSERT_TRUE(h.admit(name("e.zone")).ok());
+  const auto path = h.resolve(name("b.zone")).value();
+  EXPECT_FALSE(h.overlay_of(parent(path)).alive(path.back()));
+  EXPECT_EQ(h.overlay_of(parent(path)).size(), 5U);
+}
+
+TEST(NamedHierarchy, RemoveSubtree) {
+  NamedHierarchy h{params()};
+  ASSERT_TRUE(h.admit(name("zone")).ok());
+  ASSERT_TRUE(h.admit(name("a.zone")).ok());
+  ASSERT_TRUE(h.admit(name("x.a.zone")).ok());
+  ASSERT_TRUE(h.admit(name("y.a.zone")).ok());
+  EXPECT_EQ(h.node_count(), 4U);
+
+  ASSERT_TRUE(h.remove(name("a.zone")).ok());
+  EXPECT_EQ(h.node_count(), 1U);
+  EXPECT_FALSE(h.resolve(name("a.zone")).ok());
+  EXPECT_FALSE(h.resolve(name("x.a.zone")).ok());
+  EXPECT_FALSE(h.remove(name("a.zone")).ok());
+  EXPECT_FALSE(h.remove(naming::Name{}).ok());
+}
+
+TEST(NamedHierarchy, ChildCountThroughModel) {
+  NamedHierarchy h{params()};
+  ASSERT_TRUE(h.admit(name("zone")).ok());
+  ASSERT_TRUE(h.admit(name("a.zone")).ok());
+  ASSERT_TRUE(h.admit(name("b.zone")).ok());
+  const auto zone = h.resolve(name("zone")).value();
+  EXPECT_EQ(h.child_count({}), 1U);
+  EXPECT_EQ(h.child_count(zone), 2U);
+  EXPECT_EQ(h.child_count({5}), 0U);  // nonexistent
+}
+
+TEST(NamedHierarchy, RootLiveness) {
+  NamedHierarchy h{params()};
+  EXPECT_TRUE(h.root_alive());
+  h.set_root_alive(false);
+  EXPECT_FALSE(h.root_alive());
+}
+
+}  // namespace
+}  // namespace hours::hierarchy

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "naming/name.hpp"
+
+namespace hours::naming {
+namespace {
+
+TEST(Name, ParsePresentationOrder) {
+  auto r = Name::parse("www.cs.ucla");
+  ASSERT_TRUE(r.ok());
+  const Name& n = r.value();
+  EXPECT_EQ(n.depth(), 3U);
+  // Root-first internal order.
+  EXPECT_EQ(n.label(1), "ucla");
+  EXPECT_EQ(n.label(2), "cs");
+  EXPECT_EQ(n.label(3), "www");
+}
+
+TEST(Name, ParseRoot) {
+  auto empty = Name::parse("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().is_root());
+
+  auto dot = Name::parse(".");
+  ASSERT_TRUE(dot.ok());
+  EXPECT_TRUE(dot.value().is_root());
+}
+
+TEST(Name, ParseRejectsEmptyLabels) {
+  EXPECT_FALSE(Name::parse("a..b").ok());
+  EXPECT_FALSE(Name::parse(".a").ok());
+  EXPECT_FALSE(Name::parse("a.").ok());
+}
+
+TEST(Name, ToStringRoundTrip) {
+  const auto n = Name::parse("leaf.mid.top").value();
+  EXPECT_EQ(n.to_string(), "leaf.mid.top");
+  EXPECT_EQ(Name{}.to_string(), ".");
+}
+
+TEST(Name, ParentChain) {
+  const auto n = Name::parse("a.b.c").value();
+  EXPECT_EQ(n.parent().to_string(), "b.c");
+  EXPECT_EQ(n.parent().parent().to_string(), "c");
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+}
+
+TEST(Name, ChildExtends) {
+  const auto n = Name::parse("b.c").value();
+  EXPECT_EQ(n.child("a").to_string(), "a.b.c");
+  EXPECT_EQ(Name{}.child("top").to_string(), "top");
+}
+
+TEST(Name, AncestorAt) {
+  const auto n = Name::parse("a.b.c").value();
+  EXPECT_TRUE(n.ancestor_at(0).is_root());
+  EXPECT_EQ(n.ancestor_at(1).to_string(), "c");
+  EXPECT_EQ(n.ancestor_at(2).to_string(), "b.c");
+  EXPECT_EQ(n.ancestor_at(3), n);
+}
+
+TEST(Name, PrefixRelations) {
+  const auto anc = Name::parse("b.c").value();
+  const auto desc = Name::parse("a.b.c").value();
+  const auto other = Name::parse("a.x.c").value();
+
+  EXPECT_TRUE(anc.is_prefix_of(desc));
+  EXPECT_TRUE(anc.is_ancestor_of(desc));
+  EXPECT_FALSE(anc.is_ancestor_of(anc));
+  EXPECT_TRUE(anc.is_prefix_of(anc));
+  EXPECT_FALSE(anc.is_prefix_of(other));
+  EXPECT_TRUE(Name{}.is_prefix_of(desc));  // root prefixes everything
+}
+
+TEST(Name, OrderingIsDeterministic) {
+  const auto a = Name::parse("a.z").value();
+  const auto b = Name::parse("b.z").value();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+}
+
+}  // namespace
+}  // namespace hours::naming

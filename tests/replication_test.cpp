@@ -1,0 +1,91 @@
+// Server replication (Section 7): a logical node stays reachable until all
+// of its replica servers are down, and attacks must spend budget per server.
+#include <gtest/gtest.h>
+
+#include "overlay/replication.hpp"
+
+namespace hours::overlay {
+namespace {
+
+OverlayParams params() {
+  OverlayParams p;
+  p.design = Design::kEnhanced;
+  p.k = 3;
+  p.q = 2;
+  return p;
+}
+
+TEST(Replication, NodeDiesOnlyWhenAllServersDo) {
+  Overlay ov{16, params()};
+  ReplicatedOverlay rep{ov, 3};
+  EXPECT_EQ(rep.alive_servers(5), 3U);
+  EXPECT_TRUE(ov.alive(5));
+
+  EXPECT_TRUE(rep.kill_server(5, 0));
+  EXPECT_TRUE(rep.kill_server(5, 1));
+  EXPECT_TRUE(ov.alive(5));  // one server left
+  EXPECT_TRUE(rep.kill_server(5, 2));
+  EXPECT_FALSE(ov.alive(5));
+  EXPECT_EQ(rep.alive_servers(5), 0U);
+}
+
+TEST(Replication, KillIsIdempotentPerServer) {
+  Overlay ov{8, params()};
+  ReplicatedOverlay rep{ov, 2};
+  EXPECT_TRUE(rep.kill_server(3, 1));
+  EXPECT_FALSE(rep.kill_server(3, 1));  // already down
+  EXPECT_EQ(rep.alive_servers(3), 1U);
+  EXPECT_TRUE(ov.alive(3));
+}
+
+TEST(Replication, ReviveRestoresReachability) {
+  Overlay ov{8, params()};
+  ReplicatedOverlay rep{ov, 2};
+  rep.kill_server(3, 0);
+  rep.kill_server(3, 1);
+  EXPECT_FALSE(ov.alive(3));
+
+  EXPECT_TRUE(rep.revive_server(3, 0));
+  EXPECT_TRUE(ov.alive(3));
+  EXPECT_FALSE(rep.revive_server(3, 0));  // already up
+  EXPECT_EQ(rep.alive_servers(3), 1U);
+}
+
+TEST(Replication, TotalServerAccounting) {
+  Overlay ov{10, params()};
+  ReplicatedOverlay rep{ov, 4};
+  EXPECT_EQ(rep.total_alive_servers(), 40U);
+  rep.kill_server(0, 0);
+  rep.kill_server(9, 3);
+  EXPECT_EQ(rep.total_alive_servers(), 38U);
+}
+
+TEST(Replication, ForwardingUsesLogicalLiveness) {
+  // A neighbor attack that kills one server per node achieves nothing with
+  // replication factor 2: all logical nodes stay reachable.
+  Overlay ov{64, params(), TableStorage::kEager, [](ids::RingIndex) { return 8U; }};
+  ReplicatedOverlay rep{ov, 2};
+  const ids::RingIndex od = 30;
+  for (std::uint32_t s = 0; s <= 10; ++s) {
+    rep.kill_server(ids::counter_clockwise_step(od, s, 64), 0);
+  }
+  const auto res = ov.forward(50, od);
+  EXPECT_EQ(res.kind, ExitKind::kArrivedAtOd);  // OD itself still reachable
+
+  // Finish off the OD's second server: now the detour machinery kicks in.
+  rep.kill_server(od, 1);
+  const auto detour = ov.forward(50, od);
+  EXPECT_EQ(detour.kind, ExitKind::kNephewExit);
+}
+
+TEST(Replication, FactorOneMatchesPlainOverlay) {
+  Overlay ov{16, params()};
+  ReplicatedOverlay rep{ov, 1};
+  rep.kill_server(4, 0);
+  EXPECT_FALSE(ov.alive(4));
+  rep.revive_server(4, 0);
+  EXPECT_TRUE(ov.alive(4));
+}
+
+}  // namespace
+}  // namespace hours::overlay

@@ -1,0 +1,135 @@
+// Client resolver: TTL answer caching in front of the routed lookup
+// (Section 7's caching discussion).
+#include <gtest/gtest.h>
+
+#include "hours/resolver.hpp"
+
+namespace hours {
+namespace {
+
+struct Fixture {
+  HoursSystem sys;
+  Fixture() {
+    HoursConfig cfg;
+    cfg.overlay.k = 3;
+    cfg.overlay.q = 2;
+    for (const char* zone : {"red", "green", "blue", "cyan"}) {
+      sys.admit(zone);
+      for (const char* host : {"a", "b"}) {
+        const std::string n = std::string{host} + "." + zone;
+        sys.admit(n);
+        sys.add_record(n, store::Record{"A", "10.0.0." + std::string{host}, 100});
+      }
+    }
+  }
+};
+
+TEST(HoursDataPlane, LookupReturnsRecords) {
+  Fixture f;
+  const auto r = f.sys.lookup("a.red");
+  ASSERT_TRUE(r.query.delivered);
+  ASSERT_EQ(r.records.size(), 1U);
+  EXPECT_EQ(r.records[0].type, "A");
+}
+
+TEST(HoursDataPlane, RecordsRequireAdmittedOwner) {
+  Fixture f;
+  EXPECT_FALSE(f.sys.add_record("ghost.red", store::Record{"A", "x", 1}).ok());
+  EXPECT_TRUE(f.sys.add_record("b.blue", store::Record{"TXT", "x", 1}).ok());
+}
+
+TEST(HoursDataPlane, LookupOfNodeWithoutRecords) {
+  Fixture f;
+  const auto r = f.sys.lookup("red");
+  EXPECT_TRUE(r.query.delivered);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Resolver, CachesWithinTtl) {
+  Fixture f;
+  Resolver resolver{f.sys};
+
+  const auto first = resolver.resolve("a.red", 0);
+  ASSERT_TRUE(first.answered);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_GT(first.hops, 0U);
+
+  const auto second = resolver.resolve("a.red", 50);  // within ttl=100
+  ASSERT_TRUE(second.answered);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.hops, 0U);
+  EXPECT_EQ(second.records, first.records);
+
+  const auto third = resolver.resolve("a.red", 150);  // expired
+  ASSERT_TRUE(third.answered);
+  EXPECT_FALSE(third.from_cache);
+
+  EXPECT_EQ(resolver.stats().cache_hits, 1U);
+  EXPECT_EQ(resolver.stats().cache_misses, 2U);
+}
+
+TEST(Resolver, CachedAnswersSurviveTotalOutage) {
+  // The paper's point about caching being opportunistic: cached names keep
+  // resolving through an outage, anything else fails.
+  Fixture f;
+  Resolver resolver{f.sys};
+  ASSERT_TRUE(resolver.resolve("a.green", 0).answered);
+
+  f.sys.set_alive(".", false);
+  for (const char* zone : {"red", "green", "blue", "cyan"}) {
+    f.sys.set_alive(zone, false);
+  }
+
+  EXPECT_TRUE(resolver.resolve("a.green", 10).answered);  // cache hit
+  // Sibling of the cached node: bootstraps sideways through the (dead)
+  // parent's child overlay — HOURS at work, not the cache.
+  const auto sibling = resolver.resolve("b.green", 10);
+  EXPECT_TRUE(sibling.answered);
+  EXPECT_FALSE(sibling.from_cache);
+  // A different zone is beyond reach: the only cached nodes sit under the
+  // dead "green" and cannot climb out of it.
+  EXPECT_FALSE(resolver.resolve("b.blue", 10).answered);
+  EXPECT_EQ(resolver.stats().failures, 1U);
+}
+
+TEST(Resolver, CapacityEviction) {
+  Fixture f;
+  Resolver resolver{f.sys, /*capacity=*/2};
+  ASSERT_TRUE(resolver.resolve("a.red", 0).answered);
+  ASSERT_TRUE(resolver.resolve("a.green", 0).answered);
+  ASSERT_TRUE(resolver.resolve("a.blue", 0).answered);  // evicts one
+  EXPECT_LE(resolver.cached_names(), 2U);
+  EXPECT_GE(resolver.stats().evictions, 1U);
+}
+
+TEST(Resolver, FailureIsNotCached) {
+  Fixture f;
+  Resolver resolver{f.sys};
+  f.sys.set_alive("a.cyan", false);
+  EXPECT_FALSE(resolver.resolve("a.cyan", 0).answered);
+  f.sys.set_alive("a.cyan", true);
+  const auto r = resolver.resolve("a.cyan", 1);
+  EXPECT_TRUE(r.answered);
+  EXPECT_FALSE(r.from_cache);
+}
+
+TEST(Resolver, ServesThroughCoordinatedStrike) {
+  // End-to-end: records keep flowing while a zone and its ring neighborhood
+  // are under a coordinated neighbor attack.
+  Fixture f;
+  Resolver resolver{f.sys};
+  ASSERT_TRUE(f.sys.strike("red", attack::Strategy::kNeighbor, 2).ok());
+
+  const auto r = resolver.resolve("a.red", 0);
+  ASSERT_TRUE(r.answered);
+  EXPECT_FALSE(r.from_cache);
+  ASSERT_EQ(r.records.size(), 1U);
+
+  ASSERT_TRUE(f.sys.lift_attack("red").ok());
+  const auto healed = f.sys.query("a.red");
+  ASSERT_TRUE(healed.delivered);
+  EXPECT_EQ(healed.overlay_hops, 0U);
+}
+
+}  // namespace
+}  // namespace hours

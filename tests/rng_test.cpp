@@ -1,0 +1,161 @@
+// Deterministic generators and the Algorithm-1 pointer samplers.
+//
+// The key property test: the O(k log N) jump sampler must be
+// distribution-identical to the naive per-distance Bernoulli sampler. We
+// check per-distance marginal frequencies with a z-score bound and the mean
+// table size against the closed form k + k(H_{N-1} - H_k).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/resilience.hpp"
+#include "rng/pointer_sampler.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace hours::rng {
+namespace {
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a{123};
+  Xoshiro256 b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SeedsDiverge) {
+  Xoshiro256 a{1};
+  Xoshiro256 b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 g{7};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 g{11};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = g.below(10);
+    ASSERT_LT(v, 10U);
+    counts[static_cast<std::size_t>(v)]++;
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Mix64, StableAndSpreading) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), 0U);
+}
+
+TEST(PointerSampler, CertainPrefix) {
+  Xoshiro256 g{5};
+  for (const std::uint32_t k : {1U, 3U, 7U}) {
+    const auto distances = sample_pointer_distances(1000, k, g);
+    ASSERT_GE(distances.size(), k);
+    for (std::uint32_t d = 1; d <= k; ++d) {
+      EXPECT_EQ(distances[d - 1], d) << "k=" << k;
+    }
+    // Sorted and unique.
+    for (std::size_t i = 1; i < distances.size(); ++i) {
+      EXPECT_LT(distances[i - 1], distances[i]);
+    }
+  }
+}
+
+TEST(PointerSampler, TinyRings) {
+  Xoshiro256 g{5};
+  EXPECT_TRUE(sample_pointer_distances(1, 1, g).empty());
+  const auto two = sample_pointer_distances(2, 1, g);
+  ASSERT_EQ(two.size(), 1U);
+  EXPECT_EQ(two[0], 1U);
+  // k larger than the ring: every distance is certain.
+  const auto all = sample_pointer_distances(5, 10, g);
+  EXPECT_EQ(all, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(PointerSampler, MeanTableSizeMatchesClosedForm) {
+  constexpr std::uint32_t kN = 2000;
+  for (const std::uint32_t k : {1U, 5U}) {
+    Xoshiro256 g{mix64(99, k)};
+    double total = 0;
+    constexpr int kTrials = 400;
+    for (int t = 0; t < kTrials; ++t) {
+      total += static_cast<double>(sample_pointer_distances(kN, k, g).size());
+    }
+    const double expected = analysis::expected_table_size(kN, k);
+    const double mean = total / kTrials;
+    // Std dev of the count is below sqrt(expected); 400 trials shrink the
+    // standard error enough for a 3% relative band.
+    EXPECT_NEAR(mean, expected, expected * 0.03) << "k=" << k;
+  }
+}
+
+TEST(PointerSampler, JumpMatchesNaiveMarginals) {
+  constexpr std::uint32_t kN = 300;
+  constexpr std::uint32_t kK = 4;
+  constexpr int kTrials = 3000;
+
+  std::vector<int> jump_counts(kN, 0);
+  std::vector<int> naive_counts(kN, 0);
+  Xoshiro256 g1{42};
+  Xoshiro256 g2{4242};
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto d : sample_pointer_distances(kN, kK, g1)) jump_counts[d]++;
+    for (const auto d : sample_pointer_distances_naive(kN, kK, g2)) naive_counts[d]++;
+  }
+
+  // Compare each distance's empirical frequency with the analytic
+  // probability using a normal-approximation bound (5 sigma, Bonferroni-safe
+  // at this scale).
+  for (std::uint32_t d = 1; d < kN; ++d) {
+    const double p = std::min(1.0, static_cast<double>(kK) / d);
+    const double sigma = std::sqrt(p * (1 - p) * kTrials);
+    const double tolerance = 5.0 * sigma + 1.0;
+    EXPECT_NEAR(jump_counts[d], p * kTrials, tolerance) << "jump sampler, d=" << d;
+    EXPECT_NEAR(naive_counts[d], p * kTrials, tolerance) << "naive sampler, d=" << d;
+  }
+}
+
+TEST(SampleDistinct, BasicProperties) {
+  Xoshiro256 g{3};
+  const auto sample = sample_distinct(100, 10, g);
+  ASSERT_EQ(sample.size(), 10U);
+  std::vector<std::uint32_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) EXPECT_NE(sorted[i - 1], sorted[i]);
+  for (const auto v : sample) EXPECT_LT(v, 100U);
+}
+
+TEST(SampleDistinct, RequestExceedsPopulation) {
+  Xoshiro256 g{3};
+  const auto all = sample_distinct(5, 10, g);
+  EXPECT_EQ(all, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleDistinct, UniformCoverage) {
+  Xoshiro256 g{17};
+  std::vector<int> counts(20, 0);
+  for (int t = 0; t < 20000; ++t) {
+    for (const auto v : sample_distinct(20, 3, g)) counts[v]++;
+  }
+  // Each element appears with probability 3/20.
+  for (const int c : counts) EXPECT_NEAR(c, 3000, 300);
+}
+
+}  // namespace
+}  // namespace hours::rng

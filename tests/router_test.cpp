@@ -1,0 +1,271 @@
+// The mixed hierarchical/overlay router (Section 3.3 + Algorithm 2).
+#include <gtest/gtest.h>
+
+#include "hierarchy/router.hpp"
+#include "hierarchy/synthetic.hpp"
+
+namespace hours::hierarchy {
+namespace {
+
+overlay::OverlayParams params(std::uint32_t k = 5, std::uint32_t q = 4) {
+  overlay::OverlayParams p;
+  p.k = k;
+  p.q = q;
+  return p;
+}
+
+SyntheticHierarchy make_tree(std::vector<std::uint32_t> fanout, std::uint32_t k = 5) {
+  SyntheticSpec spec;
+  spec.fanout = std::move(fanout);
+  return SyntheticHierarchy{spec, params(k)};
+}
+
+TEST(Router, PureHierarchicalPath) {
+  auto h = make_tree({8, 8, 8});
+  Router router{h};
+  const NodePath dest{3, 5, 1};
+  const auto out = router.route(dest);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.hops, 3U);
+  EXPECT_EQ(out.hierarchical_hops, 3U);
+  EXPECT_EQ(out.overlay_hops, 0U);
+  EXPECT_EQ(out.inter_overlay_hops, 0U);
+}
+
+TEST(Router, RouteToRootAndLevelOne) {
+  auto h = make_tree({4, 4});
+  Router router{h};
+  EXPECT_TRUE(router.route({}).delivered);
+  const auto out = router.route({2});
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.hops, 1U);
+}
+
+TEST(Router, DeadDestinationFails) {
+  auto h = make_tree({4, 4});
+  Router router{h};
+  h.kill({1, 2});
+  const auto out = router.route({1, 2});
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.failure, util::Error::Code::kDead);
+}
+
+TEST(Router, InvalidDestinationFails) {
+  auto h = make_tree({4, 4});
+  Router router{h};
+  const auto out = router.route({1, 99});
+  EXPECT_FALSE(out.delivered);
+}
+
+TEST(Router, DetoursAroundDeadLevel1Node) {
+  auto h = make_tree({16, 16, 4});
+  Router router{h};
+  const NodePath dest{5, 7, 2};
+
+  const auto clean = router.route(dest);
+  ASSERT_TRUE(clean.delivered);
+
+  h.kill({5});  // the level-1 ancestor dies
+  const auto detour = router.route(dest);
+  ASSERT_TRUE(detour.delivered);
+  EXPECT_GT(detour.hops, clean.hops);
+  EXPECT_GE(detour.inter_overlay_hops, 1U);  // went through a nephew pointer
+  EXPECT_GT(detour.overlay_hops, 0U);
+}
+
+TEST(Router, SurvivesWholePathDead) {
+  // "even if all intermediate nodes are attacked simultaneously, the
+  // delivery ratio is still 100%" (Section 5.1).
+  auto h = make_tree({16, 16, 4});
+  Router router{h};
+  const NodePath dest{5, 7, 2};
+  h.kill({5});
+  h.kill({5, 7});
+  const auto out = router.route(dest);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_GE(out.inter_overlay_hops, 1U);
+}
+
+TEST(Router, RecordPathTracesContiguousRoute) {
+  auto h = make_tree({16, 16, 4});
+  Router router{h};
+  h.kill({5});
+  RouteOptions opts;
+  opts.record_path = true;
+  const NodePath dest{5, 7, 2};
+  const auto out = router.route(dest, opts);
+  ASSERT_TRUE(out.delivered);
+  ASSERT_FALSE(out.path.empty());
+  EXPECT_EQ(out.path.front(), NodePath{});
+  EXPECT_EQ(out.path.back(), dest);
+  // Recorded trace has exactly hops+1 positions.
+  EXPECT_EQ(out.path.size(), out.hops + 1U);
+}
+
+TEST(Router, BootstrapFromSiblingOverlay) {
+  auto h = make_tree({16, 8});
+  Router router{h};
+  h.set_root_alive(false);
+
+  // Start at a level-1 node that is not the destination's ancestor: the
+  // query must cross the level-1 overlay sideways.
+  const NodePath dest{5, 3};
+  const auto out = router.route(dest, {}, StartPoint{{9}});
+  ASSERT_TRUE(out.delivered);
+  EXPECT_GT(out.overlay_hops, 0U);
+}
+
+TEST(Router, BootstrapFromUnrelatedSubtreeClimbs) {
+  auto h = make_tree({8, 8, 4});
+  Router router{h};
+  const NodePath dest{5, 3, 1};
+  const auto out = router.route(dest, {}, StartPoint{{2, 6, 0}});
+  ASSERT_TRUE(out.delivered);
+  EXPECT_GE(out.hops, 5U);  // climbed out, descended back down
+}
+
+TEST(Router, BootstrapStartBelowDestination) {
+  auto h = make_tree({8, 8, 4});
+  Router router{h};
+  const NodePath dest{5, 3};
+  const auto out = router.route(dest, {}, StartPoint{{5, 3, 2}});
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.hops, 1U);  // one climb
+}
+
+TEST(Router, DeadStartFails) {
+  auto h = make_tree({8, 8});
+  Router router{h};
+  h.kill({3});
+  const auto out = router.route({5, 1}, {}, StartPoint{{3}});
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.failure, util::Error::Code::kDead);
+}
+
+TEST(Router, DeadRootFailsWithoutBootstrap) {
+  auto h = make_tree({8, 8});
+  Router router{h};
+  h.set_root_alive(false);
+  const auto out = router.route({5, 1});
+  EXPECT_FALSE(out.delivered);
+}
+
+TEST(Router, EntireSiblingSetDeadIsUnreachable) {
+  auto h = make_tree({4, 4});
+  Router router{h};
+  for (ids::RingIndex i = 0; i < 4; ++i) h.kill({1, i});
+  // Destination itself dead -> kDead; pick an alive dest whose level-1
+  // ancestor set is all dead instead.
+  for (ids::RingIndex i = 0; i < 4; ++i) h.revive({1, i});
+  for (ids::RingIndex i = 0; i < 4; ++i) h.kill({i});
+  const auto out = router.route({1, 2});
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.failure, util::Error::Code::kUnreachable);
+}
+
+TEST(Router, FootnoteFourChainedOverlayDescent) {
+  // Both v_1 and v_2 dead: the query must chain two overlay traversals
+  // (S_1 then S_2) without ever resuming hierarchical forwarding.
+  auto h = make_tree({16, 16, 4});
+  Router router{h};
+  const NodePath dest{5, 7, 2};
+  h.kill({5});
+  h.kill({5, 7});
+  RouteOptions opts;
+  opts.record_path = true;
+  const auto out = router.route(dest, opts);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_GE(out.inter_overlay_hops, 2U);
+}
+
+TEST(Router, RandomEntrancePolicyStillDelivers) {
+  auto h = make_tree({32, 8});
+  Router router{h};
+  h.kill({5});
+  RouteOptions opts;
+  opts.entrance = EntrancePolicy::kRandomAliveChild;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto out = router.route({5, 3}, opts);
+    ASSERT_TRUE(out.delivered);
+  }
+}
+
+TEST(Router, DropperInsiderKillsQueriesThroughIt) {
+  auto h = make_tree({16, 8});
+  Router router{h};
+  const NodePath dest{5, 3};
+  h.kill({5});
+
+  // Find the detour and compromise its first overlay node.
+  RouteOptions opts;
+  opts.record_path = true;
+  const auto clean = router.route(dest, opts);
+  ASSERT_TRUE(clean.delivered);
+  ASSERT_GE(clean.path.size(), 2U);
+  const NodePath& first_detour = clean.path[1];
+  ASSERT_EQ(first_detour.size(), 1U);
+  h.overlay_of({}).set_behavior(first_detour.back(), overlay::NodeBehavior::kDropper);
+
+  const auto dropped = router.route(dest, opts);
+  EXPECT_FALSE(dropped.delivered);
+  EXPECT_EQ(dropped.failure, util::Error::Code::kDropped);
+}
+
+TEST(Router, MaxHopsBudgetIsEnforced) {
+  auto h = make_tree({64, 16});
+  Router router{h};
+  const NodePath dest{40, 7};
+
+  // A healthy 2-hop route fits any budget >= 2.
+  RouteOptions opts;
+  opts.max_hops = 2;
+  EXPECT_TRUE(router.route(dest, opts).delivered);
+
+  // Force a long detour, then squeeze the budget below it.
+  h.kill({40});
+  RouteOptions unbounded;
+  const auto full = router.route(dest, unbounded);
+  ASSERT_TRUE(full.delivered);
+  ASSERT_GT(full.hops, 2U);
+
+  RouteOptions tight;
+  tight.max_hops = 2;
+  const auto capped = router.route(dest, tight);
+  EXPECT_FALSE(capped.delivered);
+  EXPECT_TRUE(capped.failure == util::Error::Code::kHopLimit ||
+              capped.failure == util::Error::Code::kUnreachable);
+  EXPECT_LE(capped.hops, 4U);  // within a few hops of the cap
+
+  RouteOptions generous;
+  generous.max_hops = full.hops + 8;
+  EXPECT_TRUE(router.route(dest, generous).delivered);
+}
+
+// Parameterized sweep: delivery through one dead ancestor across shapes.
+struct TreeCase {
+  std::uint32_t level1;
+  std::uint32_t level2;
+  std::uint32_t k;
+};
+
+class DetourSweep : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(DetourSweep, DeliversThroughDeadAncestor) {
+  const auto [l1, l2, k] = GetParam();
+  SyntheticSpec spec;
+  spec.fanout = {l1, l2};
+  SyntheticHierarchy h{spec, params(k)};
+  Router router{h};
+  const NodePath dest{l1 / 2, l2 / 2};
+  h.kill({l1 / 2});
+  const auto out = router.route(dest);
+  ASSERT_TRUE(out.delivered) << "l1=" << l1 << " l2=" << l2 << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DetourSweep,
+                         ::testing::Values(TreeCase{8, 8, 5}, TreeCase{64, 16, 5},
+                                           TreeCase{256, 64, 5}, TreeCase{64, 16, 1},
+                                           TreeCase{64, 16, 10}, TreeCase{3, 3, 2}));
+
+}  // namespace
+}  // namespace hours::hierarchy

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hours::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30U);
+}
+
+TEST(Simulator, FifoAmongSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(5, [&] { order.push_back(2); });
+  sim.schedule(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<Ticks> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Ticks>{10, 15}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 0U);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterRun) {
+  Simulator sim;
+  const auto id = sim.schedule(1, [] {});
+  sim.run();
+  sim.cancel(id);  // already executed; must not break later events
+  bool ran = false;
+  sim.schedule(1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunWithTimeLimit) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10, [&] { ++count; });
+  sim.schedule(20, [&] { ++count; });
+  sim.schedule(100, [&] { ++count; });
+
+  const auto executed = sim.run(50);
+  EXPECT_EQ(executed, 2U);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 50U);  // clock advances to the limit
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicSelfRescheduling) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> beat = [&] {
+    ++ticks;
+    if (ticks < 5) sim.schedule(10, beat);
+  };
+  sim.schedule(10, beat);
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), 50U);
+}
+
+TEST(Simulator, MaxEventsGuardsAgainstRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule(1, forever); };
+  sim.schedule(1, forever);
+  const auto executed = sim.run(0, 1000);
+  EXPECT_EQ(executed, 1000U);
+}
+
+}  // namespace
+}  // namespace hours::sim

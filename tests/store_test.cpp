@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "store/record_store.hpp"
+
+namespace hours::store {
+namespace {
+
+naming::Name name(std::string_view text) { return naming::Name::parse(text).value(); }
+
+TEST(RecordStore, AddAndFetch) {
+  RecordStore store;
+  store.add(name("www.example.com"), {"A", "192.0.2.1", 300});
+  store.add(name("www.example.com"), {"A", "192.0.2.2", 300});
+  store.add(name("www.example.com"), {"TXT", "hello", 60});
+
+  EXPECT_EQ(store.records_at(name("www.example.com")).size(), 3U);
+  EXPECT_EQ(store.records_at(name("www.example.com"), "A").size(), 2U);
+  EXPECT_EQ(store.records_at(name("www.example.com"), "MX").size(), 0U);
+  EXPECT_EQ(store.total_records(), 3U);
+}
+
+TEST(RecordStore, MissingNameIsEmpty) {
+  RecordStore store;
+  EXPECT_TRUE(store.records_at(name("ghost")).empty());
+}
+
+TEST(RecordStore, RemoveByType) {
+  RecordStore store;
+  store.add(name("x.y"), {"A", "1.2.3.4", 300});
+  store.add(name("x.y"), {"A", "5.6.7.8", 300});
+  store.add(name("x.y"), {"CERT", "...", 300});
+
+  EXPECT_EQ(store.remove(name("x.y"), "A"), 2U);
+  EXPECT_EQ(store.total_records(), 1U);
+  EXPECT_EQ(store.records_at(name("x.y")).size(), 1U);
+  EXPECT_EQ(store.remove(name("x.y"), "A"), 0U);
+  EXPECT_EQ(store.remove(name("nope"), "A"), 0U);
+}
+
+TEST(RecordStore, RemovingLastRecordDropsName) {
+  RecordStore store;
+  store.add(name("a.b"), {"A", "v", 1});
+  EXPECT_EQ(store.remove(name("a.b"), "A"), 1U);
+  EXPECT_TRUE(store.records_at(name("a.b")).empty());
+  EXPECT_EQ(store.total_records(), 0U);
+}
+
+TEST(RecordStore, DistinctNamesAreIsolated) {
+  RecordStore store;
+  store.add(name("a.z"), {"A", "1", 1});
+  store.add(name("b.z"), {"A", "2", 1});
+  EXPECT_EQ(store.records_at(name("a.z"))[0].value, "1");
+  EXPECT_EQ(store.records_at(name("b.z"))[0].value, "2");
+}
+
+}  // namespace
+}  // namespace hours::store

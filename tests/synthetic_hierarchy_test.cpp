@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/synthetic.hpp"
+
+namespace hours::hierarchy {
+namespace {
+
+overlay::OverlayParams params(std::uint32_t k = 5) {
+  overlay::OverlayParams p;
+  p.k = k;
+  p.q = 4;
+  return p;
+}
+
+TEST(NodePathHelpers, Basics) {
+  const NodePath p{3, 7, 1};
+  EXPECT_EQ(level(p), 3U);
+  EXPECT_EQ(parent(p), (NodePath{3, 7}));
+  EXPECT_EQ(child(p, 9), (NodePath{3, 7, 1, 9}));
+  EXPECT_EQ(ancestor_at(p, 0), NodePath{});
+  EXPECT_EQ(ancestor_at(p, 2), (NodePath{3, 7}));
+  EXPECT_TRUE(is_prefix({3, 7}, p));
+  EXPECT_TRUE(is_prefix(p, p));
+  EXPECT_FALSE(is_prefix({3, 8}, p));
+  EXPECT_FALSE(is_prefix({3, 7, 1, 0}, p));
+  EXPECT_EQ(to_string(p), "/3/7/1");
+  EXPECT_EQ(to_string({}), "/");
+}
+
+TEST(SyntheticSpec, NodeCount) {
+  SyntheticSpec spec;
+  spec.fanout = {3, 2};
+  EXPECT_EQ(spec.approx_node_count(), 1U + 3U + 6U);
+}
+
+TEST(SyntheticHierarchy, FanoutAndOverrides) {
+  SyntheticSpec spec;
+  spec.fanout = {10, 5, 2};
+  spec.fanout_overrides[{4}] = 50;
+
+  SyntheticHierarchy h{spec, params()};
+  EXPECT_EQ(h.child_count({}), 10U);
+  EXPECT_EQ(h.child_count({0}), 5U);
+  EXPECT_EQ(h.child_count({4}), 50U);       // overridden
+  EXPECT_EQ(h.child_count({0, 1}), 2U);
+  EXPECT_EQ(h.child_count({0, 1, 0}), 0U);  // leaf
+  EXPECT_EQ(h.depth(), 3U);
+}
+
+TEST(SyntheticHierarchy, OverlaysMaterializeLazily) {
+  SyntheticSpec spec;
+  spec.fanout = {100, 100, 3};
+  SyntheticHierarchy h{spec, params()};
+  EXPECT_EQ(h.materialized_overlays(), 0U);
+  (void)h.overlay_of({});
+  EXPECT_EQ(h.materialized_overlays(), 1U);
+  (void)h.overlay_of({7});
+  (void)h.overlay_of({7});  // cached
+  EXPECT_EQ(h.materialized_overlays(), 2U);
+}
+
+TEST(SyntheticHierarchy, OverlaySizesMatchFanout) {
+  SyntheticSpec spec;
+  spec.fanout = {10, 4};
+  spec.fanout_overrides[{2}] = 17;
+  SyntheticHierarchy h{spec, params()};
+  EXPECT_EQ(h.overlay_of({}).size(), 10U);
+  EXPECT_EQ(h.overlay_of({0}).size(), 4U);
+  EXPECT_EQ(h.overlay_of({2}).size(), 17U);
+}
+
+TEST(SyntheticHierarchy, DistinctOverlaysGetDistinctSeeds) {
+  SyntheticSpec spec;
+  spec.fanout = {4, 50};
+  SyntheticHierarchy h{spec, params()};
+  const auto& t0 = h.overlay_of({0}).table(0);
+  const auto& entries0 = t0.entries();
+  std::vector<ids::RingIndex> siblings0;
+  for (const auto& e : entries0) siblings0.push_back(e.sibling);
+
+  const auto& t1 = h.overlay_of({1}).table(0);
+  std::vector<ids::RingIndex> siblings1;
+  for (const auto& e : t1.entries()) siblings1.push_back(e.sibling);
+  EXPECT_NE(siblings0, siblings1);
+}
+
+TEST(SyntheticHierarchy, NephewsRespectChildOverlaySizes) {
+  SyntheticSpec spec;
+  spec.fanout = {6, 9};
+  SyntheticHierarchy h{spec, params()};
+  const auto& ov = h.overlay_of({});
+  for (ids::RingIndex i = 0; i < ov.size(); ++i) {
+    for (const auto& entry : ov.table(i).entries()) {
+      for (const auto n : entry.nephews) EXPECT_LT(n, 9U);
+    }
+  }
+}
+
+TEST(SyntheticHierarchy, LivenessThroughModelInterface) {
+  SyntheticSpec spec;
+  spec.fanout = {5, 5};
+  SyntheticHierarchy h{spec, params()};
+
+  EXPECT_TRUE(h.node_alive({2, 3}));
+  h.kill({2, 3});
+  EXPECT_FALSE(h.node_alive({2, 3}));
+  EXPECT_TRUE(h.node_alive({2}));
+  h.revive({2, 3});
+  EXPECT_TRUE(h.node_alive({2, 3}));
+
+  EXPECT_TRUE(h.root_alive());
+  h.kill({});
+  EXPECT_FALSE(h.root_alive());
+  h.revive({});
+  EXPECT_TRUE(h.root_alive());
+}
+
+TEST(SyntheticHierarchy, HugeOverlayUsesLazyTables) {
+  SyntheticSpec spec;
+  spec.fanout = {30'000};
+  spec.eager_table_limit = 1000;
+  SyntheticHierarchy h{spec, params()};
+  auto& ov = h.overlay_of({});
+  EXPECT_EQ(ov.size(), 30'000U);
+  // Lazy tables still answer forwarding queries.
+  const auto res = ov.forward(5, 29'000);
+  EXPECT_EQ(res.kind, overlay::ExitKind::kArrivedAtOd);
+}
+
+}  // namespace
+}  // namespace hours::hierarchy

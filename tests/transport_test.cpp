@@ -1,0 +1,117 @@
+// The event-simulation message transport: latency, acks, timeouts, loss,
+// and dead-node suppression.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/transport.hpp"
+
+namespace hours::sim {
+namespace {
+
+struct Payload {
+  std::string text;
+};
+
+struct Fixture {
+  Simulator sim;
+  TransportConfig cfg;
+  // 4 nodes, default timing.
+  Transport<Payload> transport{sim, cfg, 4, /*seed=*/7};
+  std::vector<std::pair<std::uint32_t, std::string>> received;
+
+  Fixture() {
+    transport.set_handler([this](std::uint32_t to, const Transport<Payload>::Envelope& env) {
+      received.emplace_back(to, env.payload.text);
+    });
+  }
+};
+
+TEST(Transport, PostDeliversWithinLatencyBounds) {
+  Fixture f;
+  f.transport.post(0, 1, {"hello"});
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1U);
+  EXPECT_EQ(f.received[0].first, 1U);
+  EXPECT_EQ(f.received[0].second, "hello");
+  EXPECT_GE(f.sim.now(), f.cfg.latency_min);
+  EXPECT_LE(f.sim.now(), f.cfg.latency_max);
+}
+
+TEST(Transport, DeadNodeReceivesNothing) {
+  Fixture f;
+  f.transport.set_alive(2, false);
+  f.transport.post(0, 2, {"void"});
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+}
+
+TEST(Transport, AckFiresOnDelivery) {
+  Fixture f;
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"ping"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.run();
+  EXPECT_TRUE(acked);
+  EXPECT_FALSE(timed_out);
+  ASSERT_EQ(f.received.size(), 1U);  // handler still runs at the receiver
+}
+
+TEST(Transport, TimeoutFiresForDeadTarget) {
+  Fixture f;
+  f.transport.set_alive(3, false);
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 3, {"ping"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.run();
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(f.sim.now(), f.cfg.ack_timeout);
+}
+
+TEST(Transport, ExactlyOneOfAckOrTimeout) {
+  Fixture f;
+  int outcomes = 0;
+  for (std::uint32_t to : {1U, 2U, 3U}) {
+    f.transport.send_expect_ack(0, to, {"x"}, [&] { ++outcomes; }, [&] { ++outcomes; });
+  }
+  f.transport.set_alive(2, false);
+  f.sim.run();
+  EXPECT_EQ(outcomes, 3);
+}
+
+TEST(Transport, TotalLossAlwaysTimesOut) {
+  Simulator sim;
+  TransportConfig cfg;
+  cfg.loss_probability = 0.95;
+  Transport<Payload> transport{sim, cfg, 2, 7};
+  transport.set_handler([](std::uint32_t, const Transport<Payload>::Envelope&) {});
+  int timeouts = 0;
+  int acks = 0;
+  for (int i = 0; i < 100; ++i) {
+    transport.send_expect_ack(0, 1, {"x"}, [&] { ++acks; }, [&] { ++timeouts; });
+  }
+  sim.run();
+  EXPECT_EQ(acks + timeouts, 100);
+  EXPECT_GT(timeouts, 80);  // ~0.95 + 0.05*0.95 of attempts lose msg or ack
+  EXPECT_GT(transport.messages_lost(), 80U);
+}
+
+TEST(Transport, LossZeroLosesNothing) {
+  Fixture f;
+  for (int i = 0; i < 50; ++i) f.transport.post(0, 1, {"n"});
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 50U);
+  EXPECT_EQ(f.transport.messages_lost(), 0U);
+}
+
+TEST(Transport, MessageCounterIncludesAcks) {
+  Fixture f;
+  f.transport.send_expect_ack(0, 1, {"ping"}, nullptr, nullptr);
+  f.sim.run();
+  EXPECT_EQ(f.transport.messages_sent(), 2U);  // message + ack
+}
+
+}  // namespace
+}  // namespace hours::sim

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace hours::workload {
+namespace {
+
+TEST(UniformSampler, InRangeAndFlat) {
+  UniformSampler s{10, 42};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = s.next();
+    ASSERT_LT(v, 10U);
+    counts[v]++;
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(UniformSampler, SingletonUniverse) {
+  UniformSampler s{1, 42};
+  EXPECT_EQ(s.next(), 0U);
+  EXPECT_EQ(s.universe(), 1U);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler s{20, 0.0, 7};
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 40'000; ++i) counts[s.next()]++;
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(ZipfSampler, HeadDominatesAtHighExponent) {
+  ZipfSampler s{1000, 1.2, 7};
+  int head = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (s.next() < 10) ++head;
+  }
+  // With s = 1.2 over 1000 items, the top-10 mass is > 55%.
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.5);
+}
+
+TEST(ZipfSampler, RankFrequenciesMatchTheLaw) {
+  constexpr double kS = 1.0;
+  ZipfSampler s{100, kS, 11};
+  std::vector<int> counts(100, 0);
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) counts[s.next()]++;
+  // Normalization constant.
+  double z = 0;
+  for (int i = 1; i <= 100; ++i) z += 1.0 / i;
+  for (const int rank : {1, 2, 5, 10, 50}) {
+    const double expected = kDraws / (rank * z);
+    EXPECT_NEAR(counts[rank - 1], expected, expected * 0.1 + 30) << "rank " << rank;
+  }
+}
+
+TEST(ZipfSampler, Deterministic) {
+  ZipfSampler a{50, 0.8, 99};
+  ZipfSampler b{50, 0.8, 99};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(HotspotSampler, HotFractionRespected) {
+  HotspotSampler s{100, 42, 0.7, 3};
+  int hot = 0;
+  constexpr int kDraws = 30'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (s.next() == 42) ++hot;
+  }
+  // 0.7 direct + 0.3 * (1/100) background.
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.703, 0.02);
+}
+
+TEST(HotspotSampler, ZeroFractionIsUniform) {
+  HotspotSampler s{10, 0, 0.0, 3};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20'000; ++i) counts[s.next()]++;
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 250);
+}
+
+}  // namespace
+}  // namespace hours::workload
