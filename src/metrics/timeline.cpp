@@ -1,0 +1,75 @@
+#include "metrics/timeline.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace hours::metrics {
+
+Timeline::Timeline(std::uint64_t window_width) : width_(window_width) {
+  HOURS_EXPECTS(window_width > 0);
+}
+
+void Timeline::record(std::uint64_t at, bool delivered, std::uint64_t latency) {
+  const std::uint64_t start = at - at % width_;
+  Window& w = buckets_[start];
+  w.start = start;
+  ++w.attempts;
+  ++total_attempts_;
+  if (delivered) {
+    ++w.delivered;
+    ++total_delivered_;
+    w.latency_sum += latency;
+  }
+}
+
+std::vector<Timeline::Window> Timeline::windows() const {
+  std::vector<Window> out;
+  if (buckets_.empty()) return out;
+  const std::uint64_t first = buckets_.begin()->first;
+  const std::uint64_t last = buckets_.rbegin()->first;
+  out.reserve((last - first) / width_ + 1);
+  for (std::uint64_t start = first; start <= last; start += width_) {
+    const auto it = buckets_.find(start);
+    if (it != buckets_.end()) {
+      out.push_back(it->second);
+    } else {
+      Window empty;
+      empty.start = start;
+      out.push_back(empty);
+    }
+  }
+  return out;
+}
+
+double Timeline::delivery_ratio(std::uint64_t from, std::uint64_t until) const {
+  std::uint64_t attempts = 0;
+  std::uint64_t delivered = 0;
+  for (auto it = buckets_.lower_bound(from - from % width_); it != buckets_.end(); ++it) {
+    if (it->first >= until) break;
+    attempts += it->second.attempts;
+    delivered += it->second.delivered;
+  }
+  return attempts == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(attempts);
+}
+
+std::string Timeline::to_json() const {
+  std::string out = "{\"window_width\":" + std::to_string(width_) + ",\"windows\":[";
+  char buf[64];
+  bool first = true;
+  for (const auto& w : windows()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"start\":" + std::to_string(w.start) +
+           ",\"attempts\":" + std::to_string(w.attempts) +
+           ",\"delivered\":" + std::to_string(w.delivered);
+    std::snprintf(buf, sizeof(buf), ",\"delivery_ratio\":%.6f", w.delivery_ratio());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"mean_latency\":%.3f}", w.mean_latency());
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hours::metrics

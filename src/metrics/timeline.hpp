@@ -1,0 +1,67 @@
+// Windowed availability/latency timeline for attack-and-recovery studies.
+//
+// Benches that exercise a fault schedule need delivery ratio *as a function
+// of time* — before, during, and after an outage — not a single aggregate.
+// The Timeline buckets per-query observations into fixed-width windows and
+// emits them as a table or JSON, with deterministic formatting so a seeded
+// run reproduces the output byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hours::metrics {
+
+class Timeline {
+ public:
+  /// `window_width` is the bucket width in the caller's time unit (ticks).
+  explicit Timeline(std::uint64_t window_width);
+
+  /// Records one query outcome at time `at` (conventionally the submission
+  /// instant, so a window's ratio reflects service availability for queries
+  /// issued in it). `latency` is only accumulated for delivered queries.
+  void record(std::uint64_t at, bool delivered, std::uint64_t latency = 0);
+
+  struct Window {
+    std::uint64_t start = 0;     ///< inclusive window start
+    std::uint64_t attempts = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t latency_sum = 0;  ///< over delivered queries
+
+    [[nodiscard]] double delivery_ratio() const noexcept {
+      return attempts == 0 ? 0.0
+                           : static_cast<double>(delivered) / static_cast<double>(attempts);
+    }
+    [[nodiscard]] double mean_latency() const noexcept {
+      return delivered == 0 ? 0.0
+                            : static_cast<double>(latency_sum) / static_cast<double>(delivered);
+    }
+  };
+
+  [[nodiscard]] std::uint64_t window_width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t total_attempts() const noexcept { return total_attempts_; }
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept { return total_delivered_; }
+
+  /// All windows from the earliest to the latest observation, in time order;
+  /// gaps are materialized as empty windows so plots keep an even x-axis.
+  [[nodiscard]] std::vector<Window> windows() const;
+
+  /// Aggregated delivery ratio over windows intersecting [from, until) —
+  /// window granularity, keyed by window start. Handy for phase summaries
+  /// (pre-attack vs. during vs. recovered).
+  [[nodiscard]] double delivery_ratio(std::uint64_t from, std::uint64_t until) const;
+
+  /// Deterministic JSON: {"window_width":W,"windows":[{"start":...,
+  /// "attempts":...,"delivered":...,"delivery_ratio":...,"mean_latency":...}]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::uint64_t width_;
+  std::map<std::uint64_t, Window> buckets_;  ///< keyed by window start
+  std::uint64_t total_attempts_ = 0;
+  std::uint64_t total_delivered_ = 0;
+};
+
+}  // namespace hours::metrics

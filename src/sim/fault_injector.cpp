@@ -1,0 +1,198 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "rng/xoshiro256.hpp"
+#include "sim/hierarchy_protocol.hpp"
+#include "sim/ring_protocol.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::sim {
+
+FaultTarget make_fault_target(RingSimulation& ring) {
+  FaultTarget target;
+  target.sim = &ring.simulator();
+  target.node_count = ring.config().size;
+  target.kill = [&ring](std::uint32_t node) { ring.kill(node); };
+  target.revive = [&ring](std::uint32_t node) { ring.revive(node); };
+  target.alive = [&ring](std::uint32_t node) { return ring.alive(node); };
+  target.set_loss = [&ring](double p) { ring.set_loss_probability(p); };
+  target.loss = [&ring] { return ring.loss_probability(); };
+  // set_behavior stays null: ring processes have no insider modes.
+  return target;
+}
+
+FaultTarget make_fault_target(HierarchySimulation& hierarchy) {
+  FaultTarget target;
+  target.sim = &hierarchy.simulator();
+  target.node_count = hierarchy.node_count();
+  target.kill = [&hierarchy](std::uint32_t node) { hierarchy.kill(hierarchy.path_of(node)); };
+  target.revive = [&hierarchy](std::uint32_t node) {
+    hierarchy.revive(hierarchy.path_of(node));
+  };
+  target.alive = [&hierarchy](std::uint32_t node) {
+    return hierarchy.alive(hierarchy.path_of(node));
+  };
+  target.set_loss = [&hierarchy](double p) { hierarchy.set_loss_probability(p); };
+  target.loss = [&hierarchy] { return hierarchy.loss_probability(); };
+  target.set_behavior = [&hierarchy](std::uint32_t node, overlay::NodeBehavior behavior) {
+    hierarchy.set_behavior(hierarchy.path_of(node), behavior);
+  };
+  return target;
+}
+
+// -- FaultPlan builders ---------------------------------------------------------------
+
+FaultPlan& FaultPlan::crash(std::uint32_t node, Ticks at, Ticks recover_at) {
+  HOURS_EXPECTS(recover_at == 0 || recover_at > at);
+  crashes_.push_back(CrashSpec{node, at, recover_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(std::uint32_t node, Ticks start, Ticks down, Ticks up,
+                           std::uint32_t cycles) {
+  HOURS_EXPECTS(down > 0 && up > 0 && cycles > 0);
+  flaps_.push_back(FlapSpec{node, start, down, up, cycles});
+  return *this;
+}
+
+FaultPlan& FaultPlan::correlated_outage(std::vector<std::uint32_t> nodes, Ticks at,
+                                        Ticks duration, std::uint32_t strikes,
+                                        Ticks strike_gap) {
+  HOURS_EXPECTS(!nodes.empty() && duration > 0 && strikes > 0);
+  outages_.push_back(OutageSpec{std::move(nodes), at, duration, strikes, strike_gap});
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_episode(double probability, Ticks from, Ticks until) {
+  HOURS_EXPECTS(probability >= 0.0 && probability < 1.0);
+  HOURS_EXPECTS(until > from);
+  loss_episodes_.push_back(LossSpec{probability, from, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::byzantine(std::uint32_t node, overlay::NodeBehavior behavior, Ticks at) {
+  byzantine_.push_back(ByzantineSpec{node, behavior, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::random_churn(std::uint32_t events, Ticks from, Ticks until,
+                                   Ticks mean_downtime, std::uint64_t seed,
+                                   std::vector<std::uint32_t> spare) {
+  HOURS_EXPECTS(events > 0 && until > from && mean_downtime > 0);
+  churn_.push_back(ChurnSpec{events, from, until, mean_downtime, seed, std::move(spare)});
+  return *this;
+}
+
+// -- FaultInjector --------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultTarget target, FaultPlan plan)
+    : target_(std::move(target)), plan_(std::move(plan)) {
+  HOURS_EXPECTS(target_.sim != nullptr && target_.node_count > 0);
+  HOURS_EXPECTS(target_.kill != nullptr && target_.revive != nullptr);
+  down_count_.assign(target_.node_count, 0);
+}
+
+bool FaultInjector::held_down(std::uint32_t node) const {
+  HOURS_EXPECTS(node < down_count_.size());
+  return down_count_[node] > 0;
+}
+
+void FaultInjector::apply_down(std::uint32_t node) {
+  HOURS_EXPECTS(node < down_count_.size());
+  if (++down_count_[node] == 1) {
+    target_.kill(node);
+    ++stats_.kills;
+  }
+}
+
+void FaultInjector::apply_up(std::uint32_t node) {
+  HOURS_EXPECTS(node < down_count_.size());
+  HOURS_EXPECTS(down_count_[node] > 0);
+  if (--down_count_[node] == 0) {
+    target_.revive(node);
+    ++stats_.revivals;
+  }
+}
+
+void FaultInjector::schedule_down(std::uint32_t node, Ticks at) {
+  HOURS_EXPECTS(node < target_.node_count);
+  target_.sim->schedule(at, [this, node] { apply_down(node); });
+}
+
+void FaultInjector::schedule_up(std::uint32_t node, Ticks at) {
+  target_.sim->schedule(at, [this, node] { apply_up(node); });
+}
+
+void FaultInjector::arm() {
+  HOURS_EXPECTS(!armed_);
+  armed_ = true;
+  if (plan_.needs_loss_hooks()) {
+    HOURS_EXPECTS(target_.set_loss != nullptr && target_.loss != nullptr);
+  }
+  if (plan_.needs_behavior_hook()) HOURS_EXPECTS(target_.set_behavior != nullptr);
+
+  for (const auto& spec : plan_.crashes_) {
+    schedule_down(spec.node, spec.at);
+    if (spec.recover_at != 0) schedule_up(spec.node, spec.recover_at);
+  }
+
+  for (const auto& spec : plan_.flaps_) {
+    const Ticks cycle = spec.down + spec.up;
+    for (std::uint32_t c = 0; c < spec.cycles; ++c) {
+      schedule_down(spec.node, spec.start + c * cycle);
+      schedule_up(spec.node, spec.start + c * cycle + spec.down);
+    }
+  }
+
+  for (const auto& spec : plan_.outages_) {
+    for (std::uint32_t s = 0; s < spec.strikes; ++s) {
+      const Ticks base = spec.at + s * (spec.duration + spec.strike_gap);
+      for (const auto node : spec.nodes) {
+        schedule_down(node, base);
+        schedule_up(node, base + spec.duration);
+      }
+    }
+  }
+
+  for (const auto& spec : plan_.loss_episodes_) {
+    // The restore value is whatever rate is in force when the episode
+    // starts, so stacked episodes unwind in order.
+    auto saved = std::make_shared<double>(0.0);
+    target_.sim->schedule(spec.from, [this, spec, saved] {
+      *saved = target_.loss();
+      target_.set_loss(spec.probability);
+      ++stats_.loss_changes;
+    });
+    target_.sim->schedule(spec.until, [this, saved] {
+      target_.set_loss(*saved);
+      ++stats_.loss_changes;
+    });
+  }
+
+  for (const auto& spec : plan_.byzantine_) {
+    HOURS_EXPECTS(spec.node < target_.node_count);
+    target_.sim->schedule(spec.at, [this, spec] {
+      target_.set_behavior(spec.node, spec.behavior);
+      ++stats_.behavior_changes;
+    });
+  }
+
+  for (const auto& spec : plan_.churn_) {
+    HOURS_EXPECTS(spec.spare.size() < target_.node_count);
+    rng::Xoshiro256 rng{spec.seed};
+    for (std::uint32_t e = 0; e < spec.events; ++e) {
+      std::uint32_t node = 0;
+      do {
+        node = static_cast<std::uint32_t>(rng.below(target_.node_count));
+      } while (std::find(spec.spare.begin(), spec.spare.end(), node) != spec.spare.end());
+      const Ticks at = spec.from + rng.below(spec.until - spec.from);
+      const Ticks downtime = spec.mean_downtime / 2 + rng.below(spec.mean_downtime);
+      schedule_down(node, at);
+      schedule_up(node, at + downtime);
+    }
+  }
+}
+
+}  // namespace hours::sim

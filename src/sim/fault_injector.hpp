@@ -1,0 +1,168 @@
+// Churn and fault-injection engine for the discrete-event simulations.
+//
+// A FaultPlan is a declarative, seeded schedule of faults — fail-stop
+// crashes with timed recoveries, flapping nodes, correlated sibling-set
+// outages (the Section 5 attacker re-striking after repair), lossy-link
+// episodes, stochastic churn, and insider (byzantine) behavior switches.
+// A FaultInjector expands the plan into simulator events against any
+// target exposing the FaultTarget hooks, so the same schedule can drive a
+// RingSimulation, a HierarchySimulation, or future engines. Everything is
+// deterministic: a fixed plan + seed yields a bit-identical fault timeline.
+//
+// Overlapping fault windows are reference-counted per node: a node stays
+// down while *any* window covers it and revives only when the last one
+// lifts, so composed schedules (churn on top of a scripted outage) behave
+// as the union of their down intervals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+#include "sim/simulator.hpp"
+
+namespace hours::sim {
+
+class RingSimulation;
+class HierarchySimulation;
+
+/// Uniform control surface the injector drives. Adapters exist for both
+/// event-engine simulations; anything exposing these hooks can be faulted.
+struct FaultTarget {
+  Simulator* sim = nullptr;
+  std::uint32_t node_count = 0;
+  std::function<void(std::uint32_t)> kill;
+  std::function<void(std::uint32_t)> revive;
+  std::function<bool(std::uint32_t)> alive;
+  std::function<void(double)> set_loss;  ///< null: loss episodes unsupported
+  std::function<double()> loss;
+  /// null: insider behavior unsupported (e.g. the ring protocol).
+  std::function<void(std::uint32_t, overlay::NodeBehavior)> set_behavior;
+};
+
+[[nodiscard]] FaultTarget make_fault_target(RingSimulation& ring);
+[[nodiscard]] FaultTarget make_fault_target(HierarchySimulation& hierarchy);
+
+/// Declarative fault schedule; builder calls may be chained. Times are
+/// absolute simulation ticks (relative to the injector's arm() instant).
+class FaultPlan {
+ public:
+  /// Fail-stop crash at `at`; recovers at `recover_at` (0 = permanent).
+  FaultPlan& crash(std::uint32_t node, Ticks at, Ticks recover_at = 0);
+
+  /// `cycles` down/up oscillations starting at `start`: down for `down`
+  /// ticks, then up for `up` ticks. Ends alive.
+  FaultPlan& flap(std::uint32_t node, Ticks start, Ticks down, Ticks up, std::uint32_t cycles);
+
+  /// Kills every listed node at once, restores them `duration` later, and
+  /// repeats the strike `strikes` times with `strike_gap` ticks of calm in
+  /// between — the paper-§5 attacker re-striking a repaired neighborhood.
+  FaultPlan& correlated_outage(std::vector<std::uint32_t> nodes, Ticks at, Ticks duration,
+                               std::uint32_t strikes = 1, Ticks strike_gap = 0);
+
+  /// Sets the transport loss rate to `probability` during [from, until),
+  /// then restores whatever rate was in force when the episode began.
+  FaultPlan& loss_episode(double probability, Ticks from, Ticks until);
+
+  /// Switches a node's insider behavior at `at` (Section 5.3).
+  FaultPlan& byzantine(std::uint32_t node, overlay::NodeBehavior behavior, Ticks at);
+
+  /// `events` crash+recover pairs at seeded-random nodes and instants in
+  /// [from, until); downtimes are uniform in [mean_downtime/2,
+  /// 3*mean_downtime/2). Nodes listed in `spare` are never chosen (protect
+  /// the query source, a bench's measurement target, ...).
+  FaultPlan& random_churn(std::uint32_t events, Ticks from, Ticks until, Ticks mean_downtime,
+                          std::uint64_t seed, std::vector<std::uint32_t> spare = {});
+
+  [[nodiscard]] bool needs_loss_hooks() const noexcept { return !loss_episodes_.empty(); }
+  [[nodiscard]] bool needs_behavior_hook() const noexcept { return !byzantine_.empty(); }
+
+ private:
+  friend class FaultInjector;
+
+  struct CrashSpec {
+    std::uint32_t node = 0;
+    Ticks at = 0;
+    Ticks recover_at = 0;  ///< 0 = permanent
+  };
+  struct FlapSpec {
+    std::uint32_t node = 0;
+    Ticks start = 0;
+    Ticks down = 0;
+    Ticks up = 0;
+    std::uint32_t cycles = 0;
+  };
+  struct OutageSpec {
+    std::vector<std::uint32_t> nodes;
+    Ticks at = 0;
+    Ticks duration = 0;
+    std::uint32_t strikes = 1;
+    Ticks strike_gap = 0;
+  };
+  struct LossSpec {
+    double probability = 0.0;
+    Ticks from = 0;
+    Ticks until = 0;
+  };
+  struct ByzantineSpec {
+    std::uint32_t node = 0;
+    overlay::NodeBehavior behavior = overlay::NodeBehavior::kHonest;
+    Ticks at = 0;
+  };
+  struct ChurnSpec {
+    std::uint32_t events = 0;
+    Ticks from = 0;
+    Ticks until = 0;
+    Ticks mean_downtime = 0;
+    std::uint64_t seed = 0;
+    std::vector<std::uint32_t> spare;
+  };
+
+  std::vector<CrashSpec> crashes_;
+  std::vector<FlapSpec> flaps_;
+  std::vector<OutageSpec> outages_;
+  std::vector<LossSpec> loss_episodes_;
+  std::vector<ByzantineSpec> byzantine_;
+  std::vector<ChurnSpec> churn_;
+};
+
+/// Transitions actually applied (filtered through the per-node down
+/// refcount), observable after — or during — a run.
+struct FaultInjectorStats {
+  std::uint64_t kills = 0;             ///< alive -> dead transitions
+  std::uint64_t revivals = 0;          ///< dead -> alive transitions
+  std::uint64_t loss_changes = 0;      ///< set_loss invocations (incl. restores)
+  std::uint64_t behavior_changes = 0;  ///< insider switches applied
+};
+
+class FaultInjector {
+ public:
+  /// The target's simulator/hooks must outlive the injector; the injector
+  /// itself must outlive the run (scheduled events point back into it).
+  FaultInjector(FaultTarget target, FaultPlan plan);
+
+  /// Expands the plan into simulator events, offset from the current
+  /// simulation instant. Call exactly once, before running the schedule
+  /// window.
+  void arm();
+
+  [[nodiscard]] const FaultInjectorStats& stats() const noexcept { return stats_; }
+
+  /// True while any armed fault window holds `node` down.
+  [[nodiscard]] bool held_down(std::uint32_t node) const;
+
+ private:
+  void schedule_down(std::uint32_t node, Ticks at);
+  void schedule_up(std::uint32_t node, Ticks at);
+  void apply_down(std::uint32_t node);
+  void apply_up(std::uint32_t node);
+
+  FaultTarget target_;
+  FaultPlan plan_;
+  FaultInjectorStats stats_;
+  std::vector<std::uint32_t> down_count_;
+  bool armed_ = false;
+};
+
+}  // namespace hours::sim

@@ -267,7 +267,29 @@ std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
   return out;
 }
 
+std::vector<std::uint32_t> HierarchySimulation::route_candidates(
+    std::uint32_t at, const hierarchy::NodePath& dest, bool& backward) const {
+  HOURS_EXPECTS(at < nodes_.size());
+  Message probe;
+  probe.dest = dest;
+  probe.backward = backward;
+  auto out = candidates_at(nodes_[at], probe);
+  backward = probe.backward;
+  return out;
+}
+
+void HierarchySimulation::client_attempt(std::uint32_t at, std::uint32_t to,
+                                         std::function<void()> on_ack,
+                                         std::function<void()> on_timeout) {
+  HOURS_EXPECTS(at < nodes_.size() && to < nodes_.size());
+  Message hop;
+  hop.client_hop = true;
+  transport_.send_expect_ack(at, to, hop, std::move(on_ack), std::move(on_timeout));
+}
+
 void HierarchySimulation::handle(std::uint32_t at, const Message& msg) {
+  if (msg.client_hop) return;  // the transport-level ack is the whole exchange
+
   auto& outcome = queries_[msg.qid];
   if (outcome.done && outcome.delivered) return;  // already answered
 

@@ -69,6 +69,12 @@ class HierarchySimulation {
   void revive(const hierarchy::NodePath& path);
   [[nodiscard]] bool alive(const hierarchy::NodePath& path) const;
 
+  /// Adjusts the transport loss rate mid-run (lossy-link fault episodes).
+  void set_loss_probability(double p) { transport_.set_loss_probability(p); }
+  [[nodiscard]] double loss_probability() const noexcept {
+    return transport_.loss_probability();
+  }
+
   // -- insiders (Section 5.3) ------------------------------------------------------
   /// Compromised-node behavior. Unlike a DoS'd server, an insider *acks*
   /// every message (the transport cannot tell), so a dropper is stealthy:
@@ -100,11 +106,26 @@ class HierarchySimulation {
     return transport_.messages_sent();
   }
 
+  // -- client-driven queries (sim/query_client.hpp) -------------------------------
+  /// The ordered next-hop candidate ids node `at` would offer a query toward
+  /// `dest`, from its local table and suspicion state only. Flips `backward`
+  /// when greedy progress is exhausted (Algorithm 3 line 14).
+  [[nodiscard]] std::vector<std::uint32_t> route_candidates(std::uint32_t at,
+                                                            const hierarchy::NodePath& dest,
+                                                            bool& backward) const;
+
+  /// One custody-transfer attempt from `at` to `to` on behalf of an external
+  /// query client; exactly one of the callbacks fires. The receiving node
+  /// acks (if alive) but takes no forwarding action of its own.
+  void client_attempt(std::uint32_t at, std::uint32_t to, std::function<void()> on_ack,
+                      std::function<void()> on_timeout);
+
  private:
   struct Message {
     std::uint64_t qid = 0;
     hierarchy::NodePath dest;
-    bool backward = false;  ///< Algorithm 3 mode bit
+    bool backward = false;    ///< Algorithm 3 mode bit
+    bool client_hop = false;  ///< custody transfer for an external client
     std::uint32_t hops = 0;
   };
 

@@ -1,0 +1,210 @@
+#include "sim/query_client.hpp"
+
+#include <algorithm>
+
+#include "sim/hierarchy_protocol.hpp"
+#include "sim/ring_protocol.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::sim {
+
+QueryNetwork make_query_network(RingSimulation& ring) {
+  QueryNetwork net;
+  net.sim = &ring.simulator();
+  net.node_count = ring.config().size;
+  net.attempt = [&ring](std::uint32_t from, std::uint32_t to, std::function<void()> on_ack,
+                        std::function<void()> on_timeout) {
+    ring.client_attempt(from, to, std::move(on_ack), std::move(on_timeout));
+  };
+  net.candidates = [&ring](std::uint32_t at, std::uint32_t dest, bool& backward) {
+    return ring.route_candidates(at, dest, backward);
+  };
+  net.is_destination = [](std::uint32_t at, std::uint32_t dest) { return at == dest; };
+  return net;
+}
+
+QueryNetwork make_query_network(HierarchySimulation& hierarchy) {
+  QueryNetwork net;
+  net.sim = &hierarchy.simulator();
+  net.node_count = hierarchy.node_count();
+  net.attempt = [&hierarchy](std::uint32_t from, std::uint32_t to,
+                             std::function<void()> on_ack, std::function<void()> on_timeout) {
+    hierarchy.client_attempt(from, to, std::move(on_ack), std::move(on_timeout));
+  };
+  net.candidates = [&hierarchy](std::uint32_t at, std::uint32_t dest, bool& backward) {
+    return hierarchy.route_candidates(at, hierarchy.path_of(dest), backward);
+  };
+  net.is_destination = [](std::uint32_t at, std::uint32_t dest) { return at == dest; };
+  return net;
+}
+
+QueryClient::QueryClient(QueryNetwork network, QueryClientConfig config)
+    : network_(std::move(network)), config_(config), jitter_rng_(config.seed) {
+  HOURS_EXPECTS(network_.sim != nullptr && network_.node_count > 0);
+  HOURS_EXPECTS(network_.attempt != nullptr && network_.candidates != nullptr &&
+                network_.is_destination != nullptr);
+  HOURS_EXPECTS(config_.jitter >= 0.0 && config_.jitter < 1.0);
+  HOURS_EXPECTS(config_.backoff_base > 0 && config_.backoff_cap >= config_.backoff_base);
+}
+
+std::uint32_t QueryClient::hop_budget() const noexcept {
+  return config_.max_hops != 0 ? config_.max_hops : 4 * network_.node_count + 64;
+}
+
+Ticks QueryClient::base_backoff(std::uint32_t retry) const {
+  HOURS_EXPECTS(retry >= 1);
+  Ticks delay = config_.backoff_base;
+  for (std::uint32_t i = 1; i < retry; ++i) {
+    if (delay >= config_.backoff_cap) break;
+    delay *= 2;
+  }
+  return std::min(delay, config_.backoff_cap);
+}
+
+bool QueryClient::suspected(std::uint32_t node) const {
+  const auto it = suspected_.find(node);
+  if (it == suspected_.end()) return false;
+  if (config_.suspicion_ttl != 0 && it->second <= network_.sim->now()) return false;
+  return true;
+}
+
+void QueryClient::suspect(std::uint32_t node) {
+  suspected_[node] = config_.suspicion_ttl == 0 ? ~Ticks{0}
+                                                : network_.sim->now() + config_.suspicion_ttl;
+}
+
+std::uint64_t QueryClient::submit(std::uint32_t start, std::uint32_t dest) {
+  HOURS_EXPECTS(start < network_.node_count && dest < network_.node_count);
+  const std::uint64_t qid = next_qid_++;
+  QueryState state;
+  state.dest = dest;
+  state.at = start;
+  state.out.issued_at = network_.sim->now();
+  ++stats_.submitted;
+  if (config_.deadline != 0) {
+    state.deadline_event = network_.sim->schedule(config_.deadline, [this, qid] {
+      const auto it = queries_.find(qid);
+      if (it == queries_.end() || it->second.out.status != QueryStatus::kPending) return;
+      it->second.deadline_event = 0;  // this event is running; nothing to cancel
+      complete(qid, QueryStatus::kDeadlineExceeded);
+    });
+  }
+  queries_.emplace(qid, std::move(state));
+  network_.sim->schedule(0, [this, qid] { advance(qid); });
+  return qid;
+}
+
+const ClientQueryOutcome& QueryClient::outcome(std::uint64_t qid) const {
+  const auto it = queries_.find(qid);
+  HOURS_EXPECTS(it != queries_.end());
+  return it->second.out;
+}
+
+void QueryClient::complete(std::uint64_t qid, QueryStatus status) {
+  QueryState& q = queries_.at(qid);
+  HOURS_EXPECTS(q.out.status == QueryStatus::kPending);
+  q.out.status = status;
+  q.out.completed_at = network_.sim->now();
+  if (q.deadline_event != 0) {
+    network_.sim->cancel(q.deadline_event);
+    q.deadline_event = 0;
+  }
+  switch (status) {
+    case QueryStatus::kDelivered: ++stats_.delivered; break;
+    case QueryStatus::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+    case QueryStatus::kNoRoute: ++stats_.no_route; break;
+    case QueryStatus::kPending: break;
+  }
+}
+
+void QueryClient::advance(std::uint64_t qid) {
+  QueryState& q = queries_.at(qid);
+  if (q.out.status != QueryStatus::kPending) return;
+
+  if (network_.is_destination(q.at, q.dest)) {
+    complete(qid, QueryStatus::kDelivered);
+    return;
+  }
+  if (q.out.hops >= hop_budget()) {
+    complete(qid, QueryStatus::kNoRoute);
+    return;
+  }
+
+  while (q.candidates.empty()) {
+    // Re-plan at the current custody holder with the (possibly enriched)
+    // suspicion set; the flip to backward mode happens in here. Bounded:
+    // every failed candidate was suspected, so each round shrinks.
+    if (q.replans >= 3) {
+      complete(qid, QueryStatus::kNoRoute);
+      return;
+    }
+    ++q.replans;
+    bool backward = q.backward;
+    auto candidates = network_.candidates(q.at, q.dest, backward);
+    q.backward = backward;
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [this](std::uint32_t c) { return suspected(c); }),
+                     candidates.end());
+    if (candidates.empty()) {
+      if (!q.backward) {
+        q.backward = true;  // client-side suspicion emptied the greedy list
+        continue;
+      }
+      complete(qid, QueryStatus::kNoRoute);
+      return;
+    }
+    q.candidates = std::move(candidates);
+  }
+
+  q.current = q.candidates.front();
+  q.candidates.erase(q.candidates.begin());
+  q.attempts = 0;
+  attempt_current(qid);
+}
+
+void QueryClient::attempt_current(std::uint64_t qid) {
+  QueryState& q = queries_.at(qid);
+  if (q.out.status != QueryStatus::kPending) return;
+  ++q.attempts;
+  const std::uint32_t to = q.current;
+  network_.attempt(
+      q.at, to, [this, qid, to] { on_ack(qid, to); },
+      [this, qid, to] { on_timeout(qid, to); });
+}
+
+void QueryClient::on_ack(std::uint64_t qid, std::uint32_t hopped_to) {
+  QueryState& q = queries_.at(qid);
+  if (q.out.status != QueryStatus::kPending) return;
+  suspected_.erase(hopped_to);  // proof of life
+  q.at = hopped_to;
+  ++q.out.hops;
+  q.candidates.clear();
+  q.replans = 0;
+  advance(qid);
+}
+
+void QueryClient::on_timeout(std::uint64_t qid, std::uint32_t tried) {
+  QueryState& q = queries_.at(qid);
+  if (q.out.status != QueryStatus::kPending) return;
+
+  if (q.attempts <= config_.max_retries_per_hop) {
+    // Retransmit after capped exponential backoff with deterministic jitter:
+    // silence is as likely a lost message as a dead server.
+    ++q.out.retransmissions;
+    ++stats_.retransmissions;
+    const Ticks base = base_backoff(q.attempts);
+    const double factor = 1.0 - config_.jitter + 2.0 * config_.jitter * jitter_rng_.uniform();
+    const Ticks delay =
+        std::max<Ticks>(1, static_cast<Ticks>(static_cast<double>(base) * factor));
+    network_.sim->schedule(delay, [this, qid] { attempt_current(qid); });
+    return;
+  }
+
+  // Retry budget spent: infer death, fail over to the next pointer.
+  suspect(tried);
+  ++q.out.failovers;
+  ++stats_.failovers;
+  advance(qid);
+}
+
+}  // namespace hours::sim

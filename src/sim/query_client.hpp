@@ -1,0 +1,146 @@
+// End-to-end query client with retries, backoff, failover, and deadlines.
+//
+// The in-network query paths (ring_protocol, hierarchy_protocol) model a
+// query as custody handed hop to hop; each relay walks its candidate list
+// once per silence. A real resolver is more patient and more bounded: it
+// retransmits an unanswered hop with capped exponential backoff (silence
+// may be loss, not death), fails over to an alternate pointer only after
+// the retry budget is spent, remembers timeout-inferred suspicion across
+// queries, and gives up when an end-to-end deadline expires — whichever
+// comes first. This client drives exactly that policy from outside the
+// network, one transport-level attempt at a time, against any simulation
+// exposing the QueryNetwork hooks. All liveness knowledge is inferred from
+// silence; there is no oracle anywhere on the path.
+//
+// Determinism: backoff jitter comes from a client-owned seeded generator,
+// so a fixed (network seed, client seed) pair replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+#include "sim/simulator.hpp"
+
+namespace hours::sim {
+
+class RingSimulation;
+class HierarchySimulation;
+
+/// The three hooks a simulation exposes to be queried by a client.
+struct QueryNetwork {
+  Simulator* sim = nullptr;
+  std::uint32_t node_count = 0;
+  /// One custody-transfer attempt; exactly one callback fires.
+  std::function<void(std::uint32_t from, std::uint32_t to, std::function<void()> on_ack,
+                     std::function<void()> on_timeout)>
+      attempt;
+  /// Ordered next-hop candidates `at` offers toward `dest`; may flip
+  /// `backward` (Algorithm 3 line 14).
+  std::function<std::vector<std::uint32_t>(std::uint32_t at, std::uint32_t dest,
+                                           bool& backward)>
+      candidates;
+  std::function<bool(std::uint32_t at, std::uint32_t dest)> is_destination;
+};
+
+/// Ring adapter: destinations are ring indices.
+[[nodiscard]] QueryNetwork make_query_network(RingSimulation& ring);
+/// Hierarchy adapter: destinations are node ids (HierarchySimulation::id_of).
+[[nodiscard]] QueryNetwork make_query_network(HierarchySimulation& hierarchy);
+
+struct QueryClientConfig {
+  /// Retransmissions of one hop after its first attempt, before the next-hop
+  /// candidate is declared suspect and the client fails over.
+  std::uint32_t max_retries_per_hop = 2;
+  Ticks backoff_base = 200;   ///< delay before the first retransmission
+  Ticks backoff_cap = 1'600;  ///< exponential growth is clamped here
+  /// Each backoff delay is scaled by a deterministic factor drawn uniformly
+  /// from [1 - jitter, 1 + jitter].
+  double jitter = 0.25;
+  /// End-to-end budget per query, measured from submission (0 = unbounded).
+  Ticks deadline = 0;
+  /// Hop budget (0 = 4 * node_count + 64, matching the in-network engines).
+  std::uint32_t max_hops = 0;
+  /// How long a timeout keeps a peer suspected client-side (0 = forever).
+  Ticks suspicion_ttl = 4'000;
+  std::uint64_t seed = 0xC11E57ULL;
+};
+
+enum class QueryStatus : std::uint8_t {
+  kPending,
+  kDelivered,
+  kDeadlineExceeded,
+  kNoRoute,  ///< every known pointer is suspect; no path worth retrying
+};
+
+struct ClientQueryOutcome {
+  QueryStatus status = QueryStatus::kPending;
+  std::uint32_t hops = 0;             ///< successful custody transfers
+  std::uint32_t retransmissions = 0;  ///< repeat attempts of an unanswered hop
+  std::uint32_t failovers = 0;        ///< alternate pointers taken after retry exhaustion
+  Ticks issued_at = 0;
+  Ticks completed_at = 0;
+  [[nodiscard]] Ticks latency() const noexcept { return completed_at - issued_at; }
+};
+
+struct QueryClientStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t failovers = 0;
+};
+
+class QueryClient {
+ public:
+  QueryClient(QueryNetwork network, QueryClientConfig config);
+
+  /// Starts a query whose custody begins at `start`; returns its id. The
+  /// simulation must then be run for the outcome to settle.
+  std::uint64_t submit(std::uint32_t start, std::uint32_t dest);
+
+  [[nodiscard]] const ClientQueryOutcome& outcome(std::uint64_t qid) const;
+  [[nodiscard]] const QueryClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const QueryClientConfig& config() const noexcept { return config_; }
+
+  /// Currently suspected peers (timeout-inferred, TTL-bounded).
+  [[nodiscard]] bool suspected(std::uint32_t node) const;
+
+  /// The backoff delay (before jitter) preceding retransmission `retry`
+  /// (1-based). Exposed for tests and docs.
+  [[nodiscard]] Ticks base_backoff(std::uint32_t retry) const;
+
+ private:
+  struct QueryState {
+    std::uint32_t dest = 0;
+    std::uint32_t at = 0;  ///< current custody holder
+    bool backward = false;
+    std::vector<std::uint32_t> candidates;  ///< remaining at `at`
+    std::uint32_t current = 0;              ///< candidate being attempted
+    std::uint32_t attempts = 0;             ///< attempts made for `current`
+    std::uint32_t replans = 0;              ///< candidate recomputations at `at`
+    std::uint64_t deadline_event = 0;
+    ClientQueryOutcome out;
+  };
+
+  void advance(std::uint64_t qid);
+  void attempt_current(std::uint64_t qid);
+  void on_ack(std::uint64_t qid, std::uint32_t hopped_to);
+  void on_timeout(std::uint64_t qid, std::uint32_t tried);
+  void complete(std::uint64_t qid, QueryStatus status);
+  void suspect(std::uint32_t node);
+  [[nodiscard]] std::uint32_t hop_budget() const noexcept;
+
+  QueryNetwork network_;
+  QueryClientConfig config_;
+  rng::Xoshiro256 jitter_rng_;
+  std::uint64_t next_qid_ = 1;
+  std::map<std::uint64_t, QueryState> queries_;
+  std::map<std::uint32_t, Ticks> suspected_;  ///< node -> expiry
+  QueryClientStats stats_;
+};
+
+}  // namespace hours::sim

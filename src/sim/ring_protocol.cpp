@@ -180,6 +180,10 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
     case Message::Type::kQuery:
       process_query(at, msg);
       break;
+    case Message::Type::kClientHop:
+      // Custody transfer for an externally driven query: the transport-level
+      // ack already told the client this node is serving; nothing to do.
+      break;
   }
 }
 
@@ -414,6 +418,40 @@ void RingSimulation::finish_query(std::uint64_t qid, bool delivered, std::uint32
   outcome.completed_at = sim_.now();
 }
 
+std::vector<ids::RingIndex> RingSimulation::route_candidates(ids::RingIndex at,
+                                                             ids::RingIndex od,
+                                                             bool& backward) const {
+  HOURS_EXPECTS(at < config_.size && od < config_.size);
+  const Node& node = nodes_[at];
+  std::vector<ids::RingIndex> candidates;
+  if (!backward) {
+    // Rule 1: the OD itself if we hold a pointer and do not suspect it.
+    if (node.table.find(od) != nullptr && node.suspected.count(od) == 0) {
+      candidates.push_back(od);
+    }
+    const auto greedy = progress_candidates(node, at, od);
+    candidates.insert(candidates.end(), greedy.begin(), greedy.end());
+    if (candidates.empty()) {
+      backward = true;  // Algorithm 3 line 14: flip to backward mode
+    }
+  }
+  if (backward) {
+    if (node.suspected.count(node.ccw) == 0) {
+      candidates.push_back(node.ccw);
+    }
+  }
+  return candidates;
+}
+
+void RingSimulation::client_attempt(ids::RingIndex at, ids::RingIndex to,
+                                    std::function<void()> on_ack,
+                                    std::function<void()> on_timeout) {
+  HOURS_EXPECTS(at < config_.size && to < config_.size);
+  Message hop;
+  hop.type = Message::Type::kClientHop;
+  send_expect_ack(at, to, hop, std::move(on_ack), std::move(on_timeout));
+}
+
 void RingSimulation::process_query(ids::RingIndex at, Message msg) {
   Node& node = nodes_[at];
   if (!node.alive) return;
@@ -423,23 +461,7 @@ void RingSimulation::process_query(ids::RingIndex at, Message msg) {
     return;
   }
 
-  std::vector<ids::RingIndex> candidates;
-  if (!msg.backward) {
-    // Rule 1: the OD itself if we hold a pointer and do not suspect it.
-    if (node.table.find(msg.od) != nullptr && node.suspected.count(msg.od) == 0) {
-      candidates.push_back(msg.od);
-    }
-    const auto greedy = progress_candidates(node, at, msg.od);
-    candidates.insert(candidates.end(), greedy.begin(), greedy.end());
-    if (candidates.empty()) {
-      msg.backward = true;  // Algorithm 3 line 14: flip to backward mode
-    }
-  }
-  if (msg.backward) {
-    if (node.suspected.count(node.ccw) == 0) {
-      candidates.push_back(node.ccw);
-    }
-  }
+  auto candidates = route_candidates(at, msg.od, msg.backward);
   if (candidates.empty()) {
     finish_query(msg.qid, false, msg.hops);
     return;

@@ -65,6 +65,12 @@ class RingSimulation {
   void revive(ids::RingIndex i);
   [[nodiscard]] bool alive(ids::RingIndex i) const;
 
+  /// Adjusts the transport loss rate mid-run (lossy-link fault episodes).
+  void set_loss_probability(double p) { transport_.set_loss_probability(p); }
+  [[nodiscard]] double loss_probability() const noexcept {
+    return transport_.loss_probability();
+  }
+
   // -- protocol introspection (tests) ------------------------------------------
   [[nodiscard]] ids::RingIndex cw_successor(ids::RingIndex i) const;
   [[nodiscard]] ids::RingIndex ccw_neighbor(ids::RingIndex i) const;
@@ -89,6 +95,21 @@ class RingSimulation {
   std::uint64_t inject_query(ids::RingIndex from, ids::RingIndex od);
   [[nodiscard]] const QueryOutcome& query(std::uint64_t qid) const;
 
+  // -- client-driven queries (sim/query_client.hpp) -------------------------------
+  /// The ordered next-hop candidates node `at` would offer a query toward
+  /// overlay destination `od`, from its local table and suspicion state only
+  /// (no liveness oracle). Flips `backward` when greedy progress is
+  /// exhausted, exactly as Algorithm 3 line 14 does for in-network queries.
+  [[nodiscard]] std::vector<ids::RingIndex> route_candidates(ids::RingIndex at,
+                                                             ids::RingIndex od,
+                                                             bool& backward) const;
+
+  /// One custody-transfer attempt from `at` to `to` on behalf of an external
+  /// query client: rides the transport's ack/timeout primitive, so exactly
+  /// one of the callbacks fires. The receiving node takes no protocol action.
+  void client_attempt(ids::RingIndex at, ids::RingIndex to, std::function<void()> on_ack,
+                      std::function<void()> on_timeout);
+
  private:
   struct Message {
     enum class Type : std::uint8_t {
@@ -97,6 +118,7 @@ class RingSimulation {
       kNeighborClaim,
       kRepair,
       kQuery,
+      kClientHop,  ///< client-driven custody transfer; only the ack matters
     };
     Type type = Type::kProbe;
     ids::RingIndex origin = 0;  ///< Repair: the gap-side originator

@@ -1,19 +1,20 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 namespace hours::sim {
 
 std::uint64_t Simulator::schedule(Ticks delay, Action action) {
   HOURS_EXPECTS(action != nullptr);
   const std::uint64_t id = next_id_++;
   queue_.push(Event{now_ + delay, id, std::move(action)});
+  live_.insert(id);
   return id;
 }
 
 void Simulator::cancel(std::uint64_t id) {
-  cancelled_.push_back(id);
-  ++cancelled_pending_;
+  // Only ids that are actually queued move to the cancelled set; stale ids
+  // (already executed, already cancelled, never issued) must not accumulate
+  // or they would corrupt pending() and leak forever.
+  if (live_.erase(id) != 0) cancelled_.insert(id);
 }
 
 std::size_t Simulator::run(Ticks limit, std::size_t max_events) {
@@ -23,13 +24,11 @@ std::size_t Simulator::run(Ticks limit, std::size_t max_events) {
     const Event& top = queue_.top();
     if (deadline != 0 && top.at > deadline) break;
 
-    if (std::find(cancelled_.begin(), cancelled_.end(), top.id) != cancelled_.end()) {
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), top.id),
-                       cancelled_.end());
-      --cancelled_pending_;
+    if (cancelled_.erase(top.id) != 0) {
       queue_.pop();
       continue;
     }
+    live_.erase(top.id);
 
     // Copy out before pop: the action may schedule (and thus reallocate).
     Action action = std::move(const_cast<Event&>(top).action);

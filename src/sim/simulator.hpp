@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -29,14 +30,15 @@ class Simulator {
   /// cancel().
   std::uint64_t schedule(Ticks delay, Action action);
 
-  /// Cancels a scheduled event; no-op if it already ran or was cancelled.
+  /// Cancels a scheduled event; no-op if it already ran, was cancelled, or
+  /// never existed.
   void cancel(std::uint64_t id);
 
   /// Runs events until the queue drains or `limit` ticks pass (0 = no time
   /// limit). Returns the number of events executed.
   std::size_t run(Ticks limit = 0, std::size_t max_events = 10'000'000);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_pending_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_.size(); }
 
  private:
   struct Event {
@@ -54,8 +56,8 @@ class Simulator {
   Ticks now_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insertion not needed; small
-  std::size_t cancelled_pending_ = 0;
+  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet run/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still queued
 };
 
 }  // namespace hours::sim

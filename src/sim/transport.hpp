@@ -59,6 +59,15 @@ class Transport {
     return alive_[node] != 0;
   }
 
+  /// Adjusts the loss rate at run time (lossy-link fault episodes). Applies
+  /// to transmissions from the next send on; in-flight messages keep the
+  /// fate they were already assigned.
+  void set_loss_probability(double p) {
+    HOURS_EXPECTS(p >= 0.0 && p < 1.0);
+    config_.loss_probability = p;
+  }
+  [[nodiscard]] double loss_probability() const noexcept { return config_.loss_probability; }
+
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
 

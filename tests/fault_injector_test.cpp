@@ -1,0 +1,211 @@
+// Churn & fault-injection engine: scripted and stochastic fault schedules
+// expanded deterministically onto the event simulators.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_injector.hpp"
+#include "sim/hierarchy_protocol.hpp"
+#include "sim/ring_protocol.hpp"
+
+namespace hours::sim {
+namespace {
+
+RingSimConfig small_ring() {
+  RingSimConfig cfg;
+  cfg.size = 16;
+  return cfg;
+}
+
+TEST(FaultInjector, CrashAndTimedRecovery) {
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}.crash(3, 100, 500)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(99);
+  EXPECT_TRUE(ring.alive(3));
+  sim.run(1);  // t=100: fail-stop
+  EXPECT_FALSE(ring.alive(3));
+  EXPECT_TRUE(injector.held_down(3));
+  sim.run(399);  // t=499: still down
+  EXPECT_FALSE(ring.alive(3));
+  sim.run(1);  // t=500: recovery
+  EXPECT_TRUE(ring.alive(3));
+  EXPECT_FALSE(injector.held_down(3));
+  EXPECT_EQ(injector.stats().kills, 1U);
+  EXPECT_EQ(injector.stats().revivals, 1U);
+}
+
+TEST(FaultInjector, PermanentCrashNeverRecovers) {
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}.crash(7, 10)};
+  injector.arm();
+  ring.simulator().run(100'000);
+  EXPECT_FALSE(ring.alive(7));
+  EXPECT_EQ(injector.stats().revivals, 0U);
+}
+
+TEST(FaultInjector, FlappingNodeOscillatesAndEndsAlive) {
+  RingSimulation ring{small_ring()};
+  // Down at 10, 60, 110; up at 30, 80, 130.
+  FaultInjector injector{make_fault_target(ring),
+                         FaultPlan{}.flap(5, 10, /*down=*/20, /*up=*/30, /*cycles=*/3)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(15);
+  EXPECT_FALSE(ring.alive(5));
+  sim.run(20);  // t=35
+  EXPECT_TRUE(ring.alive(5));
+  sim.run(30);  // t=65
+  EXPECT_FALSE(ring.alive(5));
+  sim.run(1000);
+  EXPECT_TRUE(ring.alive(5));
+  EXPECT_EQ(injector.stats().kills, 3U);
+  EXPECT_EQ(injector.stats().revivals, 3U);
+}
+
+TEST(FaultInjector, CorrelatedOutageRestrikesAfterRepair) {
+  RingSimulation ring{small_ring()};
+  // Strike {1,2,3} at 50 for 100 ticks, calm for 50, strike again at 200.
+  FaultInjector injector{
+      make_fault_target(ring),
+      FaultPlan{}.correlated_outage({1, 2, 3}, 50, /*duration=*/100, /*strikes=*/2,
+                                    /*strike_gap=*/50)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(60);
+  for (ids::RingIndex i : {1U, 2U, 3U}) EXPECT_FALSE(ring.alive(i));
+  sim.run(115);  // t=175: between strikes
+  for (ids::RingIndex i : {1U, 2U, 3U}) EXPECT_TRUE(ring.alive(i));
+  sim.run(75);  // t=250: second strike in force
+  for (ids::RingIndex i : {1U, 2U, 3U}) EXPECT_FALSE(ring.alive(i));
+  sim.run(10'000);
+  for (ids::RingIndex i : {1U, 2U, 3U}) EXPECT_TRUE(ring.alive(i));
+  EXPECT_EQ(injector.stats().kills, 6U);
+  EXPECT_EQ(injector.stats().revivals, 6U);
+}
+
+TEST(FaultInjector, OverlappingWindowsAreRefcounted) {
+  // A node covered by two windows stays down until the *last* one lifts and
+  // only counts one kill/revive transition pair.
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring),
+                         FaultPlan{}.crash(7, 10, 100).crash(7, 50, 60)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(55);
+  EXPECT_FALSE(ring.alive(7));
+  sim.run(20);  // t=75: the inner window lifted at 60 — still down
+  EXPECT_FALSE(ring.alive(7));
+  EXPECT_TRUE(injector.held_down(7));
+  sim.run(50);  // t=125: outer window lifted at 100
+  EXPECT_TRUE(ring.alive(7));
+  EXPECT_EQ(injector.stats().kills, 1U);
+  EXPECT_EQ(injector.stats().revivals, 1U);
+}
+
+TEST(FaultInjector, LossEpisodeSetsAndRestoresRate) {
+  RingSimConfig cfg = small_ring();
+  cfg.loss_probability = 0.05;
+  RingSimulation ring{cfg};
+  FaultInjector injector{make_fault_target(ring),
+                         FaultPlan{}.loss_episode(0.4, 100, 200)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  EXPECT_DOUBLE_EQ(ring.loss_probability(), 0.05);
+  sim.run(150);
+  EXPECT_DOUBLE_EQ(ring.loss_probability(), 0.4);
+  sim.run(100);
+  EXPECT_DOUBLE_EQ(ring.loss_probability(), 0.05);  // restored to the prior rate
+  EXPECT_EQ(injector.stats().loss_changes, 2U);
+}
+
+TEST(FaultInjector, StackedLossEpisodesUnwindInOrder) {
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}
+                                                      .loss_episode(0.2, 100, 500)
+                                                      .loss_episode(0.6, 200, 300)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(250);
+  EXPECT_DOUBLE_EQ(ring.loss_probability(), 0.6);
+  sim.run(100);  // t=350: inner episode restored the 0.2 in force at its start
+  EXPECT_DOUBLE_EQ(ring.loss_probability(), 0.2);
+  sim.run(200);  // t=550: outer episode restored the base 0.0
+  EXPECT_DOUBLE_EQ(ring.loss_probability(), 0.0);
+}
+
+TEST(FaultInjector, RandomChurnIsSeededAndSparesProtectedNodes) {
+  const auto run_one = [](std::vector<bool>& liveness_trace) {
+    RingSimulation ring{small_ring()};
+    FaultInjector injector{
+        make_fault_target(ring),
+        FaultPlan{}.random_churn(/*events=*/25, /*from=*/0, /*until=*/10'000,
+                                 /*mean_downtime=*/800, /*seed=*/42, /*spare=*/{0, 1})};
+    injector.arm();
+    auto& sim = ring.simulator();
+    for (int step = 0; step < 10; ++step) {
+      sim.run(1'200);
+      EXPECT_TRUE(ring.alive(0));  // spared
+      EXPECT_TRUE(ring.alive(1));
+      for (ids::RingIndex i = 0; i < 16; ++i) liveness_trace.push_back(ring.alive(i));
+    }
+    return injector.stats().kills;
+  };
+
+  std::vector<bool> first_trace;
+  std::vector<bool> second_trace;
+  const auto first_kills = run_one(first_trace);
+  const auto second_kills = run_one(second_trace);
+  EXPECT_EQ(first_trace, second_trace);  // bit-reproducible schedule
+  EXPECT_EQ(first_kills, second_kills);
+  EXPECT_GT(first_kills, 0U);
+}
+
+TEST(FaultInjector, DrivesHierarchySimulationByNodeId) {
+  HierarchySimConfig cfg;
+  cfg.fanout = {6, 3};
+  HierarchySimulation sim{cfg};
+  const auto victim = sim.id_of({2});
+  FaultInjector injector{make_fault_target(sim), FaultPlan{}.crash(victim, 10, 400)};
+  injector.arm();
+
+  sim.simulator().run(50);
+  EXPECT_FALSE(sim.alive({2}));
+  sim.simulator().run(500);
+  EXPECT_TRUE(sim.alive({2}));
+}
+
+TEST(FaultInjector, ByzantineSwitchTurnsNodeIntoDropper) {
+  HierarchySimConfig cfg;
+  cfg.fanout = {6, 3};
+  HierarchySimulation sim{cfg};
+  const auto insider = sim.id_of({2});
+  FaultInjector injector{
+      make_fault_target(sim),
+      FaultPlan{}.byzantine(insider, overlay::NodeBehavior::kDropper, 10'000)};
+  injector.arm();
+
+  // Before the switch: queries through {2} deliver. (run_query drains the
+  // queue, so the t=10'000 switch also fires during this call — well after
+  // the query settled.)
+  const auto before = sim.run_query({2, 1});
+  EXPECT_TRUE(before.delivered);
+  EXPECT_LT(before.completed_at, 10'000U);
+  EXPECT_EQ(injector.stats().behavior_changes, 1U);
+
+  // After: the insider acks (stealthy) and swallows the query — it never
+  // settles, exactly the Section 5.3 silent-drop signature.
+  const auto after = sim.run_query({2, 1});
+  EXPECT_FALSE(after.done);
+  EXPECT_FALSE(after.delivered);
+}
+
+}  // namespace
+}  // namespace hours::sim

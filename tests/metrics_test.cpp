@@ -6,6 +6,7 @@
 
 #include "metrics/histogram.hpp"
 #include "metrics/table_writer.hpp"
+#include "metrics/timeline.hpp"
 
 namespace hours::metrics {
 namespace {
@@ -109,6 +110,75 @@ TEST(TableWriter, PrintRendersAlignedTable) {
 TEST(TableWriter, CsvFailsOnBadPath) {
   TableWriter table{{"x"}};
   EXPECT_FALSE(table.write_csv("/nonexistent-dir/impossible.csv"));
+}
+
+TEST(Timeline, BucketsByWindowAndComputesRatios) {
+  Timeline tl{100};
+  tl.record(0, true, 40);
+  tl.record(99, false);
+  tl.record(100, true, 60);
+  tl.record(250, true, 20);
+
+  const auto windows = tl.windows();
+  ASSERT_EQ(windows.size(), 3U);
+  EXPECT_EQ(windows[0].start, 0U);
+  EXPECT_EQ(windows[0].attempts, 2U);
+  EXPECT_EQ(windows[0].delivered, 1U);
+  EXPECT_DOUBLE_EQ(windows[0].delivery_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(windows[0].mean_latency(), 40.0);
+  EXPECT_EQ(windows[1].start, 100U);
+  EXPECT_DOUBLE_EQ(windows[1].delivery_ratio(), 1.0);
+  EXPECT_EQ(windows[2].start, 200U);
+  EXPECT_EQ(tl.total_attempts(), 4U);
+  EXPECT_EQ(tl.total_delivered(), 3U);
+}
+
+TEST(Timeline, MaterializesGapWindows) {
+  Timeline tl{10};
+  tl.record(5, true, 1);
+  tl.record(35, true, 1);
+  const auto windows = tl.windows();
+  ASSERT_EQ(windows.size(), 4U);  // 0, 10, 20, 30 — gaps filled
+  EXPECT_EQ(windows[1].attempts, 0U);
+  EXPECT_EQ(windows[2].attempts, 0U);
+  EXPECT_DOUBLE_EQ(windows[1].delivery_ratio(), 0.0);
+}
+
+TEST(Timeline, PhaseRatioAggregatesWindowRange) {
+  Timeline tl{10};
+  for (std::uint64_t t = 0; t < 30; t += 10) tl.record(t, true, 1);
+  for (std::uint64_t t = 30; t < 50; t += 10) tl.record(t, false);
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(0, 30), 1.0);
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(30, 50), 0.0);
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(0, 50), 0.6);
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(500, 600), 0.0);  // empty range
+}
+
+TEST(Timeline, JsonIsDeterministicAndWellFormed) {
+  Timeline a{50};
+  Timeline b{50};
+  for (Timeline* tl : {&a, &b}) {
+    tl->record(10, true, 30);
+    tl->record(60, false);
+    tl->record(170, true, 90);
+  }
+  const std::string json = a.to_json();
+  EXPECT_EQ(json, b.to_json());  // byte-identical for identical inputs
+  EXPECT_NE(json.find("\"window_width\":50"), std::string::npos);
+  EXPECT_NE(json.find("{\"start\":0,\"attempts\":1,\"delivered\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"delivery_ratio\":1.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_latency\":30.000"), std::string::npos);
+  // The 100-window gap is materialized.
+  EXPECT_NE(json.find("{\"start\":100,\"attempts\":0,\"delivered\":0"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Timeline, EmptyTimeline) {
+  Timeline tl{10};
+  EXPECT_TRUE(tl.windows().empty());
+  EXPECT_EQ(tl.to_json(), "{\"window_width\":10,\"windows\":[]}");
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(0, 100), 0.0);
 }
 
 }  // namespace

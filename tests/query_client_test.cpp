@@ -1,0 +1,234 @@
+// End-to-end query client: per-hop retry with capped exponential backoff,
+// alternate-pointer failover, client-side suspicion, and deadline budgets —
+// liveness inferred purely from silence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/hierarchy_protocol.hpp"
+#include "sim/query_client.hpp"
+#include "sim/ring_protocol.hpp"
+
+namespace hours::sim {
+namespace {
+
+RingSimConfig client_ring(double loss = 0.0) {
+  RingSimConfig cfg;
+  cfg.size = 16;
+  cfg.loss_probability = loss;
+  return cfg;
+}
+
+TEST(QueryClient, DeliversOnHealthyRing) {
+  RingSimulation ring{client_ring()};
+  QueryClient client{make_query_network(ring), QueryClientConfig{}};
+  const auto qid = client.submit(0, 8);
+  ring.simulator().run();
+
+  const auto& out = client.outcome(qid);
+  EXPECT_EQ(out.status, QueryStatus::kDelivered);
+  EXPECT_GE(out.hops, 1U);
+  EXPECT_EQ(out.retransmissions, 0U);
+  EXPECT_EQ(out.failovers, 0U);
+  EXPECT_GT(out.latency(), 0U);
+  EXPECT_EQ(client.stats().delivered, 1U);
+}
+
+TEST(QueryClient, ImmediateDeliveryWhenStartIsDestination) {
+  RingSimulation ring{client_ring()};
+  QueryClient client{make_query_network(ring), QueryClientConfig{}};
+  const auto qid = client.submit(5, 5);
+  ring.simulator().run();
+  EXPECT_EQ(client.outcome(qid).status, QueryStatus::kDelivered);
+  EXPECT_EQ(client.outcome(qid).hops, 0U);
+}
+
+TEST(QueryClient, RetriesAbsorbLoss) {
+  // Loss probabilities {0.1, 0.3}: retransmissions mask lost messages and
+  // lost acks; nearly everything still delivers, and under loss the client
+  // observably retransmits.
+  for (const double loss : {0.1, 0.3}) {
+    RingSimulation ring{client_ring(loss)};
+    QueryClientConfig cfg;
+    cfg.max_retries_per_hop = 3;
+    QueryClient client{make_query_network(ring), cfg};
+
+    std::vector<std::uint64_t> qids;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      qids.push_back(client.submit(i % 16, (i * 5 + 8) % 16));
+    }
+    ring.simulator().run();
+
+    std::uint64_t delivered = 0;
+    for (const auto qid : qids) {
+      if (client.outcome(qid).status == QueryStatus::kDelivered) ++delivered;
+    }
+    EXPECT_GE(delivered, 36U) << "loss=" << loss;  // >= 90% even at 30% loss
+    EXPECT_GT(client.stats().retransmissions, 0U) << "loss=" << loss;
+  }
+}
+
+TEST(QueryClient, LossFreeNeedsNoRetransmissions) {
+  RingSimulation ring{client_ring(0.0)};
+  QueryClient client{make_query_network(ring), QueryClientConfig{}};
+  for (std::uint32_t i = 0; i < 20; ++i) client.submit(i % 16, (i + 7) % 16);
+  ring.simulator().run();
+  EXPECT_EQ(client.stats().delivered, 20U);
+  EXPECT_EQ(client.stats().retransmissions, 0U);
+}
+
+TEST(QueryClient, DeadlineBoundsAnUnreachableQuery) {
+  // Everything but the start node is dead and the deadline (300) expires
+  // before the first backoff retry can even fire: deterministic
+  // deadline-exceeded, completed exactly at the budget.
+  RingSimulation ring{client_ring()};
+  for (ids::RingIndex i = 1; i < 16; ++i) ring.kill(i);
+  QueryClientConfig cfg;
+  cfg.deadline = 300;  // ack_timeout is 250
+  QueryClient client{make_query_network(ring), cfg};
+  const auto qid = client.submit(0, 8);
+  ring.simulator().run();
+
+  const auto& out = client.outcome(qid);
+  EXPECT_EQ(out.status, QueryStatus::kDeadlineExceeded);
+  EXPECT_EQ(out.latency(), 300U);
+  EXPECT_EQ(client.stats().deadline_exceeded, 1U);
+}
+
+TEST(QueryClient, NoRouteWhenEveryPointerIsSuspect) {
+  RingSimulation ring{client_ring()};
+  for (ids::RingIndex i = 1; i < 16; ++i) ring.kill(i);
+  QueryClientConfig cfg;
+  cfg.max_retries_per_hop = 0;  // fail over immediately, no retransmits
+  QueryClient client{make_query_network(ring), cfg};
+  const auto qid = client.submit(0, 8);
+  ring.simulator().run();
+
+  const auto& out = client.outcome(qid);
+  EXPECT_EQ(out.status, QueryStatus::kNoRoute);
+  EXPECT_GT(out.failovers, 0U);  // every candidate was tried and suspected
+  EXPECT_EQ(out.hops, 0U);
+  EXPECT_EQ(client.stats().no_route, 1U);
+}
+
+TEST(QueryClient, FailsOverToAlternatePointerAfterRetryExhaustion) {
+  RingSimulation ring{client_ring()};
+  // Find a destination whose best first-hop candidate is an intermediary
+  // (not the destination itself), then kill exactly that intermediary.
+  ids::RingIndex dest = 0;
+  ids::RingIndex first_choice = 0;
+  for (ids::RingIndex d = 2; d < 16; ++d) {
+    bool backward = false;
+    const auto cands = ring.route_candidates(0, d, backward);
+    if (cands.size() >= 2 && cands.front() != d) {
+      dest = d;
+      first_choice = cands.front();
+      break;
+    }
+  }
+  ASSERT_NE(dest, 0U) << "no suitable destination under this seed";
+  ring.kill(first_choice);
+
+  QueryClientConfig cfg;
+  cfg.max_retries_per_hop = 1;
+  QueryClient client{make_query_network(ring), cfg};
+  const auto qid = client.submit(0, dest);
+  ring.simulator().run();
+
+  const auto& out = client.outcome(qid);
+  EXPECT_EQ(out.status, QueryStatus::kDelivered);
+  EXPECT_GE(out.retransmissions, 1U);  // the dead first choice was retried...
+  EXPECT_GE(out.failovers, 1U);        // ...then abandoned for an alternate
+  EXPECT_TRUE(client.suspected(first_choice));
+}
+
+TEST(QueryClient, SuspicionExpiresAfterTtl) {
+  RingSimulation ring{client_ring()};
+  bool backward = false;
+  const auto cands = ring.route_candidates(0, 8, backward);
+  ASSERT_FALSE(cands.empty());
+  const auto victim = cands.front();
+  ring.kill(victim);
+
+  QueryClientConfig cfg;
+  cfg.max_retries_per_hop = 0;
+  cfg.suspicion_ttl = 2'000;
+  QueryClient client{make_query_network(ring), cfg};
+  client.submit(0, 8);
+  ring.simulator().run();
+  EXPECT_TRUE(client.suspected(victim));
+
+  ring.revive(victim);
+  ring.simulator().run(cfg.suspicion_ttl + 1);
+  EXPECT_FALSE(client.suspected(victim));
+}
+
+TEST(QueryClient, BackoffGrowsExponentiallyAndCaps) {
+  RingSimulation ring{client_ring()};
+  QueryClientConfig cfg;
+  cfg.backoff_base = 100;
+  cfg.backoff_cap = 450;
+  QueryClient client{make_query_network(ring), cfg};
+  EXPECT_EQ(client.base_backoff(1), 100U);
+  EXPECT_EQ(client.base_backoff(2), 200U);
+  EXPECT_EQ(client.base_backoff(3), 400U);
+  EXPECT_EQ(client.base_backoff(4), 450U);  // clamped
+  EXPECT_EQ(client.base_backoff(10), 450U);
+}
+
+TEST(QueryClient, RunsAreBitReproducible) {
+  const auto run_once = [](std::vector<std::uint64_t>& trace) {
+    RingSimulation ring{client_ring(0.2)};
+    QueryClientConfig cfg;
+    cfg.deadline = 30'000;
+    QueryClient client{make_query_network(ring), cfg};
+    std::vector<std::uint64_t> qids;
+    for (std::uint32_t i = 0; i < 30; ++i) qids.push_back(client.submit(i % 16, (i * 3) % 16));
+    ring.simulator().run();
+    for (const auto qid : qids) {
+      const auto& out = client.outcome(qid);
+      trace.push_back(static_cast<std::uint64_t>(out.status));
+      trace.push_back(out.hops);
+      trace.push_back(out.retransmissions);
+      trace.push_back(out.completed_at);
+    }
+  };
+  std::vector<std::uint64_t> first;
+  std::vector<std::uint64_t> second;
+  run_once(first);
+  run_once(second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(QueryClient, DrivesHierarchySimulationAroundDeadOnPathNode) {
+  HierarchySimConfig cfg;
+  cfg.fanout = {8, 4};
+  HierarchySimulation sim{cfg};
+  const auto dest = sim.id_of({3, 2});
+  sim.kill({3});  // the on-path child of the root
+
+  QueryClientConfig ccfg;
+  ccfg.max_retries_per_hop = 1;
+  QueryClient client{make_query_network(sim), ccfg};
+  const auto qid = client.submit(sim.id_of({}), dest);
+  sim.simulator().run();
+
+  const auto& out = client.outcome(qid);
+  EXPECT_EQ(out.status, QueryStatus::kDelivered);
+  EXPECT_GE(out.failovers, 1U);  // went around the dead entrance
+}
+
+TEST(QueryClient, HierarchyHealthyPathDelivers) {
+  HierarchySimConfig cfg;
+  cfg.fanout = {8, 4};
+  HierarchySimulation sim{cfg};
+  QueryClient client{make_query_network(sim), QueryClientConfig{}};
+  const auto qid = client.submit(sim.id_of({}), sim.id_of({5, 1}));
+  sim.simulator().run();
+  EXPECT_EQ(client.outcome(qid).status, QueryStatus::kDelivered);
+  EXPECT_EQ(client.outcome(qid).hops, 2U);
+  EXPECT_EQ(client.outcome(qid).retransmissions, 0U);
+}
+
+}  // namespace
+}  // namespace hours::sim

@@ -113,6 +113,75 @@ TEST(Resolver, FailureIsNotCached) {
   EXPECT_FALSE(r.from_cache);
 }
 
+TEST(Resolver, FailureAccountingAndHitRateDenominator) {
+  // Failures are forwarded-but-unanswered lookups; they must count in the
+  // hit-rate denominator (an unavailable name is not a cache win).
+  Fixture f;
+  Resolver resolver{f.sys};
+  f.sys.set_alive("a.cyan", false);
+  EXPECT_FALSE(resolver.resolve("a.cyan", 0).answered);
+  EXPECT_FALSE(resolver.resolve("a.cyan", 1).answered);
+  ASSERT_TRUE(resolver.resolve("a.red", 2).answered);   // miss
+  ASSERT_TRUE(resolver.resolve("a.red", 3).answered);   // hit
+  EXPECT_EQ(resolver.stats().failures, 2U);
+  EXPECT_EQ(resolver.stats().cache_misses, 1U);
+  EXPECT_EQ(resolver.stats().cache_hits, 1U);
+  EXPECT_DOUBLE_EQ(resolver.stats().hit_rate(), 0.25);
+  // Failures leave no cache entry behind.
+  EXPECT_EQ(resolver.peek("a.cyan", 4), nullptr);
+}
+
+TEST(Resolver, EvictionPrefersExpiredThenEarliestExpiry) {
+  Fixture f;
+  Resolver resolver{f.sys, /*capacity=*/3};
+  resolver.insert("short", 0, {store::Record{"A", "1", 10}});
+  resolver.insert("mid", 0, {store::Record{"A", "2", 50}});
+  resolver.insert("long", 0, {store::Record{"A", "3", 100}});
+  ASSERT_EQ(resolver.cached_names(), 3U);
+
+  // At t=20 "short" is expired; inserting under pressure drops exactly it.
+  resolver.insert("fresh", 20, {store::Record{"A", "4", 100}});
+  EXPECT_EQ(resolver.cached_names(), 3U);
+  EXPECT_EQ(resolver.stats().evictions, 1U);
+  EXPECT_EQ(resolver.peek("short", 20), nullptr);
+  EXPECT_NE(resolver.peek("mid", 20), nullptr);
+  EXPECT_NE(resolver.peek("long", 20), nullptr);
+
+  // Nothing expired now: the entry closest to expiry ("mid") is the victim.
+  resolver.insert("newest", 20, {store::Record{"A", "5", 100}});
+  EXPECT_EQ(resolver.cached_names(), 3U);
+  EXPECT_EQ(resolver.stats().evictions, 2U);
+  EXPECT_EQ(resolver.peek("mid", 20), nullptr);
+  EXPECT_NE(resolver.peek("long", 20), nullptr);
+  EXPECT_NE(resolver.peek("newest", 20), nullptr);
+}
+
+TEST(Resolver, MultiRecordAnswerCachedUnderMinimumTtl) {
+  Fixture f;
+  Resolver resolver{f.sys, /*capacity=*/4};
+  resolver.insert("multi", 0,
+                  {store::Record{"A", "1", 80}, store::Record{"TXT", "t", 30}});
+  EXPECT_NE(resolver.peek("multi", 29), nullptr);   // within the min TTL
+  EXPECT_EQ(resolver.peek("multi", 30), nullptr);   // the 30s record bounds it
+}
+
+TEST(Resolver, PeekDoesNotMutateStats) {
+  Fixture f;
+  Resolver resolver{f.sys};
+  ASSERT_TRUE(resolver.resolve("a.red", 0).answered);
+  const auto before = resolver.stats();
+
+  ASSERT_NE(resolver.peek("a.red", 1), nullptr);    // fresh hit
+  EXPECT_EQ(resolver.peek("a.green", 1), nullptr);  // absent
+  EXPECT_EQ(resolver.peek("a.red", 1000), nullptr); // expired
+
+  EXPECT_EQ(resolver.stats().cache_hits, before.cache_hits);
+  EXPECT_EQ(resolver.stats().cache_misses, before.cache_misses);
+  EXPECT_EQ(resolver.stats().failures, before.failures);
+  EXPECT_EQ(resolver.stats().evictions, before.evictions);
+  EXPECT_EQ(resolver.cached_names(), 1U);  // peek of an expired entry does not erase
+}
+
 TEST(Resolver, ServesThroughCoordinatedStrike) {
   // End-to-end: records keep flowing while a zone and its ring neighborhood
   // are under a coordinated neighbor attack.

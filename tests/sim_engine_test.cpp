@@ -60,6 +60,62 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterRun) {
   EXPECT_TRUE(ran);
 }
 
+TEST(Simulator, CancelOfExecutedIdDoesNotCorruptPending) {
+  // Regression: cancelling an already-executed id used to sit in the
+  // cancelled list forever and permanently deflate pending().
+  Simulator sim;
+  const auto id = sim.schedule(1, [] {});
+  sim.run();
+  sim.cancel(id);
+  sim.cancel(id);  // twice, for good measure
+  EXPECT_EQ(sim.pending(), 0U);
+  sim.schedule(1, [] {});
+  EXPECT_EQ(sim.pending(), 1U);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0U);
+}
+
+TEST(Simulator, CancelOfUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(12345);  // never issued
+  sim.schedule(1, [] {});
+  EXPECT_EQ(sim.pending(), 1U);
+  EXPECT_EQ(sim.run(), 1U);
+}
+
+TEST(Simulator, CancelDoesNotRecycleOntoLaterEvents) {
+  // A cancelled-but-executed id must never suppress a later event that
+  // happens to pop after the cancel call.
+  Simulator sim;
+  int ran = 0;
+  const auto early = sim.schedule(1, [&] { ++ran; });
+  sim.run();
+  sim.cancel(early);
+  const auto late = sim.schedule(1, [&] { ++ran; });
+  (void)late;
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, ManyCancellationsStayConsistent) {
+  // Mixed live/stale cancels at scale: pending() must track exactly the
+  // events that will still execute.
+  Simulator sim;
+  int executed = 0;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule(static_cast<Ticks>(i + 1), [&] { ++executed; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);   // evens
+  for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);   // repeats
+  EXPECT_EQ(sim.pending(), 500U);
+  sim.run();
+  EXPECT_EQ(executed, 500);
+  EXPECT_EQ(sim.pending(), 0U);
+  for (const auto id : ids) sim.cancel(id);  // all stale now
+  EXPECT_EQ(sim.pending(), 0U);
+}
+
 TEST(Simulator, RunWithTimeLimit) {
   Simulator sim;
   int count = 0;

@@ -113,5 +113,92 @@ TEST(Transport, MessageCounterIncludesAcks) {
   EXPECT_EQ(f.transport.messages_sent(), 2U);  // message + ack
 }
 
+// -- ack-vs-timeout races (regression pins) -----------------------------------------
+//
+// Deterministic timing: latency fixed at 10, so a message lands at t=10 and
+// its ack returns at t=20; the timeout arms at t=25.
+struct RaceFixture {
+  Simulator sim;
+  Transport<Payload> transport;
+  std::vector<std::uint32_t> received;
+
+  RaceFixture() : transport{sim, make_cfg(), 4, /*seed=*/7} {
+    transport.set_handler([this](std::uint32_t to, const Transport<Payload>::Envelope&) {
+      received.push_back(to);
+    });
+  }
+  static TransportConfig make_cfg() {
+    TransportConfig c;
+    c.latency_min = 10;
+    c.latency_max = 10;
+    c.ack_timeout = 25;
+    return c;
+  }
+};
+
+TEST(TransportRace, ReceiverDyingWithAckInFlightStillAcks) {
+  // B processes the message at t=10 and dies at t=15 with its ack already in
+  // flight. The ack lands anyway: only the *recipient's* liveness gates
+  // delivery, and an ack's recipient is the (alive) sender. Pinned: the
+  // sender rightly learns its message WAS processed before the death.
+  RaceFixture f;
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.schedule(15, [&] { f.transport.set_alive(1, false); });
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 1U);  // handler ran before the death
+  EXPECT_TRUE(acked);
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(TransportRace, SenderDyingBeforeAckReturnsGetsTimeoutCallback) {
+  // A sends at t=0 and dies at t=15; B's ack reaches A's address at t=20 but
+  // is suppressed (dead nodes receive nothing), so the timeout fires at
+  // t=25. Pinned: callbacks are engine-level and still run for a dead
+  // sender — protocol code must guard with its own liveness check, exactly
+  // as ring_protocol's handlers do.
+  RaceFixture f;
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.schedule(15, [&] { f.transport.set_alive(0, false); });
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 1U);  // B processed the message normally
+  EXPECT_FALSE(acked);               // the ack was suppressed at the dead sender
+  EXPECT_TRUE(timed_out);            // silence is reported despite the death
+  EXPECT_EQ(f.sim.now(), 25U);
+}
+
+TEST(TransportRace, RevivedSenderDoesNotReceiveStaleAck) {
+  // The suppressed ack is gone for good: reviving A after the ack's arrival
+  // instant must not resurrect it, and the timeout outcome stands.
+  RaceFixture f;
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.schedule(15, [&] { f.transport.set_alive(0, false); });
+  f.sim.schedule(22, [&] { f.transport.set_alive(0, true); });
+  f.sim.run();
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(TransportRace, AckAlwaysBeatsTimeoutWhenDelivered) {
+  // The config contract ack_timeout > 2 * latency_max exists precisely so a
+  // delivered message's ack precedes its timeout; pin it across many sends
+  // with randomized latencies.
+  Fixture f;
+  int acks = 0;
+  int timeouts = 0;
+  for (int i = 0; i < 200; ++i) {
+    f.transport.send_expect_ack(0, 1 + static_cast<std::uint32_t>(i % 3), {"x"},
+                                [&] { ++acks; }, [&] { ++timeouts; });
+  }
+  f.sim.run();
+  EXPECT_EQ(acks, 200);
+  EXPECT_EQ(timeouts, 0);
+}
+
 }  // namespace
 }  // namespace hours::sim
