@@ -36,9 +36,11 @@ class HierarchyModel {
   virtual void set_root_alive(bool alive) noexcept = 0;
 
   /// Liveness of an arbitrary node (root flag, or its parent overlay's bit).
+  /// An index past its sibling set names no node at all — never alive.
   [[nodiscard]] bool node_alive(const NodePath& path) {
     if (path.empty()) return root_alive();
-    return overlay_of(parent(path)).alive(path.back());
+    const auto& overlay = overlay_of(parent(path));
+    return path.back() < overlay.size() && overlay.alive(path.back());
   }
 
   /// Marks a (non-root) node dead/alive in its parent overlay.

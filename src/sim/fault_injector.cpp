@@ -1,6 +1,8 @@
 #include "sim/fault_injector.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 
 #include "rng/xoshiro256.hpp"
@@ -19,6 +21,9 @@ FaultTarget make_fault_target(RingSimulation& ring) {
   target.alive = [&ring](std::uint32_t node) { return ring.alive(node); };
   target.set_loss = [&ring](double p) { ring.set_loss_probability(p); };
   target.loss = [&ring] { return ring.loss_probability(); };
+  target.set_link_filter = [&ring](LinkFilter filter) {
+    ring.set_link_filter(std::move(filter));
+  };
   // set_behavior stays null: ring processes have no insider modes.
   return target;
 }
@@ -36,6 +41,9 @@ FaultTarget make_fault_target(HierarchySimulation& hierarchy) {
   };
   target.set_loss = [&hierarchy](double p) { hierarchy.set_loss_probability(p); };
   target.loss = [&hierarchy] { return hierarchy.loss_probability(); };
+  target.set_link_filter = [&hierarchy](LinkFilter filter) {
+    hierarchy.set_link_filter(std::move(filter));
+  };
   target.set_behavior = [&hierarchy](std::uint32_t node, overlay::NodeBehavior behavior) {
     hierarchy.set_behavior(hierarchy.path_of(node), behavior);
   };
@@ -65,6 +73,29 @@ FaultPlan& FaultPlan::correlated_outage(std::vector<std::uint32_t> nodes, Ticks 
   return *this;
 }
 
+FaultPlan& FaultPlan::partition(std::vector<std::vector<std::uint32_t>> groups, Ticks at,
+                                Ticks heal_at) {
+  HOURS_EXPECTS(groups.size() >= 2);
+  HOURS_EXPECTS(heal_at == 0 || heal_at > at);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    HOURS_EXPECTS(!groups[g].empty());
+    for (std::size_t h = g + 1; h < groups.size(); ++h) {
+      for (const auto a : groups[g]) {
+        for (const auto b : groups[h]) HOURS_EXPECTS(a != b);  // groups are disjoint
+      }
+    }
+  }
+  partitions_.push_back(PartitionSpec{std::move(groups), at, heal_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cut_link(std::uint32_t a, std::uint32_t b, Ticks at, Ticks heal_at) {
+  HOURS_EXPECTS(a != b);
+  HOURS_EXPECTS(heal_at == 0 || heal_at > at);
+  cut_links_.push_back(CutLinkSpec{a, b, at, heal_at});
+  return *this;
+}
+
 FaultPlan& FaultPlan::loss_episode(double probability, Ticks from, Ticks until) {
   HOURS_EXPECTS(probability >= 0.0 && probability < 1.0);
   HOURS_EXPECTS(until > from);
@@ -85,6 +116,72 @@ FaultPlan& FaultPlan::random_churn(std::uint32_t events, Ticks from, Ticks until
   return *this;
 }
 
+std::string FaultPlan::describe() const {
+  std::string out;
+  char line[256];
+  const auto add = [&out, &line] { out += line; };
+  for (const auto& s : crashes_) {
+    std::snprintf(line, sizeof(line), "crash(%u, %" PRIu64 ", %" PRIu64 ")\n", s.node, s.at,
+                  s.recover_at);
+    add();
+  }
+  for (const auto& s : flaps_) {
+    std::snprintf(line, sizeof(line), "flap(%u, %" PRIu64 ", %" PRIu64 ", %" PRIu64 ", %u)\n",
+                  s.node, s.start, s.down, s.up, s.cycles);
+    add();
+  }
+  for (const auto& s : outages_) {
+    std::string nodes;
+    for (const auto n : s.nodes) {
+      if (!nodes.empty()) nodes += ", ";
+      nodes += std::to_string(n);
+    }
+    out += "correlated_outage({" + nodes + "}, " + std::to_string(s.at) + ", " +
+           std::to_string(s.duration) + ", " + std::to_string(s.strikes) + ", " +
+           std::to_string(s.strike_gap) + ")\n";
+  }
+  for (const auto& s : partitions_) {
+    std::string groups;
+    for (const auto& g : s.groups) {
+      if (!groups.empty()) groups += ", ";
+      groups += "{";
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (i != 0) groups += ", ";
+        groups += std::to_string(g[i]);
+      }
+      groups += "}";
+    }
+    out += "partition({" + groups + "}, " + std::to_string(s.at) + ", " +
+           std::to_string(s.heal_at) + ")\n";
+  }
+  for (const auto& s : cut_links_) {
+    std::snprintf(line, sizeof(line), "cut_link(%u, %u, %" PRIu64 ", %" PRIu64 ")\n", s.a, s.b,
+                  s.at, s.heal_at);
+    add();
+  }
+  for (const auto& s : loss_episodes_) {
+    std::snprintf(line, sizeof(line), "loss_episode(%g, %" PRIu64 ", %" PRIu64 ")\n",
+                  s.probability, s.from, s.until);
+    add();
+  }
+  for (const auto& s : byzantine_) {
+    std::snprintf(line, sizeof(line), "byzantine(%u, NodeBehavior(%d), %" PRIu64 ")\n", s.node,
+                  static_cast<int>(s.behavior), s.at);
+    add();
+  }
+  for (const auto& s : churn_) {
+    std::string spare;
+    for (const auto n : s.spare) {
+      if (!spare.empty()) spare += ", ";
+      spare += std::to_string(n);
+    }
+    out += "random_churn(" + std::to_string(s.events) + ", " + std::to_string(s.from) + ", " +
+           std::to_string(s.until) + ", " + std::to_string(s.mean_downtime) + ", " +
+           std::to_string(s.seed) + ", {" + spare + "})\n";
+  }
+  return out;
+}
+
 // -- FaultInjector --------------------------------------------------------------------
 
 FaultInjector::FaultInjector(FaultTarget target, FaultPlan plan)
@@ -97,6 +194,40 @@ FaultInjector::FaultInjector(FaultTarget target, FaultPlan plan)
 bool FaultInjector::held_down(std::uint32_t node) const {
   HOURS_EXPECTS(node < down_count_.size());
   return down_count_[node] > 0;
+}
+
+bool FaultInjector::link_severed(std::uint32_t from, std::uint32_t to) const {
+  const auto it = link_down_count_.find({from, to});
+  return it != link_down_count_.end() && it->second > 0;
+}
+
+void FaultInjector::apply_link_down(std::uint32_t a, std::uint32_t b) {
+  if (++link_down_count_[{a, b}] == 1) ++stats_.link_cuts;
+}
+
+void FaultInjector::apply_link_up(std::uint32_t a, std::uint32_t b) {
+  const auto it = link_down_count_.find({a, b});
+  HOURS_EXPECTS(it != link_down_count_.end() && it->second > 0);
+  if (--it->second == 0) {
+    link_down_count_.erase(it);
+    ++stats_.link_heals;
+  }
+}
+
+void FaultInjector::schedule_link_window(std::uint32_t a, std::uint32_t b, Ticks at,
+                                         Ticks heal_at) {
+  HOURS_EXPECTS(a < target_.node_count && b < target_.node_count);
+  // Both directions: a partitioned pair exchanges nothing either way.
+  target_.sim->schedule(at, [this, a, b] {
+    apply_link_down(a, b);
+    apply_link_down(b, a);
+  });
+  if (heal_at != 0) {
+    target_.sim->schedule(heal_at, [this, a, b] {
+      apply_link_up(a, b);
+      apply_link_up(b, a);
+    });
+  }
 }
 
 void FaultInjector::apply_down(std::uint32_t node) {
@@ -132,6 +263,14 @@ void FaultInjector::arm() {
     HOURS_EXPECTS(target_.set_loss != nullptr && target_.loss != nullptr);
   }
   if (plan_.needs_behavior_hook()) HOURS_EXPECTS(target_.set_behavior != nullptr);
+  if (plan_.needs_link_hook()) {
+    HOURS_EXPECTS(target_.set_link_filter != nullptr);
+    // The injector owns the refcounted link state; the transport consults
+    // it on every delivery. (The injector must outlive the run anyway.)
+    target_.set_link_filter([this](std::uint32_t from, std::uint32_t to) {
+      return !link_severed(from, to);
+    });
+  }
 
   for (const auto& spec : plan_.crashes_) {
     schedule_down(spec.node, spec.at);
@@ -154,6 +293,22 @@ void FaultInjector::arm() {
         schedule_up(node, base + spec.duration);
       }
     }
+  }
+
+  for (const auto& spec : plan_.partitions_) {
+    for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+      for (std::size_t h = g + 1; h < spec.groups.size(); ++h) {
+        for (const auto a : spec.groups[g]) {
+          for (const auto b : spec.groups[h]) {
+            schedule_link_window(a, b, spec.at, spec.heal_at);
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& spec : plan_.cut_links_) {
+    schedule_link_window(spec.a, spec.b, spec.at, spec.heal_at);
   }
 
   for (const auto& spec : plan_.loss_episodes_) {

@@ -2,8 +2,10 @@
 //
 // A FaultPlan is a declarative, seeded schedule of faults — fail-stop
 // crashes with timed recoveries, flapping nodes, correlated sibling-set
-// outages (the Section 5 attacker re-striking after repair), lossy-link
-// episodes, stochastic churn, and insider (byzantine) behavior switches.
+// outages (the Section 5 attacker re-striking after repair), link-level
+// partitions and single-link cuts (nodes alive but mutually unreachable),
+// lossy-link episodes, stochastic churn, and insider (byzantine) behavior
+// switches.
 // A FaultInjector expands the plan into simulator events against any
 // target exposing the FaultTarget hooks, so the same schedule can drive a
 // RingSimulation, a HierarchySimulation, or future engines. Everything is
@@ -12,11 +14,17 @@
 // Overlapping fault windows are reference-counted per node: a node stays
 // down while *any* window covers it and revives only when the last one
 // lifts, so composed schedules (churn on top of a scripted outage) behave
-// as the union of their down intervals.
+// as the union of their down intervals. Link-level faults are refcounted
+// the same way, per directed (from, to) pair, independently of the node
+// refcounts: crashing a partitioned node and lifting the crash leaves the
+// node alive but still unreachable until the partition heals.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "overlay/overlay.hpp"
@@ -37,6 +45,10 @@ struct FaultTarget {
   std::function<bool(std::uint32_t)> alive;
   std::function<void(double)> set_loss;  ///< null: loss episodes unsupported
   std::function<double()> loss;
+  /// Installs the transport's per-link reachability predicate (null hook:
+  /// link-level faults unsupported). The injector passes a predicate bound
+  /// to its own refcounted link state; passing null restores connectivity.
+  std::function<void(std::function<bool(std::uint32_t, std::uint32_t)>)> set_link_filter;
   /// null: insider behavior unsupported (e.g. the ring protocol).
   std::function<void(std::uint32_t, overlay::NodeBehavior)> set_behavior;
 };
@@ -61,6 +73,18 @@ class FaultPlan {
   FaultPlan& correlated_outage(std::vector<std::uint32_t> nodes, Ticks at, Ticks duration,
                                std::uint32_t strikes = 1, Ticks strike_gap = 0);
 
+  /// Severs every link between nodes of *different* groups during
+  /// [at, heal_at): both sides stay alive yet mutually unreachable, the
+  /// ROADMAP's two-half-rings scenario. Nodes absent from every group keep
+  /// full connectivity; links within a group are untouched. heal_at == 0
+  /// leaves the partition in force forever.
+  FaultPlan& partition(std::vector<std::vector<std::uint32_t>> groups, Ticks at,
+                       Ticks heal_at = 0);
+
+  /// Severs the single bidirectional link a <-> b during [at, heal_at);
+  /// heal_at == 0 = permanent.
+  FaultPlan& cut_link(std::uint32_t a, std::uint32_t b, Ticks at, Ticks heal_at = 0);
+
   /// Sets the transport loss rate to `probability` during [from, until),
   /// then restores whatever rate was in force when the episode began.
   FaultPlan& loss_episode(double probability, Ticks from, Ticks until);
@@ -77,6 +101,14 @@ class FaultPlan {
 
   [[nodiscard]] bool needs_loss_hooks() const noexcept { return !loss_episodes_.empty(); }
   [[nodiscard]] bool needs_behavior_hook() const noexcept { return !byzantine_.empty(); }
+  [[nodiscard]] bool needs_link_hook() const noexcept {
+    return !partitions_.empty() || !cut_links_.empty();
+  }
+
+  /// One builder call per line, in builder-call syntax — enough to re-type
+  /// a failing fuzz schedule by hand. Logged alongside the generating seed
+  /// in the fuzz harness's failure artifacts.
+  [[nodiscard]] std::string describe() const;
 
  private:
   friend class FaultInjector;
@@ -100,6 +132,17 @@ class FaultPlan {
     std::uint32_t strikes = 1;
     Ticks strike_gap = 0;
   };
+  struct PartitionSpec {
+    std::vector<std::vector<std::uint32_t>> groups;
+    Ticks at = 0;
+    Ticks heal_at = 0;  ///< 0 = permanent
+  };
+  struct CutLinkSpec {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    Ticks at = 0;
+    Ticks heal_at = 0;  ///< 0 = permanent
+  };
   struct LossSpec {
     double probability = 0.0;
     Ticks from = 0;
@@ -122,6 +165,8 @@ class FaultPlan {
   std::vector<CrashSpec> crashes_;
   std::vector<FlapSpec> flaps_;
   std::vector<OutageSpec> outages_;
+  std::vector<PartitionSpec> partitions_;
+  std::vector<CutLinkSpec> cut_links_;
   std::vector<LossSpec> loss_episodes_;
   std::vector<ByzantineSpec> byzantine_;
   std::vector<ChurnSpec> churn_;
@@ -132,6 +177,8 @@ class FaultPlan {
 struct FaultInjectorStats {
   std::uint64_t kills = 0;             ///< alive -> dead transitions
   std::uint64_t revivals = 0;          ///< dead -> alive transitions
+  std::uint64_t link_cuts = 0;         ///< directed links passable -> severed
+  std::uint64_t link_heals = 0;        ///< directed links severed -> passable
   std::uint64_t loss_changes = 0;      ///< set_loss invocations (incl. restores)
   std::uint64_t behavior_changes = 0;  ///< insider switches applied
 };
@@ -152,16 +199,26 @@ class FaultInjector {
   /// True while any armed fault window holds `node` down.
   [[nodiscard]] bool held_down(std::uint32_t node) const;
 
+  /// True while any armed partition/cut window severs the directed link
+  /// `from` -> `to`. Both directions are severed together by every builder,
+  /// but the state is tracked (and queryable) per direction.
+  [[nodiscard]] bool link_severed(std::uint32_t from, std::uint32_t to) const;
+
  private:
   void schedule_down(std::uint32_t node, Ticks at);
   void schedule_up(std::uint32_t node, Ticks at);
   void apply_down(std::uint32_t node);
   void apply_up(std::uint32_t node);
+  void schedule_link_window(std::uint32_t a, std::uint32_t b, Ticks at, Ticks heal_at);
+  void apply_link_down(std::uint32_t a, std::uint32_t b);
+  void apply_link_up(std::uint32_t a, std::uint32_t b);
 
   FaultTarget target_;
   FaultPlan plan_;
   FaultInjectorStats stats_;
   std::vector<std::uint32_t> down_count_;
+  /// Directed (from, to) -> number of severing windows currently in force.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> link_down_count_;
   bool armed_ = false;
 };
 

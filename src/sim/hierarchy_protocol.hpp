@@ -75,6 +75,10 @@ class HierarchySimulation {
     return transport_.loss_probability();
   }
 
+  /// Installs the transport's per-link reachability predicate (partition and
+  /// link-cut faults, keyed by node id); null restores full connectivity.
+  void set_link_filter(LinkFilter filter) { transport_.set_link_filter(std::move(filter)); }
+
   // -- insiders (Section 5.3) ------------------------------------------------------
   /// Compromised-node behavior. Unlike a DoS'd server, an insider *acks*
   /// every message (the transport cannot tell), so a dropper is stealthy:

@@ -79,6 +79,11 @@ ids::RingIndex RingSimulation::ccw_neighbor(ids::RingIndex i) const {
   return nodes_[i].ccw;
 }
 
+bool RingSimulation::suspects(ids::RingIndex i, ids::RingIndex peer) const {
+  HOURS_EXPECTS(i < config_.size && peer < config_.size);
+  return nodes_[i].suspected.count(peer) != 0;
+}
+
 bool RingSimulation::ring_connected() const {
   ids::RingIndex start = config_.size;
   std::uint32_t alive_total = 0;
@@ -113,11 +118,27 @@ void RingSimulation::send_expect_ack(ids::RingIndex from, ids::RingIndex to, Mes
 void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Message& msg) {
   Node& node = nodes_[at];
 
-  // Hearing from a peer proves it alive.
-  node.suspected.erase(from);
+  // Hearing from a peer proves it alive. If we suspected it, its
+  // reappearance may have invalidated our ring geometry (it revived, or a
+  // partition healed): run the full adopt/re-merge check, not a silent
+  // erase — otherwise a revived predecessor that probes us first would be
+  // unsuspected here and the stale ccw pointer would never be repaired.
+  if (node.suspected.count(from) != 0) on_suspect_recovered(at, from);
 
   switch (msg.type) {
     case Message::Type::kProbe: {
+      // A probe from a strictly closer counter-clockwise node is an implicit
+      // neighbor claim: the prober believes we are its clockwise successor.
+      // Accepting it repairs the stale-predecessor state left behind when a
+      // node we recovered around comes back (revival, healed partition) with
+      // its own pointers intact — it will probe us but never re-claim.
+      if (ids::counter_clockwise_distance(at, from, config_.size) <
+          ids::counter_clockwise_distance(at, node.ccw, config_.size)) {
+        node.ccw = from;
+        node.ccw_suspected = false;
+        node.awaiting_claim = false;
+        node.ccw_miss_count = 0;
+      }
       // Besides the transport-level ack, report our counter-clockwise
       // pointer: Chord-style stabilization. If the prober over-skipped us
       // (a loss-induced false suspicion made it adopt a farther successor),
@@ -141,22 +162,10 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
       Message probe;
       probe.type = Message::Type::kProbe;
       ++probes_sent_;
+      // The recovery check subsumes the adopt-if-closer logic this handler
+      // used to inline, and additionally repairs the ccw side.
       send_expect_ack(at, suggested, probe,
-                      /*on_ack=*/
-                      [this, at, suggested] {
-                        Node& self = nodes_[at];
-                        if (!self.alive) return;
-                        self.suspected.erase(suggested);
-                        if (ids::clockwise_distance(at, suggested, config_.size) <
-                            ids::clockwise_distance(at, self.cw_succ, config_.size)) {
-                          self.cw_succ = suggested;
-                          self.cw_miss_count = 0;
-                          Message claim;
-                          claim.type = Message::Type::kNeighborClaim;
-                          ++claims_sent_;
-                          send_expect_ack(at, suggested, claim, nullptr, nullptr);
-                        }
-                      },
+                      /*on_ack=*/[this, at, suggested] { on_suspect_recovered(at, suggested); },
                       /*on_timeout=*/nullptr);
       break;
     }
@@ -255,7 +264,57 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
                     });
   }
 
+  if (config_.suspicion_refresh && !node.suspected.empty()) refresh_suspected(i);
+
   schedule_probe(i, config_.probe_period);
+}
+
+void RingSimulation::refresh_suspected(ids::RingIndex i) {
+  Node& node = nodes_[i];
+  // Round-robin: every suspected peer is re-checked within |suspected|
+  // probe periods, however the set churns in between.
+  auto it = node.suspected.lower_bound(node.refresh_cursor);
+  if (it == node.suspected.end()) it = node.suspected.begin();
+  const ids::RingIndex target = *it;
+  node.refresh_cursor = target + 1;
+
+  Message probe;
+  probe.type = Message::Type::kProbe;
+  ++probes_sent_;
+  send_expect_ack(i, target, probe,
+                  /*on_ack=*/[this, i, target] { on_suspect_recovered(i, target); },
+                  /*on_timeout=*/nullptr);  // still silent: stays suspected
+}
+
+void RingSimulation::on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer) {
+  Node& node = nodes_[i];
+  if (!node.alive) return;
+  node.suspected.erase(peer);
+
+  // Clockwise side: the recovered peer may sit between us and the successor
+  // we advanced to while it was unreachable — adopt it and claim the
+  // neighborship, exactly as conventional recovery would have.
+  if (ids::clockwise_distance(i, peer, config_.size) <
+      ids::clockwise_distance(i, node.cw_succ, config_.size)) {
+    node.cw_succ = peer;
+    node.cw_miss_count = 0;
+    Message claim;
+    claim.type = Message::Type::kNeighborClaim;
+    ++claims_sent_;
+    send_expect_ack(i, peer, claim, nullptr, nullptr);
+  }
+
+  // Counter-clockwise side: a recovered peer closer than the current ccw
+  // neighbor means the predecessor geometry is stale — the signature state
+  // after a partition heals, when each half has closed into its own ring
+  // and the true predecessor sits in the other half. Re-run Section 4.3
+  // active recovery: the Repair routes toward us through the re-merged
+  // topology, the node that cannot forward it closer attaches, and the two
+  // half-rings fuse back into one.
+  if (ids::counter_clockwise_distance(i, peer, config_.size) <
+      ids::counter_clockwise_distance(i, node.ccw, config_.size)) {
+    start_active_recovery(i);
+  }
 }
 
 void RingSimulation::advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates) {

@@ -49,6 +49,14 @@ struct RingSimConfig {
   /// is enough on loss-free links; lossy links need >= 2-3 or false
   /// suspicion keeps churning the ring.
   std::uint32_t probe_failure_threshold = 1;
+  /// Each probe cycle, additionally re-probe one peer from the suspicion
+  /// set (round-robin). A recovered peer — revived, or back in reach after
+  /// a partition healed — is unsuspected on ack; when it invalidates this
+  /// node's ring geometry the node adopts it (clockwise side) or re-runs
+  /// Section 4.3 active recovery (counter-clockwise side). The latter is
+  /// what re-merges two self-healed half-rings after a partition lifts;
+  /// without refresh, disjoint halves never contact each other again.
+  bool suspicion_refresh = true;
 };
 
 class RingSimulation {
@@ -71,6 +79,11 @@ class RingSimulation {
     return transport_.loss_probability();
   }
 
+  /// Installs the transport's per-link reachability predicate (partition and
+  /// link-cut faults); null restores full connectivity. Severed links look
+  /// like dead peers: sends time out, probes raise suspicion.
+  void set_link_filter(LinkFilter filter) { transport_.set_link_filter(std::move(filter)); }
+
   // -- protocol introspection (tests) ------------------------------------------
   [[nodiscard]] ids::RingIndex cw_successor(ids::RingIndex i) const;
   [[nodiscard]] ids::RingIndex ccw_neighbor(ids::RingIndex i) const;
@@ -79,9 +92,16 @@ class RingSimulation {
   /// alive node exactly once and returns — i.e. no gap survived.
   [[nodiscard]] bool ring_connected() const;
 
+  /// True while node `i` believes `peer` is dead (timeout-inferred).
+  [[nodiscard]] bool suspects(ids::RingIndex i, ids::RingIndex peer) const;
+
   [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_; }
   [[nodiscard]] std::uint64_t repairs_sent() const noexcept { return repairs_sent_; }
   [[nodiscard]] std::uint64_t claims_sent() const noexcept { return claims_sent_; }
+  /// Messages suppressed by the link filter (severed-link traffic).
+  [[nodiscard]] std::uint64_t messages_link_dropped() const noexcept {
+    return transport_.messages_link_dropped();
+  }
 
   // -- queries -------------------------------------------------------------------
   struct QueryOutcome {
@@ -139,6 +159,7 @@ class RingSimulation {
     std::uint32_t ccw_miss_count = 0;  ///< consecutive failed probes of ccw
     std::uint64_t awaiting_check_event = 0;
     std::set<ids::RingIndex> suspected;  ///< peers believed dead (learned via timeouts)
+    ids::RingIndex refresh_cursor = 0;   ///< round-robin position in `suspected`
   };
 
   void send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
@@ -148,6 +169,8 @@ class RingSimulation {
   // Probing and recovery.
   void schedule_probe(ids::RingIndex i, Ticks delay);
   void probe_cycle(ids::RingIndex i);
+  void refresh_suspected(ids::RingIndex i);
+  void on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer);
   void advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates);
   void ccw_silence_check(ids::RingIndex i);
   void start_active_recovery(ids::RingIndex origin);

@@ -2,9 +2,17 @@
 //
 // Wraps the discrete-event Simulator with node-addressed messaging:
 // randomized latency, optional message loss, delivery suppression to dead
-// nodes, and an ack/timeout primitive (every non-ack message is
-// acknowledged by the transport before the recipient's handler runs, so
-// protocol code expresses "try, and on silence do X" directly).
+// nodes, per-link reachability filtering (partitions), and an ack/timeout
+// primitive (every non-ack message is acknowledged by the transport before
+// the recipient's handler runs, so protocol code expresses "try, and on
+// silence do X" directly).
+//
+// Delivery-time gates, in order: the recipient must be alive, it must not
+// have died (even transiently) while the message was in flight, and the
+// directed link from the sender must be passable under the installed
+// LinkFilter. A failed gate is silence — for acked sends the sender's
+// timeout fires, indistinguishable from a crashed peer, which is exactly
+// how a severed link or mid-flight restart looks from the outside.
 //
 // Header-only template: the payload type is supplied by the protocol.
 #pragma once
@@ -19,6 +27,11 @@
 #include "util/contracts.hpp"
 
 namespace hours::sim {
+
+/// Directed reachability predicate: returns true when messages from `from`
+/// can currently reach `to`. Null means full connectivity. Consulted at
+/// delivery time, so a link severed while a message is in flight drops it.
+using LinkFilter = std::function<bool(std::uint32_t from, std::uint32_t to)>;
 
 struct TransportConfig {
   Ticks latency_min = 10;
@@ -43,7 +56,11 @@ class Transport {
 
   Transport(Simulator& sim, TransportConfig config, std::uint32_t node_count,
             std::uint64_t seed)
-      : sim_(sim), config_(config), alive_(node_count, 1), rng_(seed) {
+      : sim_(sim),
+        config_(config),
+        alive_(node_count, 1),
+        incarnation_(node_count, 0),
+        rng_(seed) {
     HOURS_EXPECTS(config_.ack_timeout > 2 * config_.latency_max);
     HOURS_EXPECTS(config_.loss_probability >= 0.0 && config_.loss_probability < 1.0);
   }
@@ -52,6 +69,11 @@ class Transport {
 
   void set_alive(Address node, bool alive) {
     HOURS_EXPECTS(node < alive_.size());
+    // A death — even one followed by a revival before a message lands —
+    // voids everything in flight toward the node: the restarted process has
+    // no connection state to receive into. Revivals do not bump, so traffic
+    // sent while down is deliverable once the node is back.
+    if (alive_[node] != 0 && !alive) ++incarnation_[node];
     alive_[node] = alive ? 1 : 0;
   }
   [[nodiscard]] bool alive(Address node) const {
@@ -68,8 +90,20 @@ class Transport {
   }
   [[nodiscard]] double loss_probability() const noexcept { return config_.loss_probability; }
 
+  /// Installs (or, with null, clears) the per-link reachability predicate.
+  /// The filter must stay valid while any message can still be delivered.
+  void set_link_filter(LinkFilter filter) { link_filter_ = std::move(filter); }
+
+  [[nodiscard]] bool link_passable(Address from, Address to) const {
+    return !link_filter_ || link_filter_(from, to);
+  }
+
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+  /// Deliveries suppressed by the link filter (severed-link drops).
+  [[nodiscard]] std::uint64_t messages_link_dropped() const noexcept {
+    return messages_link_dropped_;
+  }
 
   /// Fire-and-forget.
   void post(Address from, Address to, Payload payload) {
@@ -118,8 +152,15 @@ class Transport {
       ++messages_lost_;
       return;
     }
-    sim_.schedule(draw_latency(), [this, to, env = std::move(env), is_ack] {
+    const std::uint32_t sent_incarnation = incarnation_[to];
+    sim_.schedule(draw_latency(), [this, to, sent_incarnation, env = std::move(env), is_ack] {
       if (!alive(to)) return;  // shut-down servers receive nothing
+      // Recipient died mid-flight (possibly reviving since): suppressed.
+      if (incarnation_[to] != sent_incarnation) return;
+      if (!link_passable(env.from, to)) {  // severed link: silence, not loss
+        ++messages_link_dropped_;
+        return;
+      }
       if (is_ack) {
         const auto it = pending_.find(env.token);
         if (it == pending_.end()) return;  // raced with its own timeout
@@ -142,12 +183,15 @@ class Transport {
   Simulator& sim_;
   TransportConfig config_;
   std::vector<std::uint8_t> alive_;
+  std::vector<std::uint32_t> incarnation_;  ///< bumped on each alive->dead flip
   rng::Xoshiro256 rng_;
   Handler handler_;
+  LinkFilter link_filter_;
   std::uint64_t next_token_ = 1;
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_lost_ = 0;
+  std::uint64_t messages_link_dropped_ = 0;
 };
 
 }  // namespace hours::sim

@@ -168,6 +168,160 @@ TEST(FaultInjector, RandomChurnIsSeededAndSparesProtectedNodes) {
   EXPECT_GT(first_kills, 0U);
 }
 
+// -- link-level faults (partitions, cuts) -------------------------------------------
+
+TEST(FaultInjector, PartitionSeversCrossGroupLinksOnly) {
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring),
+                         FaultPlan{}.partition({{0, 1, 2}, {3, 4}}, 100, 500)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(99);
+  EXPECT_FALSE(injector.link_severed(0, 3));
+  sim.run(1);  // t=100: cut in force
+  EXPECT_TRUE(injector.link_severed(0, 3));
+  EXPECT_TRUE(injector.link_severed(3, 0));  // both directions
+  EXPECT_TRUE(injector.link_severed(2, 4));
+  EXPECT_FALSE(injector.link_severed(0, 1));   // same group
+  EXPECT_FALSE(injector.link_severed(3, 4));   // same group
+  EXPECT_FALSE(injector.link_severed(0, 15));  // unlisted node: full connectivity
+  for (ids::RingIndex i = 0; i < 5; ++i) EXPECT_TRUE(ring.alive(i));  // nobody died
+  sim.run(400);  // t=500: healed
+  EXPECT_FALSE(injector.link_severed(0, 3));
+  // 3 * 2 cross pairs, both directions.
+  EXPECT_EQ(injector.stats().link_cuts, 12U);
+  EXPECT_EQ(injector.stats().link_heals, 12U);
+  EXPECT_EQ(injector.stats().kills, 0U);
+}
+
+TEST(FaultInjector, CutLinkSeversExactlyOnePair) {
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}.cut_link(2, 9, 50, 200)};
+  injector.arm();
+
+  ring.simulator().run(60);
+  EXPECT_TRUE(injector.link_severed(2, 9));
+  EXPECT_TRUE(injector.link_severed(9, 2));
+  EXPECT_FALSE(injector.link_severed(2, 8));
+  ring.simulator().run(200);
+  EXPECT_FALSE(injector.link_severed(2, 9));
+}
+
+TEST(FaultInjector, OverlappingPartitionWindowsSharingANodeAreRefcounted) {
+  // Node 2 sits on the cut side of two windows: [100, 400) severing {2}|{5}
+  // and [200, 600) severing {2}|{5, 6}. The 2<->5 link is covered by both
+  // and must stay severed until the *last* window lifts at 600, while
+  // 2<->6 heals with its only window. One transition pair per link.
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}
+                                                      .partition({{2}, {5}}, 100, 400)
+                                                      .partition({{2}, {5, 6}}, 200, 600)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(250);
+  EXPECT_TRUE(injector.link_severed(2, 5));
+  EXPECT_TRUE(injector.link_severed(2, 6));
+  sim.run(200);  // t=450: first window lifted at 400 — 2<->5 still covered
+  EXPECT_TRUE(injector.link_severed(2, 5));
+  EXPECT_FALSE(injector.link_severed(5, 2) != injector.link_severed(2, 5));
+  sim.run(200);  // t=650: second window lifted at 600
+  EXPECT_FALSE(injector.link_severed(2, 5));
+  EXPECT_FALSE(injector.link_severed(2, 6));
+  // 2<->5 flipped once (despite double coverage); 2<->6 once.
+  EXPECT_EQ(injector.stats().link_cuts, 4U);   // {2-5, 5-2} + {2-6, 6-2}
+  EXPECT_EQ(injector.stats().link_heals, 4U);
+}
+
+TEST(FaultInjector, PermanentPartitionNeverHeals) {
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring),
+                         FaultPlan{}.partition({{0, 1}, {2, 3}}, 10)};  // heal_at == 0
+  injector.arm();
+  ring.simulator().run(1'000'000);
+  EXPECT_TRUE(injector.link_severed(0, 2));
+  EXPECT_TRUE(injector.link_severed(1, 3));
+  EXPECT_EQ(injector.stats().link_heals, 0U);
+}
+
+TEST(FaultInjector, PartitionOfAnAlreadyCrashedNodeComposesWithRecovery) {
+  // Node 4 crashes at 50 and recovers at 300, inside a partition window
+  // [100, 800) that cuts it off from node 10. While crashed it is dead AND
+  // severed; after the crash lifts it is alive but still unreachable; only
+  // the heal restores contact. Node and link state never bleed into each
+  // other.
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}
+                                                      .crash(4, 50, 300)
+                                                      .partition({{4}, {10}}, 100, 800)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(150);  // crashed and partitioned
+  EXPECT_FALSE(ring.alive(4));
+  EXPECT_TRUE(injector.held_down(4));
+  EXPECT_TRUE(injector.link_severed(4, 10));
+  sim.run(200);  // t=350: crash lifted, partition still up
+  EXPECT_TRUE(ring.alive(4));
+  EXPECT_FALSE(injector.held_down(4));
+  EXPECT_TRUE(injector.link_severed(4, 10));  // alive yet unreachable
+  sim.run(500);  // t=850: partition healed
+  EXPECT_TRUE(ring.alive(4));
+  EXPECT_FALSE(injector.link_severed(4, 10));
+  EXPECT_EQ(injector.stats().kills, 1U);
+  EXPECT_EQ(injector.stats().revivals, 1U);
+  EXPECT_EQ(injector.stats().link_cuts, 2U);
+  EXPECT_EQ(injector.stats().link_heals, 2U);
+}
+
+TEST(FaultInjector, CrashAndPartitionRefcountsAreIndependent) {
+  // The node refcount (crash windows) and the link refcount (partition
+  // windows) must not share state: lifting the only crash while two
+  // partition windows still cover the node leaves every link severed, and
+  // vice versa a late crash re-kills a node whose partitions all healed.
+  RingSimulation ring{small_ring()};
+  FaultInjector injector{make_fault_target(ring), FaultPlan{}
+                                                      .crash(6, 100, 200)
+                                                      .partition({{6}, {12}}, 50, 400)
+                                                      .partition({{6}, {12}}, 60, 500)
+                                                      .crash(6, 450, 550)};
+  injector.arm();
+
+  auto& sim = ring.simulator();
+  sim.run(250);  // crash lifted; both partition windows in force
+  EXPECT_TRUE(ring.alive(6));
+  EXPECT_TRUE(injector.link_severed(6, 12));
+  sim.run(200);  // t=450: one partition window left, second crash began
+  EXPECT_FALSE(ring.alive(6));
+  EXPECT_TRUE(injector.link_severed(6, 12));
+  sim.run(150);  // t=600: everything lifted
+  EXPECT_TRUE(ring.alive(6));
+  EXPECT_FALSE(injector.link_severed(6, 12));
+  EXPECT_EQ(injector.stats().kills, 2U);
+  EXPECT_EQ(injector.stats().link_cuts, 2U);   // refcounted: one severed episode
+  EXPECT_EQ(injector.stats().link_heals, 2U);
+}
+
+TEST(FaultInjector, DescribeSerializesEverySpecKind) {
+  const auto plan = FaultPlan{}
+                        .crash(3, 100, 500)
+                        .flap(5, 10, 20, 30, 3)
+                        .correlated_outage({1, 2}, 50, 100, 2, 50)
+                        .partition({{0, 1}, {2, 3}}, 10, 900)
+                        .cut_link(4, 9, 20, 800)
+                        .loss_episode(0.25, 100, 200)
+                        .random_churn(5, 0, 1'000, 100, 42, {0});
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("crash(3, 100, 500)"), std::string::npos);
+  EXPECT_NE(text.find("flap(5, 10, 20, 30, 3)"), std::string::npos);
+  EXPECT_NE(text.find("correlated_outage({1, 2}, 50, 100, 2, 50)"), std::string::npos);
+  EXPECT_NE(text.find("partition({{0, 1}, {2, 3}}, 10, 900)"), std::string::npos);
+  EXPECT_NE(text.find("cut_link(4, 9, 20, 800)"), std::string::npos);
+  EXPECT_NE(text.find("loss_episode(0.25, 100, 200)"), std::string::npos);
+  EXPECT_NE(text.find("random_churn(5, 0, 1000, 100, 42, {0})"), std::string::npos);
+}
+
 TEST(FaultInjector, DrivesHierarchySimulationByNodeId) {
   HierarchySimConfig cfg;
   cfg.fanout = {6, 3};

@@ -1,0 +1,132 @@
+// The ROADMAP partition scenario, deterministically: a sibling ring is split
+// into two halves that are both alive yet mutually unreachable, each half
+// self-heals into its own smaller ring, queries detour around the cut while
+// it holds, and once the partition lifts Section 4.3 active recovery
+// re-merges the halves — pointer tables byte-identical to a run that was
+// never partitioned.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ring_invariant_checker.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/ring_protocol.hpp"
+
+namespace hours::sim {
+namespace {
+
+constexpr Ticks kPartitionAt = 5'000;
+constexpr Ticks kHealAt = 35'000;
+constexpr Ticks kHorizon = 70'000;
+
+RingSimConfig demo_config() {
+  RingSimConfig cfg;
+  cfg.size = 16;
+  cfg.params.design = overlay::Design::kEnhanced;
+  cfg.params.k = 3;
+  cfg.params.q = 2;
+  cfg.params.seed = 0xFEEDULL;
+  return cfg;
+}
+
+FaultPlan halves_partition() {
+  return FaultPlan{}.partition({{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13, 14, 15}},
+                               kPartitionAt, kHealAt);
+}
+
+TEST(PartitionHealing, HalvesSelfHealIntoTwoRingsWhileCut) {
+  RingSimulation ring{demo_config()};
+  ring.start();
+  FaultInjector injector{make_fault_target(ring), halves_partition()};
+  injector.arm();
+
+  ring.simulator().run(kHealAt - 5'000);  // deep inside the partition window
+
+  // Everyone is alive — this is a connectivity fault, not a crash.
+  for (ids::RingIndex i = 0; i < 16; ++i) EXPECT_TRUE(ring.alive(i));
+  EXPECT_TRUE(injector.link_severed(7, 8));
+  EXPECT_TRUE(injector.link_severed(8, 7));
+  EXPECT_FALSE(injector.link_severed(3, 4));  // same side: untouched
+
+  // Each half closed into its own ring across the cut...
+  EXPECT_EQ(ring.cw_successor(7), 0U);
+  EXPECT_EQ(ring.ccw_neighbor(0), 7U);
+  EXPECT_EQ(ring.cw_successor(15), 8U);
+  EXPECT_EQ(ring.ccw_neighbor(8), 15U);
+  // ...which means the full ring is NOT one cycle right now.
+  EXPECT_FALSE(ring.ring_connected());
+  EXPECT_GE(ring.repairs_sent(), 1U);  // halves re-rang via active recovery
+}
+
+TEST(PartitionHealing, QueriesDetourWithinAHalfAndFailAcross) {
+  RingSimulation ring{demo_config()};
+  ring.start();
+  FaultInjector injector{make_fault_target(ring), halves_partition()};
+  injector.arm();
+  ring.simulator().run(kHealAt - 5'000);
+
+  // Same-side query whose greedy candidates point into the other half: node
+  // 6's best hops toward 1 are 9 and 8 (unreachable) — it must detour via 7.
+  const auto same_side = ring.inject_query(6, 1);
+  // Cross-partition query: no path exists while the cut holds.
+  const auto cross = ring.inject_query(1, 12);
+  ring.simulator().run(10 * ring.config().probe_period);
+
+  EXPECT_TRUE(ring.query(same_side).done);
+  EXPECT_TRUE(ring.query(same_side).delivered);
+  EXPECT_TRUE(ring.query(cross).done);
+  EXPECT_FALSE(ring.query(cross).delivered);
+}
+
+TEST(PartitionHealing, ActiveRecoveryRemergesToNeverPartitionedFixpoint) {
+  // Control: identical config, no faults, same horizon.
+  RingSimulation control{demo_config()};
+  control.start();
+  control.simulator().run(kHorizon);
+  const std::string control_fixpoint = invariants::pointer_table_fingerprint(control);
+  ASSERT_TRUE(invariants::ring_invariant_violations(control).empty());
+
+  RingSimulation ring{demo_config()};
+  ring.start();
+  FaultInjector injector{make_fault_target(ring), halves_partition()};
+  injector.arm();
+  ring.simulator().run(kHorizon);
+
+  // The halves re-merged into one ring at the no-fault fixpoint.
+  EXPECT_TRUE(ring.ring_connected());
+  const auto violations = invariants::ring_invariant_violations(ring);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_EQ(invariants::pointer_table_fingerprint(ring), control_fixpoint);
+  EXPECT_EQ(injector.stats().link_cuts, 128U);   // 8 * 8 pairs, both directions
+  EXPECT_EQ(injector.stats().link_heals, 128U);
+  EXPECT_EQ(injector.stats().kills, 0U);  // nobody ever died
+
+  // Boundary suspicion dissolved on both sides of the former cut.
+  EXPECT_FALSE(ring.suspects(7, 8));
+  EXPECT_FALSE(ring.suspects(8, 7));
+
+  // Cross-boundary queries flow again, in both directions.
+  const auto query_failures = invariants::query_delivery_violations(
+      ring, {{1, 12}, {12, 1}, {0, 8}, {15, 7}, {4, 11}});
+  EXPECT_TRUE(query_failures.empty()) << query_failures.front();
+}
+
+TEST(PartitionHealing, RemergeAlsoConvergesOnHierarchyStyleNonContiguousGroups) {
+  // A partition need not split the ring into contiguous arcs: interleave the
+  // groups (evens vs odds). Both "halves" degenerate into heavy suspicion;
+  // after the heal the ring must still converge to the no-fault fixpoint.
+  RingSimulation ring{demo_config()};
+  ring.start();
+  FaultInjector injector{
+      make_fault_target(ring),
+      FaultPlan{}.partition({{0, 2, 4, 6, 8, 10, 12, 14}, {1, 3, 5, 7, 9, 11, 13, 15}},
+                            kPartitionAt, kHealAt)};
+  injector.arm();
+  ring.simulator().run(kHorizon);
+
+  const auto violations = invariants::ring_invariant_violations(ring);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+}  // namespace
+}  // namespace hours::sim

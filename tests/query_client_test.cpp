@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "sim/fault_injector.hpp"
 #include "sim/hierarchy_protocol.hpp"
 #include "sim/query_client.hpp"
 #include "sim/ring_protocol.hpp"
@@ -93,6 +94,41 @@ TEST(QueryClient, DeadlineBoundsAnUnreachableQuery) {
   EXPECT_EQ(out.status, QueryStatus::kDeadlineExceeded);
   EXPECT_EQ(out.latency(), 300U);
   EXPECT_EQ(client.stats().deadline_exceeded, 1U);
+}
+
+TEST(QueryClient, RetriesStraddlingAHealedPartitionDeliverWithinDeadline) {
+  // The destination is cut off (not dead) when the query is issued; every
+  // attempt on the last hop times out until the partition heals at 6'000.
+  // The client's backoff/retry/failover loop must keep the query alive
+  // across the heal boundary and deliver well inside its 20'000 deadline.
+  RingSimulation ring{client_ring()};
+  std::vector<std::uint32_t> rest;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    if (i != 12) rest.push_back(i);
+  }
+  FaultInjector injector{make_fault_target(ring),
+                         FaultPlan{}.partition({{12}, rest}, 100, 6'000)};
+  injector.arm();
+  ring.simulator().run(200);  // partition in force before submission
+  ASSERT_TRUE(injector.link_severed(1, 12));
+
+  // Patient client: the per-hop retry schedule (backoff 200, 400, 800,
+  // 1'600, 3'000, 3'000 ...) stretches past the heal at 6'000, so the later
+  // retransmissions of the stuck final hop land on a restored link.
+  QueryClientConfig cfg;
+  cfg.max_retries_per_hop = 6;
+  cfg.backoff_cap = 3'000;
+  cfg.deadline = 20'000;
+  QueryClient client{make_query_network(ring), cfg};
+  const auto qid = client.submit(1, 12);
+  ring.simulator().run();
+
+  const auto& out = client.outcome(qid);
+  EXPECT_EQ(out.status, QueryStatus::kDelivered);
+  EXPECT_GE(out.completed_at, 6'000U);         // impossible while severed
+  EXPECT_LE(out.completed_at, 200U + 20'000U);  // and within the budget
+  EXPECT_GE(out.retransmissions, 1U);           // the cut forced retries
+  EXPECT_EQ(injector.stats().kills, 0U);        // connectivity fault only
 }
 
 TEST(QueryClient, NoRouteWhenEveryPointerIsSuspect) {

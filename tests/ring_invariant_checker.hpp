@@ -1,0 +1,102 @@
+// Reusable ring-invariant assertions for the partition-healing and
+// fault-schedule fuzz tests.
+//
+// After every fault window lifts and the protocol quiesces, a RingSimulation
+// must sit at its no-fault fixpoint restricted to alive nodes:
+//   * no pointer dangles at a dead node,
+//   * successor/predecessor symmetry: ccw(cw_succ(i)) == i,
+//   * the cw pointers form a single cycle covering every alive node,
+//   * every live-origin query with a live target delivers.
+// Violations come back as human-readable strings (empty vector = healthy)
+// so a fuzz failure can print exactly which invariant broke and where.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ring_protocol.hpp"
+
+namespace hours::sim::invariants {
+
+/// Structural ring invariants over the alive population.
+inline std::vector<std::string> ring_invariant_violations(const RingSimulation& ring) {
+  const std::uint32_t n = ring.config().size;
+  std::vector<std::string> out;
+
+  std::uint32_t alive_count = 0;
+  for (ids::RingIndex i = 0; i < n; ++i) {
+    if (ring.alive(i)) ++alive_count;
+  }
+  if (alive_count == 0) {
+    out.push_back("no alive nodes");
+    return out;
+  }
+
+  for (ids::RingIndex i = 0; i < n; ++i) {
+    if (!ring.alive(i)) continue;
+    const ids::RingIndex succ = ring.cw_successor(i);
+    const ids::RingIndex ccw = ring.ccw_neighbor(i);
+    std::ostringstream os;
+    if (!ring.alive(succ)) {
+      os << "node " << i << " cw successor dangles at dead node " << succ;
+      out.push_back(os.str());
+      continue;
+    }
+    if (!ring.alive(ccw)) {
+      os << "node " << i << " ccw neighbor dangles at dead node " << ccw;
+      out.push_back(os.str());
+      continue;
+    }
+    if (alive_count > 1 && ring.ccw_neighbor(succ) != i) {
+      os << "asymmetry: node " << i << " -> cw " << succ << ", but node " << succ
+         << " -> ccw " << ring.ccw_neighbor(succ);
+      out.push_back(os.str());
+    }
+  }
+
+  if (!ring.ring_connected()) {
+    out.push_back("cw pointers do not form a single cycle over the alive nodes");
+  }
+  return out;
+}
+
+/// Canonical serialization of every alive node's (cw, ccw) pointer pair.
+/// Two runs converged to the same fixpoint compare byte-identical — used to
+/// show a healed partition is indistinguishable from a never-partitioned run.
+inline std::string pointer_table_fingerprint(const RingSimulation& ring) {
+  std::ostringstream os;
+  for (ids::RingIndex i = 0; i < ring.config().size; ++i) {
+    if (!ring.alive(i)) continue;
+    os << i << "->" << ring.cw_successor(i) << "/" << ring.ccw_neighbor(i) << ";";
+  }
+  return os.str();
+}
+
+/// Injects an in-network query for each (origin, target) pair whose ends are
+/// both alive, runs the simulator to let them settle, and reports any that
+/// failed to deliver. Pairs with a dead end are skipped, not failed.
+inline std::vector<std::string> query_delivery_violations(
+    RingSimulation& ring, const std::vector<std::pair<ids::RingIndex, ids::RingIndex>>& pairs,
+    Ticks settle_ticks = 0) {
+  std::vector<std::pair<std::uint64_t, std::pair<ids::RingIndex, ids::RingIndex>>> issued;
+  for (const auto& p : pairs) {
+    if (!ring.alive(p.first) || !ring.alive(p.second)) continue;
+    issued.emplace_back(ring.inject_query(p.first, p.second), p);
+  }
+  ring.simulator().run(settle_ticks != 0 ? settle_ticks : 30 * ring.config().probe_period);
+
+  std::vector<std::string> out;
+  for (const auto& [qid, p] : issued) {
+    const auto& outcome = ring.query(qid);
+    if (outcome.done && outcome.delivered) continue;
+    std::ostringstream os;
+    os << "query " << p.first << " -> " << p.second << " "
+       << (outcome.done ? "terminated undelivered" : "never settled");
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+}  // namespace hours::sim::invariants

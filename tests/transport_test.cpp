@@ -184,6 +184,108 @@ TEST(TransportRace, RevivedSenderDoesNotReceiveStaleAck) {
   EXPECT_TRUE(timed_out);
 }
 
+TEST(TransportRace, MessageInFlightWhenReceiverDiesIsSuppressedDespiteRevival) {
+  // A sends at t=0 (arrival t=10); B dies at t=3 and is back up at t=6. The
+  // restarted process has no connection state for traffic addressed to its
+  // previous life: the message must NOT be delivered, and the sender's
+  // timeout fires. Pinned: death *between send and delivery* voids the
+  // message even when the node is alive again at the arrival instant.
+  RaceFixture f;
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.schedule(3, [&] { f.transport.set_alive(1, false); });
+  f.sim.schedule(6, [&] { f.transport.set_alive(1, true); });
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());  // never delivered
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(f.sim.now(), 25U);
+}
+
+TEST(TransportRace, MessageSentWhileReceiverDownDeliversAfterRevival) {
+  // The converse ordering: B is down for [0, 6) and the message arrives at
+  // t=10 into B's *current* life — it was never in flight across a death,
+  // so it is delivered normally. Pinned together with the test above: what
+  // matters is whether a death separates send from delivery, not whether
+  // the node was ever down in between.
+  RaceFixture f;
+  f.transport.set_alive(1, false);
+  f.transport.post(0, 1, {"x"});
+  f.sim.schedule(6, [&] { f.transport.set_alive(1, true); });
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1U);
+}
+
+TEST(TransportRace, DeathAfterDeliveryDoesNotRetractIt) {
+  // Delivery at t=10, death at t=12: the handler already ran and the ack is
+  // already in flight; both stand.
+  RaceFixture f;
+  bool acked = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, nullptr);
+  f.sim.schedule(12, [&] { f.transport.set_alive(1, false); });
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 1U);
+  EXPECT_TRUE(acked);
+}
+
+// -- link-level reachability (partitions) -------------------------------------------
+
+TEST(TransportLink, SeveredLinkSurfacesAsAckTimeoutNotLoss) {
+  RaceFixture f;
+  f.transport.set_link_filter([](std::uint32_t from, std::uint32_t to) {
+    return !(from == 0 && to == 1);
+  });
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timed_out);  // silence, exactly like a dead peer
+  EXPECT_EQ(f.transport.messages_lost(), 0U);  // not accounted as stochastic loss
+  EXPECT_EQ(f.transport.messages_link_dropped(), 1U);
+}
+
+TEST(TransportLink, AsymmetricCutBlocksTheAckDirection) {
+  // Only B->A is severed: the message reaches B (handler runs) but B's ack
+  // cannot return, so the sender still observes silence. One-way
+  // reachability is indistinguishable from a partition to the sender.
+  RaceFixture f;
+  f.transport.set_link_filter([](std::uint32_t from, std::uint32_t to) {
+    return !(from == 1 && to == 0);
+  });
+  bool acked = false;
+  bool timed_out = false;
+  f.transport.send_expect_ack(0, 1, {"x"}, [&] { acked = true; }, [&] { timed_out = true; });
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 1U);  // delivered to B
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(f.transport.messages_link_dropped(), 1U);  // the ack
+}
+
+TEST(TransportLink, FilterIsConsultedAtDeliveryTime) {
+  // The link is cut at t=5 while the message (arrival t=10) is in flight:
+  // it is dropped. A second message sent after the cut lifts (t=20) sails
+  // through. Pinned: reachability is evaluated when the message lands, not
+  // when it is sent.
+  RaceFixture f;
+  bool blocked = false;
+  f.transport.set_link_filter(
+      [&blocked](std::uint32_t, std::uint32_t) { return !blocked; });
+  f.transport.post(0, 1, {"early"});
+  f.sim.schedule(5, [&] { blocked = true; });
+  f.sim.schedule(20, [&] {
+    blocked = false;
+    f.transport.post(0, 1, {"late"});
+  });
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1U);
+  EXPECT_EQ(f.received[0], 1U);
+  EXPECT_EQ(f.transport.messages_link_dropped(), 1U);
+}
+
 TEST(TransportRace, AckAlwaysBeatsTimeoutWhenDelivered) {
   // The config contract ack_timeout > 2 * latency_max exists precisely so a
   // delivered message's ack precedes its timeout; pin it across many sends
