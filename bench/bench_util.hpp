@@ -6,7 +6,9 @@
 // mirrors it to <binary>.csv in the current directory.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <string_view>
 
@@ -27,6 +29,15 @@ inline std::uint64_t scaled(std::uint64_t full, std::uint64_t quick, bool is_qui
 
 inline std::string csv_path(std::string_view bench_name) {
   return std::string{bench_name} + ".csv";
+}
+
+/// Prints a finished JSON report to stdout and mirrors it to
+/// <bench_name>.json — the shared tail of every reproducibility bench.
+/// Reports should be built with metrics::JsonWriter, not hand-concatenated.
+inline void emit_json_report(std::string_view bench_name, const std::string& json) {
+  std::printf("%s\n", json.c_str());
+  std::ofstream out{std::string{bench_name} + ".json"};
+  out << json << "\n";
 }
 
 }  // namespace hours::bench

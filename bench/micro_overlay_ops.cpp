@@ -1,7 +1,9 @@
 // google-benchmark microbenchmarks for the hot primitives: routing-table
-// generation (jump sampler vs naive O(N) Bernoulli), greedy forwarding, and
-// Chord routing. These justify the jump sampler that makes Figure 7's
-// 2,000,000-node point tractable.
+// generation (jump sampler vs naive O(N) Bernoulli), greedy forwarding,
+// Chord routing, and the trace emission path. The BM_ForwardTraced* group
+// bounds the cost the tracing subsystem adds to a hot protocol op: with no
+// tracer attached the emission site must be within noise (<= 2%) of the
+// untraced BM_ForwardEager loop.
 #include <benchmark/benchmark.h>
 
 #include "baseline/chord.hpp"
@@ -9,6 +11,8 @@
 #include "overlay/table_builder.hpp"
 #include "rng/pointer_sampler.hpp"
 #include "rng/xoshiro256.hpp"
+#include "trace/ring_buffer_sink.hpp"
+#include "trace/sink.hpp"
 
 namespace {
 
@@ -76,6 +80,60 @@ void BM_ForwardLazy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardLazy)->Range(1024, 1 << 20);
+
+/// The forwarding loop of BM_ForwardEager with a per-hop emission site, the
+/// way ring_protocol's hot path is instrumented. `tracer` selects the mode:
+/// nullptr = tracing disabled (the default for every protocol object), a
+/// sink-less tracer = attached but idle, a sink-backed tracer = recording.
+void forward_traced_loop(benchmark::State& state, trace::Tracer* tracer) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  overlay::OverlayParams params;
+  params.design = overlay::Design::kEnhanced;
+  params.k = 5;
+  const overlay::Overlay ov{n, params};
+  rng::Xoshiro256 rng{7};
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const auto from = static_cast<ids::RingIndex>(rng.below(n));
+    const auto to = static_cast<ids::RingIndex>(rng.below(n));
+    const auto next = ov.forward(from, to);
+    benchmark::DoNotOptimize(next);
+    HOURS_TRACE_EMIT(tracer, {.at = ++tick, .type = trace::EventType::kRingHop,
+                              .node = from, .peer = next.last_node, .causal = tick});
+  }
+}
+
+void BM_ForwardTracedDisabled(benchmark::State& state) {
+  forward_traced_loop(state, nullptr);
+}
+BENCHMARK(BM_ForwardTracedDisabled)->Range(1024, 1 << 16);
+
+void BM_ForwardTracedNoSink(benchmark::State& state) {
+  trace::Tracer tracer;
+  forward_traced_loop(state, &tracer);
+}
+BENCHMARK(BM_ForwardTracedNoSink)->Range(1024, 1 << 16);
+
+void BM_ForwardTracedRingBuffer(benchmark::State& state) {
+  trace::Tracer tracer;
+  trace::RingBufferSink sink{4096};
+  tracer.add_sink(&sink);
+  forward_traced_loop(state, &tracer);
+}
+BENCHMARK(BM_ForwardTracedRingBuffer)->Range(1024, 1 << 16);
+
+/// Raw cost of one emit through the dispatcher into the ring buffer.
+void BM_TraceEmit(benchmark::State& state) {
+  trace::Tracer tracer;
+  trace::RingBufferSink sink{4096};
+  tracer.add_sink(&sink);
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    tracer.emit({.at = ++tick, .type = trace::EventType::kProbeSent, .node = 1, .peer = 2});
+  }
+  benchmark::DoNotOptimize(sink.total_events());
+}
+BENCHMARK(BM_TraceEmit);
 
 void BM_ChordRoute(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

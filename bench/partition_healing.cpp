@@ -11,7 +11,6 @@
 // be byte-identical to the no-fault fixpoint. The scenario runs twice and
 // the JSON blobs are compared byte-for-byte for bit-reproducibility.
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "metrics/json_writer.hpp"
 #include "metrics/table_writer.hpp"
 #include "metrics/timeline.hpp"
 #include "rng/xoshiro256.hpp"
@@ -137,33 +137,43 @@ RunResult run_scenario(const Scenario& sc) {
     timeline.record(out.issued_at, out.status == QueryStatus::kDelivered, out.latency());
   }
 
-  // Merge the delivery windows with the traffic samples into one JSON blob.
+  // Merge the delivery windows with the traffic samples into one JSON report.
   // Sample i covers [sample[i].at, sample[i+1].at) — deltas, not totals.
   // Samples and timeline buckets share width and alignment, so the window
   // starting at a.at is the one whose queries were issued in that span.
   std::map<std::uint64_t, metrics::Timeline::Window> delivery;
   for (const auto& w : timeline.windows()) delivery[w.start] = w;
-  std::ostringstream os;
-  os << "{\"size\":" << sc.size << ",\"partition_at\":" << sc.partition_at
-     << ",\"heal_at\":" << sc.heal_at << ",\"window_width\":" << sc.window << ",\"windows\":[";
+  metrics::JsonWriter json;
+  json.begin_object();
+  json.field("size", sc.size);
+  json.field("partition_at", sc.partition_at);
+  json.field("heal_at", sc.heal_at);
+  json.field("window_width", sc.window);
+  json.key("windows").begin_array();
   for (std::size_t i = 0; i + 1 < samples->size(); ++i) {
     const TrafficSample& a = (*samples)[i];
     const TrafficSample& b = (*samples)[i + 1];
     const metrics::Timeline::Window w = delivery.count(a.at) != 0 ? delivery[a.at]
                                                                   : metrics::Timeline::Window{};
-    char ratio_text[32];
-    std::snprintf(ratio_text, sizeof(ratio_text), "%.4f", w.delivery_ratio());
-    if (i != 0) os << ",";
-    os << "{\"start\":" << a.at << ",\"attempts\":" << w.attempts
-       << ",\"delivered\":" << w.delivered << ",\"delivery_ratio\":" << ratio_text
-       << ",\"repairs\":" << (b.repairs - a.repairs) << ",\"claims\":" << (b.claims - a.claims)
-       << ",\"link_dropped\":" << (b.link_dropped - a.link_dropped)
-       << ",\"ring_connected\":" << (b.connected ? "true" : "false") << "}";
+    json.begin_object();
+    json.field("start", a.at);
+    json.field("attempts", w.attempts);
+    json.field("delivered", w.delivered);
+    json.field("delivery_ratio", w.delivery_ratio(), 4);
+    json.field("repairs", b.repairs - a.repairs);
+    json.field("claims", b.claims - a.claims);
+    json.field("link_dropped", b.link_dropped - a.link_dropped);
+    json.field("ring_connected", b.connected);
+    json.end_object();
     if (!b.connected) result.split_observed = true;
   }
-  os << "]}";
+  json.end_array();
+  // Full counter/histogram snapshot from the ring's registry — the windowed
+  // repair/claim series above is carved out of the same counters.
+  json.key("counters").raw(ring.registry().to_json());
+  json.end_object();
 
-  result.json = os.str();
+  result.json = json.str();
   result.pre = timeline.delivery_ratio(0, sc.partition_at);
   result.during = timeline.delivery_ratio(sc.partition_at, sc.heal_at);
   result.post = timeline.delivery_ratio(sc.post_start, sc.horizon);
@@ -217,9 +227,7 @@ int main(int argc, char** argv) {
               first.during < first.pre ? "yes" : "no", first.post >= first.pre ? "yes" : "no",
               reproducible ? "yes" : "no");
 
-  std::printf("%s\n", first.json.c_str());
-  std::ofstream out{"partition_healing.json"};
-  out << first.json << "\n";
+  bench::emit_json_report("partition_healing", first.json);
 
   const bool ok = reproducible && first.split_observed && first.remerged &&
                   first.fixpoint_matches && first.during < first.pre && first.post >= first.pre &&

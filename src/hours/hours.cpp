@@ -1,6 +1,7 @@
 #include "hours/hours.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hours {
 
@@ -36,9 +37,15 @@ util::Result<naming::Name> HoursSystem::set_alive(std::string_view name, bool al
   if (!parsed.ok()) return parsed.error();
   if (parsed.value().is_root()) {
     hierarchy_.set_root_alive(alive);
-    return parsed.value();
+  } else {
+    auto result = hierarchy_.set_alive(parsed.value(), alive);
+    if (!result.ok()) return result;
   }
-  return hierarchy_.set_alive(parsed.value(), alive);
+  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_,
+                            .type = alive ? trace::EventType::kFaultRevive
+                                          : trace::EventType::kFaultKill,
+                            .level = static_cast<std::int32_t>(parsed.value().depth())});
+  return parsed.value();
 }
 
 util::Result<naming::Name> HoursSystem::strike(std::string_view target,
@@ -76,7 +83,10 @@ util::Result<naming::Name> HoursSystem::strike(std::string_view target,
   }
   for (const auto& victim : victims) {
     (void)hierarchy_.set_alive(naming::Name::parse(victim).value(), false);
+    HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kFaultKill,
+                              .level = static_cast<std::int32_t>(path.value().size())});
   }
+  attacks_launched_.inc();
   active_attacks_.emplace(key, std::move(victims));
   return parsed.value();
 }
@@ -89,7 +99,9 @@ util::Result<naming::Name> HoursSystem::lift_attack(std::string_view target) {
   }
   for (const auto& victim : it->second) {
     (void)hierarchy_.set_alive(naming::Name::parse(victim).value(), true);
+    HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kFaultRevive});
   }
+  attacks_lifted_.inc();
   active_attacks_.erase(it);
   return naming::Name::parse(target);
 }
@@ -120,11 +132,31 @@ QueryResult HoursSystem::run_route(const hierarchy::NodePath& start,
   return result;
 }
 
+QueryResult HoursSystem::finish_query(std::uint64_t qid, QueryResult result) {
+  if (result.delivered) {
+    queries_delivered_.inc();
+    delivered_hops_->add(result.hops);
+  } else {
+    queries_failed_.inc();
+  }
+  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_,
+                            .type = result.delivered ? trace::EventType::kQueryDelivered
+                                                     : trace::EventType::kQueryFailed,
+                            .causal = qid,
+                            .value = result.hops});
+  return result;
+}
+
 QueryResult HoursSystem::query(std::string_view dest_name, bool record_path) {
+  const std::uint64_t qid = next_qid_++;
+  queries_submitted_.inc();
   auto parsed = parse_name(dest_name);
-  if (!parsed.ok()) return failed(parsed.error().code);
+  if (!parsed.ok()) return finish_query(qid, failed(parsed.error().code));
+  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kQuerySubmit,
+                            .level = static_cast<std::int32_t>(parsed.value().depth()),
+                            .causal = qid});
   const auto paths = hierarchy_.resolve_paths(parsed.value());
-  if (paths.empty()) return failed(util::Error::Code::kNotFound);
+  if (paths.empty()) return finish_query(qid, failed(util::Error::Code::kNotFound));
 
   if (hierarchy_.root_alive()) {
     // Mesh nodes (Section 7) have several top-down paths; try the primary
@@ -145,12 +177,13 @@ QueryResult HoursSystem::query(std::string_view dest_name, bool record_path) {
         cache_bootstrap(parsed.value().ancestor_at(1).to_string());
       }
     }
-    return result;
+    return finish_query(qid, std::move(result));
   }
 
   // Root is down: bootstrap from cached nodes (Section 7) — any cached node
   // whose overlay lies on the destination's top-down path can start the
   // query.
+  cache_bootstrap_queries_.inc();
   for (const auto& cached : bootstrap_cache_) {
     auto cached_name = parse_name(cached);
     if (!cached_name.ok()) continue;
@@ -164,27 +197,32 @@ QueryResult HoursSystem::query(std::string_view dest_name, bool record_path) {
         result.path_attempts = static_cast<std::uint32_t>(attempt + 1);
         result.used_bootstrap_cache = true;
         cache_bootstrap(dest_name);
-        return result;
+        return finish_query(qid, std::move(result));
       }
-      if (result.failure == util::Error::Code::kDead) return result;
+      if (result.failure == util::Error::Code::kDead) return finish_query(qid, std::move(result));
     }
   }
-  return failed(util::Error::Code::kDead);  // no usable entry point
+  return finish_query(qid, failed(util::Error::Code::kDead));  // no usable entry point
 }
 
 QueryResult HoursSystem::query_from(std::string_view start_name, std::string_view dest_name,
                                     bool record_path) {
+  const std::uint64_t qid = next_qid_++;
+  queries_submitted_.inc();
   auto start_parsed = parse_name(start_name);
-  if (!start_parsed.ok()) return failed(start_parsed.error().code);
+  if (!start_parsed.ok()) return finish_query(qid, failed(start_parsed.error().code));
   auto dest_parsed = parse_name(dest_name);
-  if (!dest_parsed.ok()) return failed(dest_parsed.error().code);
+  if (!dest_parsed.ok()) return finish_query(qid, failed(dest_parsed.error().code));
+  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kQuerySubmit,
+                            .level = static_cast<std::int32_t>(dest_parsed.value().depth()),
+                            .causal = qid});
 
   auto start = hierarchy_.resolve(start_parsed.value());
-  if (!start.ok()) return failed(start.error().code);
+  if (!start.ok()) return finish_query(qid, failed(start.error().code));
   auto dest = hierarchy_.resolve(dest_parsed.value());
-  if (!dest.ok()) return failed(dest.error().code);
+  if (!dest.ok()) return finish_query(qid, failed(dest.error().code));
 
-  return run_route(start.value(), dest.value(), record_path);
+  return finish_query(qid, run_route(start.value(), dest.value(), record_path));
 }
 
 util::Result<naming::Name> HoursSystem::add_record(std::string_view name, store::Record record) {

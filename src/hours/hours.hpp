@@ -28,6 +28,8 @@
 #include "naming/name.hpp"
 #include "overlay/params.hpp"
 #include "store/record_store.hpp"
+#include "trace/registry.hpp"
+#include "trace/sink.hpp"
 #include "util/status.hpp"
 
 namespace hours {
@@ -104,9 +106,20 @@ class HoursSystem {
   [[nodiscard]] hierarchy::NamedHierarchy& hierarchy() noexcept { return hierarchy_; }
   [[nodiscard]] const HoursConfig& config() const noexcept { return config_; }
 
+  // -- observability ----------------------------------------------------------
+  /// Attach (or detach with nullptr) a tracer; the facade has no simulator,
+  /// so events are stamped with a logical operation clock.
+  void set_tracer(trace::Tracer* tracer) noexcept { trace_ = tracer; }
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return trace_; }
+  /// Facade-level counters/histograms ("facade.*" names).
+  [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
+
  private:
   [[nodiscard]] QueryResult run_route(const hierarchy::NodePath& start,
                                       const hierarchy::NodePath& dest, bool record_path);
+  /// Counts the outcome, emits kQueryDelivered/kQueryFailed, returns `result`.
+  QueryResult finish_query(std::uint64_t qid, QueryResult result);
 
   HoursConfig config_;
   hierarchy::NamedHierarchy hierarchy_;
@@ -115,6 +128,18 @@ class HoursSystem {
   std::deque<std::string> bootstrap_cache_;  // most recent first
   rng::Xoshiro256 attack_rng_{0xA77ACCULL};
   std::map<std::string, std::vector<std::string>> active_attacks_;  // target -> victims
+
+  trace::Registry registry_;
+  trace::Tracer* trace_ = nullptr;
+  std::uint64_t op_clock_ = 0;  ///< logical Event::at outside any simulator
+  std::uint64_t next_qid_ = 1;
+  trace::Counter queries_submitted_ = registry_.counter("facade.queries_submitted");
+  trace::Counter queries_delivered_ = registry_.counter("facade.queries_delivered");
+  trace::Counter queries_failed_ = registry_.counter("facade.queries_failed");
+  trace::Counter cache_bootstrap_queries_ = registry_.counter("facade.cache_bootstrap_queries");
+  trace::Counter attacks_launched_ = registry_.counter("facade.attacks_launched");
+  trace::Counter attacks_lifted_ = registry_.counter("facade.attacks_lifted");
+  metrics::Histogram* delivered_hops_ = &registry_.histogram("facade.delivered_hops");
 };
 
 }  // namespace hours

@@ -1,0 +1,131 @@
+#include "metrics/json_writer.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace hours::metrics {
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Frame::kObject) {
+    HOURS_EXPECTS(have_key_);  // object members need a key first
+    have_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ",";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += "{";
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  HOURS_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject && !have_key_);
+  stack_.pop_back();
+  out_ += "}";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += "[";
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  HOURS_EXPECTS(!stack_.empty() && stack_.back() == Frame::kArray);
+  stack_.pop_back();
+  out_ += "]";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  HOURS_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject && !have_key_);
+  if (need_comma_) out_ += ",";
+  out_ += "\"";
+  out_ += name;
+  out_ += "\":";
+  need_comma_ = false;
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += "\"";
+  for (const char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out_ += buffer;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += "\"";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int digits) {
+  before_value();
+  out_ += fixed(v, digits);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  HOURS_EXPECTS(stack_.empty());  // every begin_* must be closed
+  return out_;
+}
+
+std::string JsonWriter::fixed(double v, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, v);
+  return buffer;
+}
+
+}  // namespace hours::metrics

@@ -1,0 +1,73 @@
+// Minimal deterministic JSON builder for bench reports and sinks.
+//
+// Benches used to hand-concatenate JSON with std::ostringstream, each one
+// re-inventing comma placement and double formatting. JsonWriter tracks
+// nesting and separators, formats doubles with an explicit digit count
+// (byte-stable across runs — the reproducibility comparisons depend on
+// it), and emits compact one-line output matching the house style of
+// Timeline::to_json(). It is a writer, not a DOM: values stream in call
+// order, and misuse (value without key inside an object, unbalanced ends)
+// trips contracts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hours::metrics {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container begin.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);  ///< escapes quotes/backslashes/control
+  /// Without this overload a string literal would take the pointer-to-bool
+  /// standard conversion over the string_view user conversion.
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  /// Fixed-point double with `digits` after the point (deterministic).
+  JsonWriter& value(double v, int digits = 4);
+
+  /// Splices pre-rendered JSON (e.g. Timeline::to_json()) as one value.
+  JsonWriter& raw(std::string_view json);
+
+  /// Convenience: key + value.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+  JsonWriter& field(std::string_view name, double v, int digits) {
+    key(name);
+    return value(v, digits);
+  }
+
+  /// The finished document; all containers must be closed.
+  [[nodiscard]] const std::string& str() const;
+
+  /// Fixed-point formatting helper shared with non-writer call sites.
+  [[nodiscard]] static std::string fixed(double v, int digits);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;  ///< a key was written, value pending
+};
+
+}  // namespace hours::metrics

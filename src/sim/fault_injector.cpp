@@ -202,7 +202,13 @@ bool FaultInjector::link_severed(std::uint32_t from, std::uint32_t to) const {
 }
 
 void FaultInjector::apply_link_down(std::uint32_t a, std::uint32_t b) {
-  if (++link_down_count_[{a, b}] == 1) ++stats_.link_cuts;
+  if (++link_down_count_[{a, b}] == 1) {
+    ++stats_.link_cuts;
+    HOURS_TRACE_EMIT(trace_, {.at = target_.sim->now(),
+                              .type = trace::EventType::kLinkCut,
+                              .node = a,
+                              .peer = b});
+  }
 }
 
 void FaultInjector::apply_link_up(std::uint32_t a, std::uint32_t b) {
@@ -211,6 +217,10 @@ void FaultInjector::apply_link_up(std::uint32_t a, std::uint32_t b) {
   if (--it->second == 0) {
     link_down_count_.erase(it);
     ++stats_.link_heals;
+    HOURS_TRACE_EMIT(trace_, {.at = target_.sim->now(),
+                              .type = trace::EventType::kLinkHeal,
+                              .node = a,
+                              .peer = b});
   }
 }
 
@@ -235,6 +245,9 @@ void FaultInjector::apply_down(std::uint32_t node) {
   if (++down_count_[node] == 1) {
     target_.kill(node);
     ++stats_.kills;
+    HOURS_TRACE_EMIT(trace_, {.at = target_.sim->now(),
+                              .type = trace::EventType::kFaultKill,
+                              .node = node});
   }
 }
 
@@ -244,6 +257,9 @@ void FaultInjector::apply_up(std::uint32_t node) {
   if (--down_count_[node] == 0) {
     target_.revive(node);
     ++stats_.revivals;
+    HOURS_TRACE_EMIT(trace_, {.at = target_.sim->now(),
+                              .type = trace::EventType::kFaultRevive,
+                              .node = node});
   }
 }
 
@@ -319,10 +335,18 @@ void FaultInjector::arm() {
       *saved = target_.loss();
       target_.set_loss(spec.probability);
       ++stats_.loss_changes;
+      HOURS_TRACE_EMIT(trace_,
+                       {.at = target_.sim->now(),
+                        .type = trace::EventType::kLossChange,
+                        .value = static_cast<std::uint64_t>(spec.probability * 1e6)});
     });
     target_.sim->schedule(spec.until, [this, saved] {
       target_.set_loss(*saved);
       ++stats_.loss_changes;
+      HOURS_TRACE_EMIT(trace_,
+                       {.at = target_.sim->now(),
+                        .type = trace::EventType::kLossChange,
+                        .value = static_cast<std::uint64_t>(*saved * 1e6)});
     });
   }
 
@@ -331,6 +355,11 @@ void FaultInjector::arm() {
     target_.sim->schedule(spec.at, [this, spec] {
       target_.set_behavior(spec.node, spec.behavior);
       ++stats_.behavior_changes;
+      HOURS_TRACE_EMIT(trace_,
+                       {.at = target_.sim->now(),
+                        .type = trace::EventType::kBehaviorChange,
+                        .node = spec.node,
+                        .value = static_cast<std::uint64_t>(spec.behavior)});
     });
   }
 

@@ -29,6 +29,7 @@
 
 #include "overlay/overlay.hpp"
 #include "sim/simulator.hpp"
+#include "trace/sink.hpp"
 
 namespace hours::sim {
 
@@ -194,6 +195,10 @@ class FaultInjector {
   /// window.
   void arm();
 
+  /// Attaches the trace stream (kill/revive/link/loss/behavior events as
+  /// they are applied); null detaches. Must outlive the run.
+  void set_tracer(trace::Tracer* tracer) { trace_ = tracer; }
+
   [[nodiscard]] const FaultInjectorStats& stats() const noexcept { return stats_; }
 
   /// True while any armed fault window holds `node` down.
@@ -216,6 +221,7 @@ class FaultInjector {
   FaultTarget target_;
   FaultPlan plan_;
   FaultInjectorStats stats_;
+  trace::Tracer* trace_ = nullptr;
   std::vector<std::uint32_t> down_count_;
   /// Directed (from, to) -> number of severing windows currently in force.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> link_down_count_;

@@ -32,7 +32,11 @@ std::uint64_t overlay_seed(std::uint64_t base, const hierarchy::NodePath& parent
 
 HierarchySimulation::HierarchySimulation(HierarchySimConfig config)
     : config_(std::move(config)),
-      transport_(sim_, config_.transport, total_nodes(config_.fanout), config_.seed) {
+      transport_(sim_, config_.transport, total_nodes(config_.fanout), config_.seed),
+      queries_delivered_(registry_.counter("hier.queries_delivered")),
+      queries_failed_(registry_.counter("hier.queries_failed")),
+      hop_timeouts_(registry_.counter("hier.hop_timeouts")),
+      delivered_hops_(&registry_.histogram("hier.delivered_hops")) {
   HOURS_EXPECTS(!config_.fanout.empty());
   config_.params.validate();
 
@@ -128,6 +132,12 @@ std::uint64_t HierarchySimulation::inject_query(const hierarchy::NodePath& dest,
 
   const std::uint64_t qid = next_qid_++;
   queries_[qid] = QueryOutcome{};
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kQuerySubmit,
+                            .node = start_id,
+                            .peer = id_of(dest),
+                            .level = static_cast<std::int32_t>(start.size()),
+                            .causal = qid});
   Message msg;
   msg.qid = qid;
   msg.dest = dest;
@@ -162,6 +172,17 @@ void HierarchySimulation::finish(std::uint64_t qid, bool delivered, std::uint32_
   outcome.delivered = delivered;
   outcome.hops = hops;
   outcome.completed_at = sim_.now();
+  if (delivered) {
+    queries_delivered_.inc();
+    delivered_hops_->add(hops);
+  } else {
+    queries_failed_.inc();
+  }
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = delivered ? trace::EventType::kQueryDelivered
+                                              : trace::EventType::kQueryFailed,
+                            .causal = qid,
+                            .value = hops});
 }
 
 bool HierarchySimulation::is_suspected(const Node& node, std::uint32_t id) const {
@@ -171,11 +192,17 @@ bool HierarchySimulation::is_suspected(const Node& node, std::uint32_t id) const
   return true;
 }
 
-void HierarchySimulation::suspect(Node& node, std::uint32_t id) {
+void HierarchySimulation::suspect(std::uint32_t at, std::uint32_t peer) {
+  Node& node = nodes_[at];
   const Ticks expiry = config_.suspicion_ttl == 0
                            ? ~Ticks{0}
                            : sim_.now() + config_.suspicion_ttl;
-  node.suspected[id] = expiry;
+  node.suspected[peer] = expiry;
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kSuspect,
+                            .node = at,
+                            .peer = peer,
+                            .level = static_cast<std::int32_t>(node.path.size())});
 }
 
 std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
@@ -267,6 +294,27 @@ std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
   return out;
 }
 
+trace::EventType HierarchySimulation::hop_kind(const Node& node, std::uint32_t next,
+                                               const Message& msg) const {
+  // Parent climb and on-path descent are plain hierarchical hops; an
+  // off-path child is an overlay entrance chosen to detour around a dead
+  // on-path child (Algorithm 2 footnote 4). Sibling steps are overlay
+  // forwarding (ring, or backward once greedy progress is exhausted), and
+  // anything else is a nephew pointer exiting into the next-level overlay.
+  if (next == node.parent) return trace::EventType::kHierHop;
+  if (next >= node.first_child && next < node.first_child + node.child_count) {
+    const std::size_t level = node.path.size();
+    const bool on_path = hierarchy::is_prefix(node.path, msg.dest) &&
+                         level < msg.dest.size() &&
+                         next == node.first_child + msg.dest[level];
+    return on_path ? trace::EventType::kHierHop : trace::EventType::kDetourEnter;
+  }
+  if (next >= node.sibling_base && next < node.sibling_base + node.ring_size) {
+    return msg.backward ? trace::EventType::kBackwardHop : trace::EventType::kRingHop;
+  }
+  return trace::EventType::kNephewExit;
+}
+
 std::vector<std::uint32_t> HierarchySimulation::route_candidates(
     std::uint32_t at, const hierarchy::NodePath& dest, bool& backward) const {
   HOURS_EXPECTS(at < nodes_.size());
@@ -348,11 +396,24 @@ void HierarchySimulation::try_candidates(std::uint32_t at, Message msg,
 
   Message forwarded = msg;
   forwarded.hops += 1;
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = hop_kind(nodes_[at], next, msg),
+                            .node = at,
+                            .peer = next,
+                            .level = static_cast<std::int32_t>(nodes_[at].path.size()),
+                            .causal = msg.qid,
+                            .value = forwarded.hops});
   transport_.send_expect_ack(
       at, next, forwarded, /*on_ack=*/nullptr,
       /*on_timeout=*/[this, at, msg, next, remaining = std::move(candidates)]() mutable {
-        suspect(nodes_[at], next);
+        suspect(at, next);
+        hop_timeouts_.inc();
         queries_[msg.qid].timeouts += 1;
+        HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                  .type = trace::EventType::kRetry,
+                                  .node = at,
+                                  .peer = next,
+                                  .causal = msg.qid});
         try_candidates(at, msg, std::move(remaining));
       });
 }

@@ -27,6 +27,8 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
 #include "sim/transport.hpp"
+#include "trace/registry.hpp"
+#include "trace/sink.hpp"
 
 namespace hours::sim {
 
@@ -78,6 +80,18 @@ class HierarchySimulation {
   /// Installs the transport's per-link reachability predicate (partition and
   /// link-cut faults, keyed by node id); null restores full connectivity.
   void set_link_filter(LinkFilter filter) { transport_.set_link_filter(std::move(filter)); }
+
+  // -- observability -------------------------------------------------------------
+  /// Attaches the trace stream (hop taxonomy, suspicion, query lifecycle,
+  /// plus transport drops); null detaches. Must outlive the run.
+  void set_tracer(trace::Tracer* tracer) {
+    trace_ = tracer;
+    transport_.set_tracer(tracer);
+  }
+
+  /// The run's counter/histogram registry ("hier.queries_delivered", ...).
+  [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
 
   // -- insiders (Section 5.3) ------------------------------------------------------
   /// Compromised-node behavior. Unlike a DoS'd server, an insider *acks*
@@ -146,7 +160,7 @@ class HierarchySimulation {
   };
 
   [[nodiscard]] bool is_suspected(const Node& node, std::uint32_t id) const;
-  void suspect(Node& node, std::uint32_t id);
+  void suspect(std::uint32_t at, std::uint32_t peer);
 
   void handle(std::uint32_t at, const Message& msg);
   void try_candidates(std::uint32_t at, Message msg, std::vector<std::uint32_t> candidates);
@@ -155,6 +169,11 @@ class HierarchySimulation {
   /// Algorithm 2+3 decision at node `at`: ordered candidate ids for the
   /// next hop, or empty when the query must fail here.
   [[nodiscard]] std::vector<std::uint32_t> candidates_at(const Node& node, Message& msg) const;
+
+  /// Classifies the hop `at` -> `next` for the trace taxonomy (Algorithm 2
+  /// descent, overlay detour entrance, ring/backward step, or nephew exit).
+  [[nodiscard]] trace::EventType hop_kind(const Node& node, std::uint32_t next,
+                                          const Message& msg) const;
 
   [[nodiscard]] std::uint32_t sibling_id(const Node& node, ids::RingIndex index) const {
     return node.sibling_base + index;
@@ -169,6 +188,13 @@ class HierarchySimulation {
   rng::Xoshiro256 misroute_rng_{0x5E3ULL};
   std::uint64_t next_qid_ = 1;
   std::map<std::uint64_t, QueryOutcome> queries_;
+
+  trace::Registry registry_;
+  trace::Tracer* trace_ = nullptr;
+  trace::Counter queries_delivered_;
+  trace::Counter queries_failed_;
+  trace::Counter hop_timeouts_;
+  metrics::Histogram* delivered_hops_ = nullptr;  ///< owned by registry_
 };
 
 }  // namespace hours::sim

@@ -39,7 +39,16 @@ QueryNetwork make_query_network(HierarchySimulation& hierarchy) {
 }
 
 QueryClient::QueryClient(QueryNetwork network, QueryClientConfig config)
-    : network_(std::move(network)), config_(config), jitter_rng_(config.seed) {
+    : network_(std::move(network)),
+      config_(config),
+      jitter_rng_(config.seed),
+      submitted_(registry_.counter("client.submitted")),
+      delivered_(registry_.counter("client.delivered")),
+      deadline_exceeded_(registry_.counter("client.deadline_exceeded")),
+      no_route_(registry_.counter("client.no_route")),
+      retransmissions_(registry_.counter("client.retransmissions")),
+      failovers_(registry_.counter("client.failovers")),
+      delivered_latency_(&registry_.histogram("client.delivered_latency")) {
   HOURS_EXPECTS(network_.sim != nullptr && network_.node_count > 0);
   HOURS_EXPECTS(network_.attempt != nullptr && network_.candidates != nullptr &&
                 network_.is_destination != nullptr);
@@ -71,6 +80,20 @@ bool QueryClient::suspected(std::uint32_t node) const {
 void QueryClient::suspect(std::uint32_t node) {
   suspected_[node] = config_.suspicion_ttl == 0 ? ~Ticks{0}
                                                 : network_.sim->now() + config_.suspicion_ttl;
+  HOURS_TRACE_EMIT(trace_, {.at = network_.sim->now(),
+                            .type = trace::EventType::kSuspect,
+                            .peer = node});
+}
+
+QueryClientStats QueryClient::stats() const noexcept {
+  QueryClientStats s;
+  s.submitted = submitted_.value();
+  s.delivered = delivered_.value();
+  s.deadline_exceeded = deadline_exceeded_.value();
+  s.no_route = no_route_.value();
+  s.retransmissions = retransmissions_.value();
+  s.failovers = failovers_.value();
+  return s;
 }
 
 std::uint64_t QueryClient::submit(std::uint32_t start, std::uint32_t dest) {
@@ -80,7 +103,12 @@ std::uint64_t QueryClient::submit(std::uint32_t start, std::uint32_t dest) {
   state.dest = dest;
   state.at = start;
   state.out.issued_at = network_.sim->now();
-  ++stats_.submitted;
+  submitted_.inc();
+  HOURS_TRACE_EMIT(trace_, {.at = network_.sim->now(),
+                            .type = trace::EventType::kQuerySubmit,
+                            .node = start,
+                            .peer = dest,
+                            .causal = qid});
   if (config_.deadline != 0) {
     state.deadline_event = network_.sim->schedule(config_.deadline, [this, qid] {
       const auto it = queries_.find(qid);
@@ -110,11 +138,21 @@ void QueryClient::complete(std::uint64_t qid, QueryStatus status) {
     q.deadline_event = 0;
   }
   switch (status) {
-    case QueryStatus::kDelivered: ++stats_.delivered; break;
-    case QueryStatus::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
-    case QueryStatus::kNoRoute: ++stats_.no_route; break;
+    case QueryStatus::kDelivered:
+      delivered_.inc();
+      delivered_latency_->add(q.out.latency());
+      break;
+    case QueryStatus::kDeadlineExceeded: deadline_exceeded_.inc(); break;
+    case QueryStatus::kNoRoute: no_route_.inc(); break;
     case QueryStatus::kPending: break;
   }
+  HOURS_TRACE_EMIT(trace_, {.at = network_.sim->now(),
+                            .type = status == QueryStatus::kDelivered
+                                        ? trace::EventType::kQueryDelivered
+                                        : trace::EventType::kQueryFailed,
+                            .node = q.at,
+                            .causal = qid,
+                            .value = q.out.hops});
 }
 
 void QueryClient::advance(std::uint64_t qid) {
@@ -191,7 +229,13 @@ void QueryClient::on_timeout(std::uint64_t qid, std::uint32_t tried) {
     // Retransmit after capped exponential backoff with deterministic jitter:
     // silence is as likely a lost message as a dead server.
     ++q.out.retransmissions;
-    ++stats_.retransmissions;
+    retransmissions_.inc();
+    HOURS_TRACE_EMIT(trace_, {.at = network_.sim->now(),
+                              .type = trace::EventType::kRetry,
+                              .node = q.at,
+                              .peer = tried,
+                              .causal = qid,
+                              .value = q.attempts});
     const Ticks base = base_backoff(q.attempts);
     const double factor = 1.0 - config_.jitter + 2.0 * config_.jitter * jitter_rng_.uniform();
     const Ticks delay =
@@ -203,7 +247,7 @@ void QueryClient::on_timeout(std::uint64_t qid, std::uint32_t tried) {
   // Retry budget spent: infer death, fail over to the next pointer.
   suspect(tried);
   ++q.out.failovers;
-  ++stats_.failovers;
+  failovers_.inc();
   advance(qid);
 }
 

@@ -23,6 +23,8 @@
 
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
+#include "trace/registry.hpp"
+#include "trace/sink.hpp"
 
 namespace hours::sim {
 
@@ -85,6 +87,7 @@ struct ClientQueryOutcome {
   [[nodiscard]] Ticks latency() const noexcept { return completed_at - issued_at; }
 };
 
+/// Aggregate view over the client's registry counters ("client.*").
 struct QueryClientStats {
   std::uint64_t submitted = 0;
   std::uint64_t delivered = 0;
@@ -103,8 +106,18 @@ class QueryClient {
   std::uint64_t submit(std::uint32_t start, std::uint32_t dest);
 
   [[nodiscard]] const ClientQueryOutcome& outcome(std::uint64_t qid) const;
-  [[nodiscard]] const QueryClientStats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  [[nodiscard]] QueryClientStats stats() const noexcept;
   [[nodiscard]] const QueryClientConfig& config() const noexcept { return config_; }
+
+  /// Attaches the trace stream (submit/retry/suspect/outcome events); null
+  /// detaches. Must outlive the client.
+  void set_tracer(trace::Tracer* tracer) { trace_ = tracer; }
+
+  /// The client's counter/histogram registry ("client.submitted", ...,
+  /// "client.delivered_latency").
+  [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
 
   /// Currently suspected peers (timeout-inferred, TTL-bounded).
   [[nodiscard]] bool suspected(std::uint32_t node) const;
@@ -140,7 +153,16 @@ class QueryClient {
   std::uint64_t next_qid_ = 1;
   std::map<std::uint64_t, QueryState> queries_;
   std::map<std::uint32_t, Ticks> suspected_;  ///< node -> expiry
-  QueryClientStats stats_;
+
+  trace::Registry registry_;
+  trace::Tracer* trace_ = nullptr;
+  trace::Counter submitted_;
+  trace::Counter delivered_;
+  trace::Counter deadline_exceeded_;
+  trace::Counter no_route_;
+  trace::Counter retransmissions_;
+  trace::Counter failovers_;
+  metrics::Histogram* delivered_latency_ = nullptr;  ///< owned by registry_
 };
 
 }  // namespace hours::sim

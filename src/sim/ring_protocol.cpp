@@ -25,7 +25,10 @@ TransportConfig transport_config(const RingSimConfig& config) {
 RingSimulation::RingSimulation(RingSimConfig config)
     : config_(config),
       rng_(rng::mix64(config.seed, 0x70726F746FULL)),
-      transport_(sim_, transport_config(config), config.size, config.seed) {
+      transport_(sim_, transport_config(config), config.size, config.seed),
+      probes_sent_(registry_.counter("ring.probes_sent")),
+      repairs_sent_(registry_.counter("ring.repairs_sent")),
+      claims_sent_(registry_.counter("ring.claims_sent")) {
   HOURS_EXPECTS(config_.size >= 3);
   config_.params.validate();
 
@@ -134,6 +137,12 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
       // its own pointers intact — it will probe us but never re-claim.
       if (ids::counter_clockwise_distance(at, from, config_.size) <
           ids::counter_clockwise_distance(at, node.ccw, config_.size)) {
+        if (node.ccw_suspected) {
+          HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                    .type = trace::EventType::kRecoveryComplete,
+                                    .node = at,
+                                    .peer = from});
+        }
         node.ccw = from;
         node.ccw_suspected = false;
         node.awaiting_claim = false;
@@ -161,7 +170,11 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
       }
       Message probe;
       probe.type = Message::Type::kProbe;
-      ++probes_sent_;
+      probes_sent_.inc();
+      HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                .type = trace::EventType::kProbeSent,
+                                .node = at,
+                                .peer = suggested});
       // The recovery check subsumes the adopt-if-closer logic this handler
       // used to inline, and additionally repairs the ccw side.
       send_expect_ack(at, suggested, probe,
@@ -176,6 +189,13 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
       const auto current = ids::counter_clockwise_distance(at, node.ccw, config_.size);
       const auto offered = ids::counter_clockwise_distance(at, from, config_.size);
       if (node.ccw_suspected || offered < current) {
+        if (node.ccw_suspected) {
+          HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                    .type = trace::EventType::kRecoveryComplete,
+                                    .node = at,
+                                    .peer = from,
+                                    .causal = msg.qid});
+        }
         node.ccw = from;
         node.ccw_suspected = false;
         node.awaiting_claim = false;
@@ -184,7 +204,7 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
       break;
     }
     case Message::Type::kRepair:
-      forward_repair(at, msg.origin);
+      forward_repair(at, msg.origin, msg.qid);
       break;
     case Message::Type::kQuery:
       process_query(at, msg);
@@ -214,16 +234,24 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
   {
     Message probe;
     probe.type = Message::Type::kProbe;
-    ++probes_sent_;
+    probes_sent_.inc();
     const ids::RingIndex succ = node.cw_succ;
+    HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                              .type = trace::EventType::kProbeSent,
+                              .node = i,
+                              .peer = succ});
     send_expect_ack(i, succ, probe,
                     /*on_ack=*/[this, i] { nodes_[i].cw_miss_count = 0; },
                     /*on_timeout=*/[this, i, succ] {
       Node& self = nodes_[i];
       if (!self.alive || self.cw_succ != succ) return;
+      HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                .type = trace::EventType::kProbeFailed,
+                                .node = i,
+                                .peer = succ});
       if (++self.cw_miss_count < config_.probe_failure_threshold) return;
       self.cw_miss_count = 0;
-      self.suspected.insert(succ);
+      suspect_peer(i, succ);
       // Candidates: remaining table entries in increasing clockwise distance.
       std::vector<ids::RingIndex> candidates;
       for (const auto& entry : self.table.entries()) {
@@ -240,8 +268,12 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
   {
     Message probe;
     probe.type = Message::Type::kProbe;
-    ++probes_sent_;
+    probes_sent_.inc();
     const ids::RingIndex ccw = node.ccw;
+    HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                              .type = trace::EventType::kProbeSent,
+                              .node = i,
+                              .peer = ccw});
     send_expect_ack(i, ccw, probe,
                     /*on_ack=*/
                     [this, i] {
@@ -251,6 +283,11 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
                     /*on_timeout=*/[this, i, ccw] {
                       Node& self = nodes_[i];
                       if (!self.alive || self.ccw != ccw) return;
+                      HOURS_TRACE_EMIT(trace_,
+                                       {.at = sim_.now(),
+                                        .type = trace::EventType::kProbeFailed,
+                                        .node = i,
+                                        .peer = ccw});
                       if (++self.ccw_miss_count < config_.probe_failure_threshold) return;
                       self.ccw_miss_count = 0;
                       if (self.awaiting_claim) return;  // a silence check is pending
@@ -280,7 +317,11 @@ void RingSimulation::refresh_suspected(ids::RingIndex i) {
 
   Message probe;
   probe.type = Message::Type::kProbe;
-  ++probes_sent_;
+  probes_sent_.inc();
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kProbeSent,
+                            .node = i,
+                            .peer = target});
   send_expect_ack(i, target, probe,
                   /*on_ack=*/[this, i, target] { on_suspect_recovered(i, target); },
                   /*on_timeout=*/nullptr);  // still silent: stays suspected
@@ -300,7 +341,7 @@ void RingSimulation::on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer)
     node.cw_miss_count = 0;
     Message claim;
     claim.type = Message::Type::kNeighborClaim;
-    ++claims_sent_;
+    claims_sent_.inc();
     send_expect_ack(i, peer, claim, nullptr, nullptr);
   }
 
@@ -330,7 +371,11 @@ void RingSimulation::advance_cw_successor(ids::RingIndex i, std::vector<ids::Rin
 
   Message probe;
   probe.type = Message::Type::kProbe;
-  ++probes_sent_;
+  probes_sent_.inc();
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kProbeSent,
+                            .node = i,
+                            .peer = candidate});
   send_expect_ack(
       i, candidate, probe,
       /*on_ack=*/
@@ -340,12 +385,16 @@ void RingSimulation::advance_cw_successor(ids::RingIndex i, std::vector<ids::Rin
         self.cw_succ = candidate;
         Message claim;
         claim.type = Message::Type::kNeighborClaim;
-        ++claims_sent_;
+        claims_sent_.inc();
         send_expect_ack(i, candidate, claim, nullptr, nullptr);
       },
       /*on_timeout=*/
       [this, i, candidate, remaining = std::move(candidates)]() mutable {
-        nodes_[i].suspected.insert(candidate);
+        HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                  .type = trace::EventType::kProbeFailed,
+                                  .node = i,
+                                  .peer = candidate});
+        suspect_peer(i, candidate);
         advance_cw_successor(i, std::move(remaining));
       });
 }
@@ -358,9 +407,14 @@ void RingSimulation::ccw_silence_check(ids::RingIndex i) {
 }
 
 void RingSimulation::start_active_recovery(ids::RingIndex origin) {
-  ++repairs_sent_;
+  repairs_sent_.inc();
+  const std::uint64_t rid = next_rid_++;
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kRecoveryStart,
+                            .node = origin,
+                            .causal = rid});
   HOURS_LOG_DEBUG("node %u starts active recovery", origin);
-  forward_repair(origin, origin);
+  forward_repair(origin, origin, rid);
 }
 
 std::vector<ids::RingIndex> RingSimulation::progress_candidates(const Node& node,
@@ -383,7 +437,8 @@ std::vector<ids::RingIndex> RingSimulation::progress_candidates(const Node& node
   return out;
 }
 
-void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin) {
+void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin,
+                                    std::uint64_t rid) {
   Node& node = nodes_[at];
   if (!node.alive) return;
 
@@ -394,7 +449,7 @@ void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin) {
   // attach.
   std::vector<ids::RingIndex> candidates = progress_candidates(node, at, origin);
   if (candidates.empty()) {
-    attach_repair(at, origin);
+    attach_repair(at, origin, rid);
     return;
   }
 
@@ -402,12 +457,13 @@ void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin) {
     RingSimulation* self;
     ids::RingIndex at;
     ids::RingIndex origin;
+    std::uint64_t rid;
     std::vector<ids::RingIndex> remaining;
 
     void run() {
       if (!self->nodes_[at].alive) return;
       if (remaining.empty()) {
-        self->attach_repair(at, origin);
+        self->attach_repair(at, origin, rid);
         return;
       }
       const ids::RingIndex next = remaining.front();
@@ -415,23 +471,31 @@ void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin) {
       Message repair;
       repair.type = Message::Type::kRepair;
       repair.origin = origin;
+      repair.qid = rid;
       Attempt copy = *this;
       self->send_expect_ack(
           at, next, repair, /*on_ack=*/nullptr,
           /*on_timeout=*/[copy, next]() mutable {
-            copy.self->nodes_[copy.at].suspected.insert(next);
+            copy.self->suspect_peer(copy.at, next);
             copy.run();
           });
     }
   };
 
-  Attempt attempt{this, at, origin, std::move(candidates)};
+  Attempt attempt{this, at, origin, rid, std::move(candidates)};
   attempt.run();
 }
 
-void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin) {
+void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin,
+                                   std::uint64_t rid) {
   Node& node = nodes_[at];
   if (at == origin) return;
+
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kRecoveryAdopt,
+                            .node = at,
+                            .peer = origin,
+                            .causal = rid});
 
   // "It creates a new routing entry for node s+1": the gap's far edge now
   // points at the originator and claims the counter-clockwise neighborship.
@@ -443,8 +507,18 @@ void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin) {
   }
   Message claim;
   claim.type = Message::Type::kNeighborClaim;
-  ++claims_sent_;
+  claim.qid = rid;  // lets the originator's acceptance close the trace span
+  claims_sent_.inc();
   send_expect_ack(at, origin, claim, nullptr, nullptr);
+}
+
+void RingSimulation::suspect_peer(ids::RingIndex i, ids::RingIndex peer) {
+  if (nodes_[i].suspected.insert(peer).second) {
+    HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                              .type = trace::EventType::kSuspect,
+                              .node = i,
+                              .peer = peer});
+  }
 }
 
 // -- queries ------------------------------------------------------------------------
@@ -454,6 +528,11 @@ std::uint64_t RingSimulation::inject_query(ids::RingIndex from, ids::RingIndex o
   HOURS_EXPECTS(nodes_[from].alive);
   const std::uint64_t qid = next_qid_++;
   queries_[qid] = QueryOutcome{};
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kQuerySubmit,
+                            .node = from,
+                            .peer = od,
+                            .causal = qid});
 
   Message query;
   query.type = Message::Type::kQuery;
@@ -475,6 +554,11 @@ void RingSimulation::finish_query(std::uint64_t qid, bool delivered, std::uint32
   outcome.delivered = delivered;
   outcome.hops = hops;
   outcome.completed_at = sim_.now();
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = delivered ? trace::EventType::kQueryDelivered
+                                              : trace::EventType::kQueryFailed,
+                            .causal = qid,
+                            .value = hops});
 }
 
 std::vector<ids::RingIndex> RingSimulation::route_candidates(ids::RingIndex at,
@@ -546,10 +630,17 @@ void RingSimulation::try_query_candidates(ids::RingIndex at, Message msg,
     finish_query(msg.qid, false, msg.hops);
     return;
   }
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = msg.backward ? trace::EventType::kBackwardHop
+                                                 : trace::EventType::kRingHop,
+                            .node = at,
+                            .peer = next,
+                            .causal = msg.qid,
+                            .value = forwarded.hops});
   send_expect_ack(
       at, next, forwarded, /*on_ack=*/nullptr,
       /*on_timeout=*/[this, at, msg, next, remaining = std::move(candidates)]() mutable {
-        nodes_[at].suspected.insert(next);
+        suspect_peer(at, next);
         try_query_candidates(at, msg, std::move(remaining));
       });
 }

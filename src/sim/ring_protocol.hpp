@@ -32,6 +32,8 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
 #include "sim/transport.hpp"
+#include "trace/registry.hpp"
+#include "trace/sink.hpp"
 
 namespace hours::sim {
 
@@ -84,6 +86,18 @@ class RingSimulation {
   /// like dead peers: sends time out, probes raise suspicion.
   void set_link_filter(LinkFilter filter) { transport_.set_link_filter(std::move(filter)); }
 
+  // -- observability -------------------------------------------------------------
+  /// Attaches the trace stream (probe/suspect/recovery/query events, plus
+  /// transport drops); null detaches. Must outlive the run.
+  void set_tracer(trace::Tracer* tracer) {
+    trace_ = tracer;
+    transport_.set_tracer(tracer);
+  }
+
+  /// The run's counter registry ("ring.probes_sent", ...).
+  [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
+
   // -- protocol introspection (tests) ------------------------------------------
   [[nodiscard]] ids::RingIndex cw_successor(ids::RingIndex i) const;
   [[nodiscard]] ids::RingIndex ccw_neighbor(ids::RingIndex i) const;
@@ -95,9 +109,9 @@ class RingSimulation {
   /// True while node `i` believes `peer` is dead (timeout-inferred).
   [[nodiscard]] bool suspects(ids::RingIndex i, ids::RingIndex peer) const;
 
-  [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_; }
-  [[nodiscard]] std::uint64_t repairs_sent() const noexcept { return repairs_sent_; }
-  [[nodiscard]] std::uint64_t claims_sent() const noexcept { return claims_sent_; }
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_.value(); }
+  [[nodiscard]] std::uint64_t repairs_sent() const noexcept { return repairs_sent_.value(); }
+  [[nodiscard]] std::uint64_t claims_sent() const noexcept { return claims_sent_.value(); }
   /// Messages suppressed by the link filter (severed-link traffic).
   [[nodiscard]] std::uint64_t messages_link_dropped() const noexcept {
     return transport_.messages_link_dropped();
@@ -142,10 +156,13 @@ class RingSimulation {
     };
     Type type = Type::kProbe;
     ids::RingIndex origin = 0;  ///< Repair: the gap-side originator
-    std::uint64_t qid = 0;      ///< Query
-    ids::RingIndex od = 0;      ///< Query: overlay destination
-    bool backward = false;      ///< Query: Algorithm 3 mode bit
-    std::uint32_t hops = 0;     ///< Query: hops so far
+    /// Causal id: the query's qid, or the repair id minted by
+    /// start_active_recovery() (carried by Repair and its closing
+    /// NeighborClaim so a recovery episode traces end to end).
+    std::uint64_t qid = 0;
+    ids::RingIndex od = 0;   ///< Query: overlay destination
+    bool backward = false;   ///< Query: Algorithm 3 mode bit
+    std::uint32_t hops = 0;  ///< Query: hops so far
   };
 
   struct Node {
@@ -174,8 +191,12 @@ class RingSimulation {
   void advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates);
   void ccw_silence_check(ids::RingIndex i);
   void start_active_recovery(ids::RingIndex origin);
-  void forward_repair(ids::RingIndex at, ids::RingIndex origin);
-  void attach_repair(ids::RingIndex at, ids::RingIndex origin);
+  void forward_repair(ids::RingIndex at, ids::RingIndex origin, std::uint64_t rid);
+  void attach_repair(ids::RingIndex at, ids::RingIndex origin, std::uint64_t rid);
+
+  /// Marks `peer` suspected at node `i` (with the trace event); the
+  /// scattered timeout handlers all funnel through here.
+  void suspect_peer(ids::RingIndex i, ids::RingIndex peer);
 
   // Queries.
   void process_query(ids::RingIndex at, Message msg);
@@ -196,11 +217,14 @@ class RingSimulation {
   Transport<Message> transport_;
 
   std::uint64_t next_qid_ = 1;
+  std::uint64_t next_rid_ = 1;  ///< repair-episode causal ids
   std::map<std::uint64_t, QueryOutcome> queries_;
 
-  std::uint64_t probes_sent_ = 0;
-  std::uint64_t repairs_sent_ = 0;
-  std::uint64_t claims_sent_ = 0;
+  trace::Registry registry_;
+  trace::Tracer* trace_ = nullptr;
+  trace::Counter probes_sent_;
+  trace::Counter repairs_sent_;
+  trace::Counter claims_sent_;
 };
 
 }  // namespace hours::sim

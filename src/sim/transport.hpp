@@ -24,6 +24,7 @@
 
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
+#include "trace/sink.hpp"
 #include "util/contracts.hpp"
 
 namespace hours::sim {
@@ -94,6 +95,11 @@ class Transport {
   /// The filter must stay valid while any message can still be delivered.
   void set_link_filter(LinkFilter filter) { link_filter_ = std::move(filter); }
 
+  /// Attaches (or, with null, detaches) the trace stream; every suppressed
+  /// delivery emits a kDrop event with the DropReason in `value`. The
+  /// tracer must outlive in-flight messages.
+  void set_tracer(trace::Tracer* tracer) { trace_ = tracer; }
+
   [[nodiscard]] bool link_passable(Address from, Address to) const {
     return !link_filter_ || link_filter_(from, to);
   }
@@ -146,19 +152,35 @@ class Transport {
     return config_.latency_min + rng_.below(config_.latency_max - config_.latency_min + 1);
   }
 
+  void drop(Address to, Address from, trace::DropReason reason) {
+    HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                              .type = trace::EventType::kDrop,
+                              .node = to,
+                              .peer = from,
+                              .value = static_cast<std::uint64_t>(reason)});
+  }
+
   void transmit(Address to, Envelope env, bool is_ack) {
     ++messages_sent_;
     if (config_.loss_probability > 0.0 && rng_.bernoulli(config_.loss_probability)) {
       ++messages_lost_;
+      drop(to, env.from, trace::DropReason::kLoss);
       return;
     }
     const std::uint32_t sent_incarnation = incarnation_[to];
     sim_.schedule(draw_latency(), [this, to, sent_incarnation, env = std::move(env), is_ack] {
-      if (!alive(to)) return;  // shut-down servers receive nothing
+      if (!alive(to)) {  // shut-down servers receive nothing
+        drop(to, env.from, trace::DropReason::kDeadRecipient);
+        return;
+      }
       // Recipient died mid-flight (possibly reviving since): suppressed.
-      if (incarnation_[to] != sent_incarnation) return;
+      if (incarnation_[to] != sent_incarnation) {
+        drop(to, env.from, trace::DropReason::kMidFlightDeath);
+        return;
+      }
       if (!link_passable(env.from, to)) {  // severed link: silence, not loss
         ++messages_link_dropped_;
+        drop(to, env.from, trace::DropReason::kSeveredLink);
         return;
       }
       if (is_ack) {
@@ -187,6 +209,7 @@ class Transport {
   rng::Xoshiro256 rng_;
   Handler handler_;
   LinkFilter link_filter_;
+  trace::Tracer* trace_ = nullptr;
   std::uint64_t next_token_ = 1;
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t messages_sent_ = 0;

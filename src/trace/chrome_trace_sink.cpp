@@ -1,0 +1,68 @@
+#include "trace/chrome_trace_sink.hpp"
+
+namespace hours::trace {
+
+namespace {
+
+/// Async span phases for the query lifecycle; everything else is instant.
+const char* phase_of(EventType type) {
+  switch (type) {
+    case EventType::kQuerySubmit: return "b";
+    case EventType::kQueryDelivered:
+    case EventType::kQueryFailed: return "e";
+    default: return "i";
+  }
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) { write_prologue(); }
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  write_prologue();
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+void ChromeTraceSink::write_prologue() {
+  if (!ok()) return;
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+void ChromeTraceSink::on_event(const Event& event) {
+  if (!ok() || closed_) return;
+  std::ostream& os = *out_;
+  if (events_ != 0) os << ",";
+  os << "\n{\"name\":\"" << event_type_name(event.type) << "\",\"ph\":\""
+     << phase_of(event.type) << "\",\"ts\":" << event.at << ",\"pid\":0,\"tid\":"
+     << (event.node == kNoNode ? 0 : event.node);
+  const char* phase = phase_of(event.type);
+  if (phase[0] == 'b' || phase[0] == 'e') {
+    os << ",\"cat\":\"query\",\"id\":" << event.causal;
+  } else {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"args\":{\"peer\":";
+  if (event.peer == kNoNode) {
+    os << "null";
+  } else {
+    os << event.peer;
+  }
+  os << ",\"level\":" << event.level << ",\"causal\":" << event.causal
+     << ",\"value\":" << event.value << "}}";
+  ++events_;
+}
+
+void ChromeTraceSink::flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+void ChromeTraceSink::close() {
+  if (closed_ || !ok()) return;
+  closed_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+}  // namespace hours::trace

@@ -1,0 +1,54 @@
+// Chrome trace_event exporter: open the output in chrome://tracing (or
+// https://ui.perfetto.dev) for visual timeline inspection of a run.
+//
+// Mapping: every node is a "thread" (tid = node id) inside one process, so
+// the viewer lays nodes out as parallel swimlanes with simulation ticks as
+// timestamps. Query lifecycles are async spans ("ph":"b"/"e") keyed by the
+// causal qid — a delivered query renders as a bar from submission to
+// completion — and everything else is an instant event ("ph":"i") on the
+// acting node's lane with the Event payload in args.
+//
+// The JSON array streams as events arrive; close() (also run by the
+// destructor) terminates the array. Output is deterministic for a seeded
+// run.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "trace/sink.hpp"
+
+namespace hours::trace {
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit ChromeTraceSink(std::ostream& out);
+  /// Opens `path` for writing; check ok() before use.
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  ChromeTraceSink(const ChromeTraceSink&) = delete;
+  ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return out_ != nullptr && out_->good(); }
+  [[nodiscard]] std::uint64_t events_written() const noexcept { return events_; }
+
+  void on_event(const Event& event) override;
+  void flush() override;
+
+  /// Terminates the JSON document; further events are ignored.
+  void close();
+
+ private:
+  void write_prologue();
+
+  std::unique_ptr<std::ofstream> owned_;  ///< set only by the path constructor
+  std::ostream* out_ = nullptr;
+  std::uint64_t events_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hours::trace

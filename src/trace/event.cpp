@@ -1,0 +1,120 @@
+#include "trace/event.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace hours::trace {
+
+namespace {
+
+constexpr std::array<std::string_view, kEventTypeCount> kNames = {
+    "hier_hop",       "detour_enter",    "ring_hop",        "backward_hop",
+    "nephew_exit",    "probe_sent",      "probe_failed",    "suspect",
+    "recovery_start", "recovery_adopt",  "recovery_complete",
+    "query_submit",   "query_delivered", "query_failed",    "retry",
+    "drop",           "fault_kill",      "fault_revive",    "link_cut",
+    "link_heal",      "loss_change",     "behavior_change",
+};
+static_assert(kNames.size() == kEventTypeCount);
+
+void append_node(std::string& out, std::uint32_t node) {
+  if (node == kNoNode) {
+    out += "null";
+  } else {
+    out += std::to_string(node);
+  }
+}
+
+/// Consumes `expected` from the front of `rest`; false on mismatch.
+bool eat(std::string_view& rest, std::string_view expected) {
+  if (rest.substr(0, expected.size()) != expected) return false;
+  rest.remove_prefix(expected.size());
+  return true;
+}
+
+/// Consumes a non-negative integer (or "null" when `nullable`).
+bool eat_number(std::string_view& rest, bool nullable, bool allow_minus = false) {
+  if (nullable && eat(rest, "null")) return true;
+  std::size_t i = 0;
+  if (allow_minus && i < rest.size() && rest[i] == '-') ++i;
+  const std::size_t digits_start = i;
+  while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') ++i;
+  if (i == digits_start) return false;
+  rest.remove_prefix(i);
+  return true;
+}
+
+bool fail(std::string* error, std::string_view why) {
+  if (error != nullptr) *error = std::string{why};
+  return false;
+}
+
+}  // namespace
+
+std::string_view event_type_name(EventType type) noexcept {
+  const auto index = static_cast<std::size_t>(type);
+  return index < kNames.size() ? kNames[index] : std::string_view{"unknown"};
+}
+
+bool event_type_from_name(std::string_view name, EventType& out) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) {
+      out = static_cast<EventType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_json_line(const Event& event) {
+  std::string out;
+  out.reserve(112);
+  out += "{\"at\":";
+  out += std::to_string(event.at);
+  out += ",\"type\":\"";
+  out += event_type_name(event.type);
+  out += "\",\"node\":";
+  append_node(out, event.node);
+  out += ",\"peer\":";
+  append_node(out, event.peer);
+  out += ",\"level\":";
+  out += std::to_string(event.level);
+  out += ",\"causal\":";
+  out += std::to_string(event.causal);
+  out += ",\"value\":";
+  out += std::to_string(event.value);
+  out += "}";
+  return out;
+}
+
+bool validate_event_line(std::string_view line, std::string* error) {
+  std::string_view rest = line;
+  if (!eat(rest, "{\"at\":")) return fail(error, "missing '{\"at\":' prefix");
+  if (!eat_number(rest, false)) return fail(error, "'at' is not a non-negative integer");
+  if (!eat(rest, ",\"type\":\"")) return fail(error, "missing 'type' key");
+  const std::size_t quote = rest.find('"');
+  if (quote == std::string_view::npos) return fail(error, "unterminated 'type' string");
+  EventType type{};
+  if (!event_type_from_name(rest.substr(0, quote), type)) {
+    return fail(error, "'type' value \"" + std::string{rest.substr(0, quote)} +
+                           "\" is not in the event taxonomy");
+  }
+  rest.remove_prefix(quote + 1);
+  if (!eat(rest, ",\"node\":")) return fail(error, "missing 'node' key");
+  if (!eat_number(rest, true)) return fail(error, "'node' is neither integer nor null");
+  if (!eat(rest, ",\"peer\":")) return fail(error, "missing 'peer' key");
+  if (!eat_number(rest, true)) return fail(error, "'peer' is neither integer nor null");
+  if (!eat(rest, ",\"level\":")) return fail(error, "missing 'level' key");
+  if (!eat_number(rest, false, /*allow_minus=*/true)) {
+    return fail(error, "'level' is not an integer");
+  }
+  if (!eat(rest, ",\"causal\":")) return fail(error, "missing 'causal' key");
+  if (!eat_number(rest, false)) return fail(error, "'causal' is not a non-negative integer");
+  if (!eat(rest, ",\"value\":")) return fail(error, "missing 'value' key");
+  if (!eat_number(rest, false)) return fail(error, "'value' is not a non-negative integer");
+  if (rest != "}") return fail(error, "trailing content after 'value'");
+  return true;
+}
+
+}  // namespace hours::trace

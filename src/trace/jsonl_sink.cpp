@@ -1,0 +1,20 @@
+#include "trace/jsonl_sink.hpp"
+
+namespace hours::trace {
+
+JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {}
+
+void JsonLinesSink::on_event(const Event& event) {
+  if (!ok()) return;
+  *out_ << to_json_line(event) << '\n';
+  ++lines_;
+}
+
+void JsonLinesSink::flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+}  // namespace hours::trace

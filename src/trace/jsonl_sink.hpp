@@ -1,0 +1,38 @@
+// JSON-lines file sink: one schema-conformant JSON object per event.
+//
+// The wire format is exactly trace::to_json_line — deterministic key order,
+// so a seeded run reproduces its trace byte for byte. Every line passes
+// trace::validate_event_line (CI runs the validator over a real bench's
+// output as the schema check). Writes to any std::ostream; the file
+// constructor owns its stream.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "trace/sink.hpp"
+
+namespace hours::trace {
+
+class JsonLinesSink final : public TraceSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit JsonLinesSink(std::ostream& out);
+  /// Opens `path` for writing; check ok() before use.
+  explicit JsonLinesSink(const std::string& path);
+
+  [[nodiscard]] bool ok() const noexcept { return out_ != nullptr && out_->good(); }
+  [[nodiscard]] std::uint64_t lines_written() const noexcept { return lines_; }
+
+  void on_event(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;  ///< set only by the path constructor
+  std::ostream* out_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace hours::trace

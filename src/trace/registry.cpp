@@ -1,0 +1,81 @@
+#include "trace/registry.hpp"
+
+#include <cstdio>
+
+namespace hours::trace {
+
+Counter Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, 0).first;
+  }
+  return Counter{&it->second};
+}
+
+metrics::Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, metrics::Histogram{}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+bool Registry::has_counter(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+bool Registry::has_histogram(std::string_view name) const {
+  return histograms_.find(name) != histograms_.end();
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) out.push_back(name);
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  char buffer[64];
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buffer, sizeof(buffer), "%.6f", histogram.mean());
+    out += "\"" + name + "\":{\"count\":" + std::to_string(histogram.total_count()) +
+           ",\"mean\":" + buffer;
+    const std::uint64_t p50 = histogram.empty() ? 0 : histogram.quantile(0.5);
+    const std::uint64_t p99 = histogram.empty() ? 0 : histogram.quantile(0.99);
+    out += ",\"p50\":" + std::to_string(p50) + ",\"p99\":" + std::to_string(p99) +
+           ",\"max\":" + std::to_string(histogram.max_value()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, histogram] : histograms_) histogram = metrics::Histogram{};
+}
+
+}  // namespace hours::trace

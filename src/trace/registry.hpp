@@ -1,0 +1,75 @@
+// Counter/histogram registry: the one place run statistics live.
+//
+// Replaces the ad-hoc `std::uint64_t foo_sent_ = 0;` tallies that every
+// protocol and bench grew independently. A component asks the registry for
+// a named counter once (at construction) and bumps it through the returned
+// Counter handle — a plain pointer increment on the hot path, no lookup.
+// Names are dotted lowercase ("ring.probes_sent", "client.retransmissions")
+// and enumerate deterministically (sorted), so to_json() is byte-stable for
+// a seeded run.
+//
+// Handles stay valid for the registry's lifetime (node-based map storage);
+// the registry is single-threaded like everything it instruments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/histogram.hpp"
+
+namespace hours::trace {
+
+/// A registered counter; cheap to copy, increments the registry's slot.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t by = 1) noexcept {
+    if (slot_ != nullptr) *slot_ += by;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return slot_ != nullptr ? *slot_ : 0; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  std::uint64_t* slot_ = nullptr;
+};
+
+class Registry {
+ public:
+  /// Returns (creating on first use) the counter registered under `name`.
+  [[nodiscard]] Counter counter(std::string_view name);
+
+  /// Returns (creating on first use) the histogram registered under `name`.
+  [[nodiscard]] metrics::Histogram& histogram(std::string_view name);
+
+  /// Current value of a counter; 0 when `name` was never registered.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  [[nodiscard]] bool has_counter(std::string_view name) const;
+  [[nodiscard]] bool has_histogram(std::string_view name) const;
+
+  /// Registered counter names, sorted.
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  /// Registered histogram names, sorted.
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+
+  /// Deterministic JSON snapshot:
+  ///   {"counters":{"a.b":1,...},"histograms":{"x":{"count":N,"mean":...,
+  ///    "p50":N,"p99":N,"max":N},...}}
+  /// Keys sorted; doubles with 6 digits after the point.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zeroes every counter and clears every histogram (names stay
+  /// registered, handles stay valid).
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, metrics::Histogram, std::less<>> histograms_;
+};
+
+}  // namespace hours::trace

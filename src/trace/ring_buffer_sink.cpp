@@ -1,0 +1,59 @@
+#include "trace/ring_buffer_sink.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hours::trace {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  HOURS_EXPECTS(capacity > 0);
+  buffer_.reserve(capacity);
+}
+
+void RingBufferSink::on_event(const Event& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+
+  for (const auto& callback : typed_[static_cast<std::size_t>(event.type)]) callback(event);
+  for (const auto& callback : untyped_) callback(event);
+}
+
+void RingBufferSink::subscribe(EventType type, Callback callback) {
+  HOURS_EXPECTS(callback != nullptr);
+  typed_[static_cast<std::size_t>(type)].push_back(std::move(callback));
+}
+
+void RingBufferSink::subscribe_all(Callback callback) {
+  HOURS_EXPECTS(callback != nullptr);
+  untyped_.push_back(std::move(callback));
+}
+
+std::vector<Event> RingBufferSink::events() const {
+  std::vector<Event> out;
+  out.reserve(buffer_.size());
+  // Once wrapped, `next_` points at the oldest buffered event.
+  const std::size_t start = buffer_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> RingBufferSink::events_of(EventType type) const {
+  std::vector<Event> out;
+  for (const Event& event : events()) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  buffer_.clear();
+  next_ = 0;
+}
+
+}  // namespace hours::trace

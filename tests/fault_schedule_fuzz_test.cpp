@@ -29,6 +29,9 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/ring_protocol.hpp"
+#include "trace/event.hpp"
+#include "trace/ring_buffer_sink.hpp"
+#include "trace/sink.hpp"
 
 namespace hours::sim {
 namespace {
@@ -152,14 +155,39 @@ void write_failure_artifact(std::uint64_t seed, const FuzzCase& c,
 }
 
 /// Runs one generated case to quiescence; returns all invariant violations.
-std::vector<std::string> run_case(const FuzzCase& c) {
+/// With `traced`, the run carries a full tracing pipeline (bounded ring
+/// buffer, so memory stays flat) and the emitted stream itself becomes a
+/// checked property: every event must serialize to a schema-valid JSON line.
+std::vector<std::string> run_case(const FuzzCase& c, bool traced) {
   RingSimulation ring{c.config};
+  trace::Tracer tracer;
+  trace::RingBufferSink events{2048};
+  if (traced) {
+    ring.set_tracer(&tracer);
+    tracer.add_sink(&events);
+  }
   ring.start();
   FaultInjector injector{make_fault_target(ring), c.plan};
+  if (traced) injector.set_tracer(&tracer);
   injector.arm();
   ring.simulator().run(kFaultHorizon + kSettlePeriods * c.config.probe_period);
 
   auto violations = invariants::ring_invariant_violations(ring);
+  if (traced) {
+    // Probing alone guarantees traffic, so a silent stream means the
+    // instrumentation came unhooked.
+    if (tracer.events_emitted() == 0) {
+      violations.push_back("traced run emitted no events");
+    }
+    std::string error;
+    for (const auto& event : events.events()) {
+      if (!trace::validate_event_line(trace::to_json_line(event), &error)) {
+        violations.push_back("schema-invalid event: " + trace::to_json_line(event) + " (" +
+                             error + ")");
+        break;
+      }
+    }
+  }
   if (!violations.empty()) return violations;  // queries would only add noise
 
   // Sample random query pairs over the survivors (permanent faults are never
@@ -190,7 +218,11 @@ TEST(FaultScheduleFuzz, RandomFaultPlansConvergeToCleanRings) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t seed = pinned != 0 ? pinned : i + 1;
     const FuzzCase c = generate(seed);
-    const auto violations = run_case(c);
+    // Every fifth seed (and any pinned repro) runs with tracing attached:
+    // wide enough to catch instrumentation regressions under arbitrary fault
+    // overlap, sparse enough not to slow the default sweep.
+    const bool traced = pinned != 0 || seed % 5 == 0;
+    const auto violations = run_case(c, traced);
     if (violations.empty()) continue;
 
     ++failures;

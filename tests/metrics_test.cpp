@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "metrics/histogram.hpp"
+#include "metrics/json_writer.hpp"
 #include "metrics/table_writer.hpp"
 #include "metrics/timeline.hpp"
 
@@ -179,6 +180,107 @@ TEST(Timeline, EmptyTimeline) {
   EXPECT_TRUE(tl.windows().empty());
   EXPECT_EQ(tl.to_json(), "{\"window_width\":10,\"windows\":[]}");
   EXPECT_DOUBLE_EQ(tl.delivery_ratio(0, 100), 0.0);
+}
+
+TEST(Histogram, EmptyPercentilesAndExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.0), 0U);
+  EXPECT_EQ(h.quantile(0.99), 0U);
+  EXPECT_EQ(h.quantile(1.0), 0U);
+  EXPECT_EQ(h.min_value(), 0U);
+  EXPECT_EQ(h.max_value(), 0U);
+  EXPECT_EQ(h.variance(), 0.0);
+  EXPECT_NEAR(h.cdf(5), 0.0, 1e-12);
+}
+
+TEST(Histogram, SingleSampleQuantilesAllCollapse) {
+  Histogram h;
+  h.add(7);
+  for (const double p : {0.0, 0.01, 0.5, 0.9, 0.999, 1.0}) {
+    EXPECT_EQ(h.quantile(p), 7U) << "p=" << p;
+  }
+  EXPECT_EQ(h.min_value(), 7U);
+  EXPECT_EQ(h.max_value(), 7U);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(h.variance(), 0.0);
+}
+
+TEST(Timeline, WindowBoundaryBucketing) {
+  // Observations exactly on a boundary belong to the window they start.
+  Timeline tl{100};
+  tl.record(99, true, 1);    // last tick of window 0
+  tl.record(100, false);     // first tick of window 100
+  tl.record(199, false);     // last tick of window 100
+  tl.record(200, true, 1);   // first tick of window 200
+
+  const auto windows = tl.windows();
+  ASSERT_EQ(windows.size(), 3U);
+  EXPECT_EQ(windows[0].start, 0U);
+  EXPECT_EQ(windows[0].attempts, 1U);
+  EXPECT_EQ(windows[1].start, 100U);
+  EXPECT_EQ(windows[1].attempts, 2U);
+  EXPECT_EQ(windows[2].start, 200U);
+  EXPECT_EQ(windows[2].attempts, 1U);
+
+  // Phase ratios are window-granular, keyed by window start: [100, 200)
+  // covers exactly the middle window.
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(100, 200), 0.0);
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(tl.delivery_ratio(200, 300), 1.0);
+}
+
+TEST(JsonWriter, NestedContainersAndCommaPlacement) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", 1);
+  w.key("list").begin_array();
+  w.value(std::uint64_t{2});
+  w.begin_object();
+  w.field("b", true);
+  w.end_object();
+  w.end_array();
+  w.field("c", 0.5, 2);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"list":[2,{"b":true}],"c":0.50})");
+}
+
+TEST(JsonWriter, StringLiteralsAreStringsNotBools) {
+  // A bare string literal must take the string overload, not decay to bool.
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "partition_healing");
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"bench":"partition_healing"})");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::string_view{"a\"b\\c\n"});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\n\"]");
+}
+
+TEST(JsonWriter, RawSplicesPrerenderedJson) {
+  Timeline tl{10};
+  tl.record(0, true, 1);
+  JsonWriter w;
+  w.begin_object();
+  w.key("timeline").raw(tl.to_json());
+  w.end_object();
+  const std::string json = w.str();
+  EXPECT_EQ(json.find("{\"timeline\":{\"window_width\":10"), 0U);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonWriter, FixedPointDoublesAreDeterministic) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(1.0 / 3.0, 4);
+  w.value(2.0, 1);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.3333,2.0]");
+  EXPECT_EQ(JsonWriter::fixed(0.126, 2), "0.13");  // fixed formatting, not exponent
 }
 
 }  // namespace
