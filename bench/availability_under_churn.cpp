@@ -9,13 +9,13 @@
 // after recovery. The whole scenario is run twice and the two JSON blobs are
 // compared byte-for-byte to demonstrate bit-reproducibility.
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "metrics/json_writer.hpp"
 #include "metrics/table_writer.hpp"
 #include "metrics/timeline.hpp"
 #include "rng/xoshiro256.hpp"
@@ -106,13 +106,45 @@ RunResult run_scenario(const Scenario& sc) {
     timeline.record(out.issued_at, out.status == QueryStatus::kDelivered, out.latency());
   }
 
-  result.json = timeline.to_json();
   result.pre = timeline.delivery_ratio(0, sc.attack_start);
   result.during = timeline.delivery_ratio(sc.attack_start, sc.attack_end);
   result.post = timeline.delivery_ratio(sc.post_start, sc.horizon);
   result.queries = qids->size();
   result.client = client.stats();
   result.faults = injector.stats();
+
+  // One structured report: scenario constants, the windowed timeline, phase
+  // summaries, and the client/fault aggregates the stdout lines print.
+  metrics::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "availability_under_churn");
+  json.field("ring_size", cfg.size);
+  json.field("horizon", sc.horizon);
+  json.field("attack_start", sc.attack_start);
+  json.field("attack_end", sc.attack_end);
+  json.field("post_start", sc.post_start);
+  json.key("timeline").raw(timeline.to_json());
+  json.key("phases").begin_object();
+  json.field("pre", result.pre, 4);
+  json.field("during", result.during, 4);
+  json.field("post", result.post, 4);
+  json.end_object();
+  json.key("client").begin_object();
+  json.field("submitted", result.client.submitted);
+  json.field("delivered", result.client.delivered);
+  json.field("deadline_exceeded", result.client.deadline_exceeded);
+  json.field("no_route", result.client.no_route);
+  json.field("retransmissions", result.client.retransmissions);
+  json.field("failovers", result.client.failovers);
+  json.end_object();
+  json.key("faults").begin_object();
+  json.field("kills", result.faults.kills);
+  json.field("revivals", result.faults.revivals);
+  json.field("loss_changes", result.faults.loss_changes);
+  json.end_object();
+  json.field("unsettled", result.unsettled);
+  json.end_object();
+  result.json = json.str();
   return result;
 }
 
@@ -149,9 +181,7 @@ int main(int argc, char** argv) {
               first.during < first.pre ? "yes" : "no",
               first.post >= first.pre ? "yes" : "no", reproducible ? "yes" : "no");
 
-  std::printf("%s\n", first.json.c_str());
-  std::ofstream out{"availability_under_churn.json"};
-  out << first.json << "\n";
+  bench::emit_json_report("availability_under_churn", first.json);
 
   return reproducible && first.during < first.pre && first.post >= first.pre ? 0 : 1;
 }

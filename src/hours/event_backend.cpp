@@ -1,0 +1,252 @@
+#include "hours/event_backend.hpp"
+
+#include <string>
+#include <utility>
+
+#include "hours/hours.hpp"
+
+namespace hours {
+
+namespace {
+
+QueryResult failed(util::Error::Code code) {
+  QueryResult r;
+  r.failure = code;
+  return r;
+}
+
+}  // namespace
+
+EventBackend::EventBackend(HoursSystem& system, EventBackendConfig config,
+                           std::uint64_t clock_offset_seconds)
+    : system_(system),
+      config_(config),
+      offset_seconds_(clock_offset_seconds),
+      cache_bootstrap_queries_(system.registry().counter("facade.cache_bootstrap_queries")) {}
+
+std::uint64_t EventBackend::now() const noexcept {
+  const std::uint64_t sim_seconds =
+      sim_ ? sim_->simulator().now() / config_.ticks_per_second : 0;
+  return offset_seconds_ + sim_seconds;
+}
+
+void EventBackend::advance(std::uint64_t seconds) {
+  ensure_built();
+  // Simulator::run clamps now() to the deadline even when the queue drains
+  // early, so wall-clock advancement never depends on pending events.
+  sim_->simulator().run(seconds * config_.ticks_per_second);
+}
+
+void EventBackend::ensure_built() {
+  if (sim_) return;
+  auto& hierarchy = system_.hierarchy();
+
+  // BFS in exactly the order HierarchySimulation assigns ids: node i's
+  // children are appended once every node j <= i has placed its own, so
+  // paths[id] is the NodePath of simulator node id.
+  sim::TreeTopology topology;
+  std::vector<hierarchy::NodePath> paths{hierarchy::NodePath{}};
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::uint32_t count = hierarchy.child_count(paths[i]);
+    topology.child_counts.push_back(count);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      paths.push_back(hierarchy::child(paths[i], j));
+    }
+  }
+
+  sim::HierarchySimConfig sim_config;
+  sim_config.params = system_.config().overlay;
+  sim_config.transport = config_.transport;
+  sim_config.seed = config_.seed;
+  sim_config.suspicion_ttl = config_.suspicion_ttl;
+  sim_config.assume_ring_repaired = config_.assume_ring_repaired;
+  sim_ = std::make_unique<sim::HierarchySimulation>(sim_config, topology);
+
+  name_by_id_.clear();
+  id_by_name_.clear();
+  name_by_id_.reserve(paths.size());
+  for (std::uint32_t id = 0; id < paths.size(); ++id) {
+    std::string name;
+    if (id == 0) {
+      name = naming::Name{}.to_string();  // "."
+    } else if (auto n = hierarchy.name_of(paths[id]); n.ok()) {
+      name = n.value().to_string();
+    }
+    name_by_id_.push_back(name);
+    // emplace keeps the first (primary-path) id when a mesh alias maps the
+    // same name twice; secondary parents are otherwise unsupported here.
+    if (!name.empty()) id_by_name_.emplace(name, id);
+  }
+
+  // Mirror the facade's oracle liveness as the simulation's initial state;
+  // from here on, downtime inside the simulation is learned from silence.
+  if (!hierarchy.root_alive()) sim_->kill(hierarchy::NodePath{});
+  for (std::uint32_t id = 1; id < paths.size(); ++id) {
+    if (name_by_id_[id].empty()) continue;
+    auto parsed = naming::Name::parse(name_by_id_[id]);
+    if (!parsed.ok()) continue;
+    auto alive = hierarchy.is_alive(parsed.value());
+    if (alive.ok() && !alive.value()) sim_->kill(paths[id]);
+  }
+
+  client_ = std::make_unique<sim::QueryClient>(sim::make_query_network(*sim_), config_.client);
+
+  injectors_.clear();
+  for (const auto& plan : plans_) {
+    injectors_.push_back(
+        std::make_unique<sim::FaultInjector>(sim::make_fault_target(*sim_), plan));
+    injectors_.back()->set_tracer(trace_);
+    injectors_.back()->arm();
+  }
+
+  sim_->set_tracer(trace_);
+  client_->set_tracer(trace_);
+}
+
+void EventBackend::settle(std::uint64_t qid) {
+  while (client_->outcome(qid).status == sim::QueryStatus::kPending) {
+    if (sim_->simulator().run(/*limit=*/0, /*max_events=*/1) == 0) break;
+  }
+}
+
+QueryResult EventBackend::run_client_query(std::uint32_t start_id, std::uint32_t dest_id,
+                                           const naming::Name& dest, bool from_cache) {
+  const std::uint64_t qid = client_->submit(start_id, dest_id);
+  settle(qid);
+  const sim::ClientQueryOutcome& out = client_->outcome(qid);
+
+  QueryResult result;
+  result.hops = out.hops;
+  result.retransmissions = out.retransmissions;
+  result.failovers = out.failovers;
+  result.latency_ticks = out.latency();
+  result.used_bootstrap_cache = from_cache;
+  switch (out.status) {
+    case sim::QueryStatus::kDelivered:
+      result.delivered = true;
+      system_.cache_bootstrap(dest.to_string());
+      if (!from_cache && dest.depth() > 1) {
+        system_.cache_bootstrap(dest.ancestor_at(1).to_string());
+      }
+      break;
+    case sim::QueryStatus::kDeadlineExceeded:
+      result.failure = util::Error::Code::kUnreachable;
+      break;
+    case sim::QueryStatus::kNoRoute:
+      result.failure = util::Error::Code::kDead;
+      break;
+    case sim::QueryStatus::kPending:  // queue drained without settling
+      result.failure = util::Error::Code::kInternal;
+      break;
+  }
+  return result;
+}
+
+QueryResult EventBackend::execute(const naming::Name& dest, bool /*record_path*/) {
+  ensure_built();
+  const auto it = id_by_name_.find(dest.to_string());
+  if (it == id_by_name_.end()) return failed(util::Error::Code::kNotFound);
+  const std::uint32_t dest_id = it->second;
+
+  // Entry-point selection: the client checks whether its entry answers at
+  // all (one RTT) before handing over custody — the root first, then the
+  // bootstrap cache (Section 7) when the root is down. Forwarding liveness
+  // beyond the entry point stays silence-inferred.
+  if (sim_->alive(hierarchy::NodePath{})) {
+    return run_client_query(/*start_id=*/0, dest_id, dest, /*from_cache=*/false);
+  }
+
+  cache_bootstrap_queries_.inc();
+  for (const auto& cached : system_.bootstrap_cache()) {
+    const auto cached_it = id_by_name_.find(cached);
+    if (cached_it == id_by_name_.end()) continue;
+    if (!sim_->alive(sim_->path_of(cached_it->second))) continue;
+    return run_client_query(cached_it->second, dest_id, dest, /*from_cache=*/true);
+  }
+  return failed(util::Error::Code::kDead);  // no usable entry point
+}
+
+QueryResult EventBackend::execute_from(const naming::Name& start, const naming::Name& dest,
+                                       bool /*record_path*/) {
+  ensure_built();
+  const auto start_it = id_by_name_.find(start.to_string());
+  if (start_it == id_by_name_.end()) return failed(util::Error::Code::kNotFound);
+  const auto dest_it = id_by_name_.find(dest.to_string());
+  if (dest_it == id_by_name_.end()) return failed(util::Error::Code::kNotFound);
+  if (!sim_->alive(sim_->path_of(start_it->second))) {
+    return failed(util::Error::Code::kDead);
+  }
+  return run_client_query(start_it->second, dest_it->second, dest, /*from_cache=*/false);
+}
+
+void EventBackend::on_set_alive(const naming::Name& name, bool alive) {
+  // Before the snapshot exists there is nothing to mirror: ensure_built
+  // reads the hierarchy's liveness when it materializes.
+  if (!sim_) return;
+  const auto it = id_by_name_.find(name.to_string());
+  if (it == id_by_name_.end()) return;
+  const auto& path = sim_->path_of(it->second);
+  if (alive) {
+    sim_->revive(path);
+  } else {
+    sim_->kill(path);
+  }
+}
+
+void EventBackend::on_membership_change() {
+  if (!sim_) return;
+  // The id layout is stale; drop the snapshot and keep the clock monotonic.
+  // Stored fault plans re-arm relative to the rebuilt simulator's t=0.
+  offset_seconds_ = now();
+  client_.reset();
+  injectors_.clear();
+  sim_.reset();
+}
+
+util::Result<std::size_t> EventBackend::schedule_faults(sim::FaultPlan plan) {
+  plans_.push_back(plan);
+  if (sim_) {
+    injectors_.push_back(
+        std::make_unique<sim::FaultInjector>(sim::make_fault_target(*sim_), std::move(plan)));
+    injectors_.back()->set_tracer(trace_);
+    injectors_.back()->arm();
+  }
+  return plans_.size();
+}
+
+std::uint64_t EventBackend::trace_stamp(std::uint64_t& op_clock) const {
+  // Once the simulator exists, facade events share its timeline so they
+  // interleave correctly with protocol-level events in one trace.
+  if (sim_) return sim_->simulator().now();
+  return ++op_clock;
+}
+
+void EventBackend::set_tracer(trace::Tracer* tracer) {
+  trace_ = tracer;
+  if (sim_) sim_->set_tracer(tracer);
+  if (client_) client_->set_tracer(tracer);
+  for (auto& injector : injectors_) injector->set_tracer(tracer);
+}
+
+std::optional<std::uint32_t> EventBackend::node_id(std::string_view name) {
+  ensure_built();
+  const auto it = id_by_name_.find(name);
+  if (it == id_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+sim::FaultInjectorStats EventBackend::fault_stats() const {
+  sim::FaultInjectorStats total;
+  for (const auto& injector : injectors_) {
+    const auto& s = injector->stats();
+    total.kills += s.kills;
+    total.revivals += s.revivals;
+    total.link_cuts += s.link_cuts;
+    total.link_heals += s.link_heals;
+    total.loss_changes += s.loss_changes;
+    total.behavior_changes += s.behavior_changes;
+  }
+  return total;
+}
+
+}  // namespace hours

@@ -1,0 +1,39 @@
+// The original facade engine: an instantaneous graph walk over
+// hierarchy::Router with oracle liveness (a node is down iff the hierarchy
+// says so; queries cost zero time and never retransmit). Behavior is
+// bit-identical to the pre-QueryBackend HoursSystem::query internals.
+#pragma once
+
+#include <cstdint>
+
+#include "hierarchy/router.hpp"
+#include "hours/query_backend.hpp"
+#include "trace/registry.hpp"
+
+namespace hours {
+
+class HoursSystem;
+
+class GraphBackend final : public QueryBackend {
+ public:
+  explicit GraphBackend(HoursSystem& system, std::uint64_t initial_clock = 0);
+
+  [[nodiscard]] std::string_view kind() const noexcept override { return "graph"; }
+  [[nodiscard]] std::uint64_t now() const noexcept override { return clock_; }
+  void advance(std::uint64_t seconds) override { clock_ += seconds; }
+
+  [[nodiscard]] QueryResult execute(const naming::Name& dest, bool record_path) override;
+  [[nodiscard]] QueryResult execute_from(const naming::Name& start, const naming::Name& dest,
+                                         bool record_path) override;
+
+ private:
+  [[nodiscard]] QueryResult run_route(const hierarchy::NodePath& start,
+                                      const hierarchy::NodePath& dest, bool record_path);
+
+  HoursSystem& system_;
+  hierarchy::Router router_;
+  std::uint64_t clock_;
+  trace::Counter cache_bootstrap_queries_;  // shares the facade's registry slot
+};
+
+}  // namespace hours

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "hours/graph_backend.hpp"
+
 namespace hours {
 
 namespace {
@@ -17,19 +19,40 @@ QueryResult failed(util::Error::Code code) {
 
 }  // namespace
 
-HoursSystem::HoursSystem(HoursConfig config)
-    : config_(config), hierarchy_(config.overlay), router_(hierarchy_) {}
+HoursSystem::HoursSystem(HoursConfig config) : config_(config), hierarchy_(config.overlay) {
+  backend_ = std::make_unique<GraphBackend>(*this);
+}
+
+EventBackend& HoursSystem::use_event_backend(EventBackendConfig config) {
+  const std::uint64_t clock = backend_->now();  // read before the swap
+  auto backend = std::make_unique<EventBackend>(*this, std::move(config), clock);
+  event_backend_ = backend.get();
+  backend_ = std::move(backend);
+  backend_->set_tracer(trace_);
+  return *event_backend_;
+}
+
+void HoursSystem::use_graph_backend() {
+  const std::uint64_t clock = backend_->now();
+  event_backend_ = nullptr;
+  backend_ = std::make_unique<GraphBackend>(*this, clock);
+  backend_->set_tracer(trace_);
+}
 
 util::Result<naming::Name> HoursSystem::admit(std::string_view name) {
   auto parsed = parse_name(name);
   if (!parsed.ok()) return parsed.error();
-  return hierarchy_.admit(parsed.value());
+  auto admitted = hierarchy_.admit(parsed.value());
+  if (admitted.ok()) backend_->on_membership_change();
+  return admitted;
 }
 
 util::Result<naming::Name> HoursSystem::remove(std::string_view name) {
   auto parsed = parse_name(name);
   if (!parsed.ok()) return parsed.error();
-  return hierarchy_.remove(parsed.value());
+  auto removed = hierarchy_.remove(parsed.value());
+  if (removed.ok()) backend_->on_membership_change();
+  return removed;
 }
 
 util::Result<naming::Name> HoursSystem::set_alive(std::string_view name, bool alive) {
@@ -41,7 +64,8 @@ util::Result<naming::Name> HoursSystem::set_alive(std::string_view name, bool al
     auto result = hierarchy_.set_alive(parsed.value(), alive);
     if (!result.ok()) return result;
   }
-  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_,
+  backend_->on_set_alive(parsed.value(), alive);
+  HOURS_TRACE_EMIT(trace_, {.at = stamp(),
                             .type = alive ? trace::EventType::kFaultRevive
                                           : trace::EventType::kFaultKill,
                             .level = static_cast<std::int32_t>(parsed.value().depth())});
@@ -82,8 +106,10 @@ util::Result<naming::Name> HoursSystem::strike(std::string_view target,
     if (name.ok()) victims.push_back(name.value().to_string());
   }
   for (const auto& victim : victims) {
-    (void)hierarchy_.set_alive(naming::Name::parse(victim).value(), false);
-    HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kFaultKill,
+    const auto victim_name = naming::Name::parse(victim).value();
+    (void)hierarchy_.set_alive(victim_name, false);
+    backend_->on_set_alive(victim_name, false);
+    HOURS_TRACE_EMIT(trace_, {.at = stamp(), .type = trace::EventType::kFaultKill,
                               .level = static_cast<std::int32_t>(path.value().size())});
   }
   attacks_launched_.inc();
@@ -98,38 +124,14 @@ util::Result<naming::Name> HoursSystem::lift_attack(std::string_view target) {
                        "no active attack on: " + std::string{target}};
   }
   for (const auto& victim : it->second) {
-    (void)hierarchy_.set_alive(naming::Name::parse(victim).value(), true);
-    HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kFaultRevive});
+    const auto victim_name = naming::Name::parse(victim).value();
+    (void)hierarchy_.set_alive(victim_name, true);
+    backend_->on_set_alive(victim_name, true);
+    HOURS_TRACE_EMIT(trace_, {.at = stamp(), .type = trace::EventType::kFaultRevive});
   }
   attacks_lifted_.inc();
   active_attacks_.erase(it);
   return naming::Name::parse(target);
-}
-
-QueryResult HoursSystem::run_route(const hierarchy::NodePath& start,
-                                   const hierarchy::NodePath& dest, bool record_path) {
-  hierarchy::RouteOptions opts;
-  opts.entrance = config_.entrance;
-  opts.record_path = record_path;
-
-  const hierarchy::RouteOutcome outcome = router_.route(dest, opts, {start});
-
-  QueryResult result;
-  result.delivered = outcome.delivered;
-  result.failure = outcome.failure;
-  result.hops = outcome.hops;
-  result.hierarchical_hops = outcome.hierarchical_hops;
-  result.overlay_hops = outcome.overlay_hops;
-  result.inter_overlay_hops = outcome.inter_overlay_hops;
-  result.backward_steps = outcome.backward_steps;
-  if (record_path) {
-    result.path.reserve(outcome.path.size());
-    for (const auto& p : outcome.path) {
-      auto name = hierarchy_.name_of(p);
-      result.path.push_back(name.ok() ? name.value().to_string() : hierarchy::to_string(p));
-    }
-  }
-  return result;
 }
 
 QueryResult HoursSystem::finish_query(std::uint64_t qid, QueryResult result) {
@@ -139,7 +141,7 @@ QueryResult HoursSystem::finish_query(std::uint64_t qid, QueryResult result) {
   } else {
     queries_failed_.inc();
   }
-  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_,
+  HOURS_TRACE_EMIT(trace_, {.at = stamp(),
                             .type = result.delivered ? trace::EventType::kQueryDelivered
                                                      : trace::EventType::kQueryFailed,
                             .causal = qid,
@@ -152,57 +154,10 @@ QueryResult HoursSystem::query(std::string_view dest_name, bool record_path) {
   queries_submitted_.inc();
   auto parsed = parse_name(dest_name);
   if (!parsed.ok()) return finish_query(qid, failed(parsed.error().code));
-  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kQuerySubmit,
+  HOURS_TRACE_EMIT(trace_, {.at = stamp(), .type = trace::EventType::kQuerySubmit,
                             .level = static_cast<std::int32_t>(parsed.value().depth()),
                             .causal = qid});
-  const auto paths = hierarchy_.resolve_paths(parsed.value());
-  if (paths.empty()) return finish_query(qid, failed(util::Error::Code::kNotFound));
-
-  if (hierarchy_.root_alive()) {
-    // Mesh nodes (Section 7) have several top-down paths; try the primary
-    // first and fall through alternates on failure.
-    QueryResult result;
-    for (std::size_t attempt = 0; attempt < paths.size(); ++attempt) {
-      result = run_route({}, paths[attempt], record_path);
-      result.path_attempts = static_cast<std::uint32_t>(attempt + 1);
-      if (result.delivered || result.failure == util::Error::Code::kDead) break;
-    }
-    if (result.delivered) {
-      // Clients cache "the root node or a few frequently visited level-1
-      // nodes" (Section 7): remember the level-1 zone as well as the
-      // destination — the zone sits in the level-1 overlay, which lies on
-      // every top-down path and therefore bootstraps any future query.
-      cache_bootstrap(dest_name);
-      if (parsed.value().depth() > 1) {
-        cache_bootstrap(parsed.value().ancestor_at(1).to_string());
-      }
-    }
-    return finish_query(qid, std::move(result));
-  }
-
-  // Root is down: bootstrap from cached nodes (Section 7) — any cached node
-  // whose overlay lies on the destination's top-down path can start the
-  // query.
-  cache_bootstrap_queries_.inc();
-  for (const auto& cached : bootstrap_cache_) {
-    auto cached_name = parse_name(cached);
-    if (!cached_name.ok()) continue;
-    auto start = hierarchy_.resolve(cached_name.value());
-    if (!start.ok() || start.value().empty()) continue;
-    auto alive = hierarchy_.is_alive(cached_name.value());
-    if (!alive.ok() || !alive.value()) continue;
-    for (std::size_t attempt = 0; attempt < paths.size(); ++attempt) {
-      QueryResult result = run_route(start.value(), paths[attempt], record_path);
-      if (result.delivered) {
-        result.path_attempts = static_cast<std::uint32_t>(attempt + 1);
-        result.used_bootstrap_cache = true;
-        cache_bootstrap(dest_name);
-        return finish_query(qid, std::move(result));
-      }
-      if (result.failure == util::Error::Code::kDead) return finish_query(qid, std::move(result));
-    }
-  }
-  return finish_query(qid, failed(util::Error::Code::kDead));  // no usable entry point
+  return finish_query(qid, backend_->execute(parsed.value(), record_path));
 }
 
 QueryResult HoursSystem::query_from(std::string_view start_name, std::string_view dest_name,
@@ -213,16 +168,11 @@ QueryResult HoursSystem::query_from(std::string_view start_name, std::string_vie
   if (!start_parsed.ok()) return finish_query(qid, failed(start_parsed.error().code));
   auto dest_parsed = parse_name(dest_name);
   if (!dest_parsed.ok()) return finish_query(qid, failed(dest_parsed.error().code));
-  HOURS_TRACE_EMIT(trace_, {.at = ++op_clock_, .type = trace::EventType::kQuerySubmit,
+  HOURS_TRACE_EMIT(trace_, {.at = stamp(), .type = trace::EventType::kQuerySubmit,
                             .level = static_cast<std::int32_t>(dest_parsed.value().depth()),
                             .causal = qid});
-
-  auto start = hierarchy_.resolve(start_parsed.value());
-  if (!start.ok()) return finish_query(qid, failed(start.error().code));
-  auto dest = hierarchy_.resolve(dest_parsed.value());
-  if (!dest.ok()) return finish_query(qid, failed(dest.error().code));
-
-  return finish_query(qid, run_route(start.value(), dest.value(), record_path));
+  return finish_query(qid, backend_->execute_from(start_parsed.value(), dest_parsed.value(),
+                                                  record_path));
 }
 
 util::Result<naming::Name> HoursSystem::add_record(std::string_view name, store::Record record) {

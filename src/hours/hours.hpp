@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -25,6 +26,8 @@
 #include "attack/attack.hpp"
 #include "hierarchy/named.hpp"
 #include "hierarchy/router.hpp"
+#include "hours/event_backend.hpp"
+#include "hours/query_backend.hpp"
 #include "naming/name.hpp"
 #include "overlay/params.hpp"
 #include "store/record_store.hpp"
@@ -42,20 +45,8 @@ struct HoursConfig {
   std::size_t bootstrap_cache_size = 8;
 };
 
-struct QueryResult {
-  bool delivered = false;
-  util::Error::Code failure = util::Error::Code::kInternal;  ///< valid when !delivered
-  std::uint32_t hops = 0;
-  std::uint32_t hierarchical_hops = 0;
-  std::uint32_t overlay_hops = 0;
-  std::uint32_t inter_overlay_hops = 0;
-  std::uint32_t backward_steps = 0;
-  bool used_bootstrap_cache = false;
-  /// Top-down paths tried (> 1 only for mesh nodes with multiple parents,
-  /// Section 7 "Hierarchy with Mesh Topology").
-  std::uint32_t path_attempts = 1;
-  std::vector<std::string> path;  ///< visited node names, when requested
-};
+// QueryResult lives in hours/query_backend.hpp alongside the QueryBackend
+// interface both engines implement.
 
 class HoursSystem {
  public:
@@ -89,6 +80,42 @@ class HoursSystem {
   /// Adds a node to the client's bootstrap cache.
   void cache_bootstrap(std::string_view name);
 
+  /// Most-recent-first bootstrap entries (backends walk these when the root
+  /// is down).
+  [[nodiscard]] const std::deque<std::string>& bootstrap_cache() const noexcept {
+    return bootstrap_cache_;
+  }
+
+  // -- query engine -----------------------------------------------------------
+  /// The engine executing queries; GraphBackend (instantaneous, oracle
+  /// liveness) by default.
+  [[nodiscard]] QueryBackend& backend() noexcept { return *backend_; }
+  [[nodiscard]] const QueryBackend& backend() const noexcept { return *backend_; }
+
+  /// Swaps in the message-level engine (sim::Simulator + QueryClient,
+  /// silence-inferred liveness, FaultPlan scheduling). The clock continues
+  /// from the previous backend's now(). Returns the backend for node-id
+  /// lookups and engine introspection.
+  EventBackend& use_event_backend(EventBackendConfig config = {});
+
+  /// Restores the instantaneous graph engine; the clock carries over.
+  void use_graph_backend();
+
+  /// The active EventBackend, or nullptr while on the graph engine.
+  [[nodiscard]] EventBackend* event_backend() noexcept { return event_backend_; }
+
+  /// Backend clock in seconds — the time base Resolver cache TTLs use.
+  [[nodiscard]] std::uint64_t now() const noexcept { return backend_->now(); }
+
+  /// Advances the backend clock (and, on the event backend, runs the
+  /// simulator across the span so fault windows open and close).
+  void advance(std::uint64_t seconds) { backend_->advance(seconds); }
+
+  /// Schedules a declarative churn/outage plan (event backend only).
+  util::Result<std::size_t> schedule_faults(sim::FaultPlan plan) {
+    return backend_->schedule_faults(std::move(plan));
+  }
+
   // -- data plane -------------------------------------------------------------
   /// Attaches a record to the (already admitted) node that owns `name`.
   util::Result<naming::Name> add_record(std::string_view name, store::Record record);
@@ -107,23 +134,28 @@ class HoursSystem {
   [[nodiscard]] const HoursConfig& config() const noexcept { return config_; }
 
   // -- observability ----------------------------------------------------------
-  /// Attach (or detach with nullptr) a tracer; the facade has no simulator,
-  /// so events are stamped with a logical operation clock.
-  void set_tracer(trace::Tracer* tracer) noexcept { trace_ = tracer; }
+  /// Attach (or detach with nullptr) a tracer, propagated into the active
+  /// backend. On the graph backend events are stamped with a logical
+  /// operation clock; the event backend stamps with simulator ticks.
+  void set_tracer(trace::Tracer* tracer) noexcept {
+    trace_ = tracer;
+    backend_->set_tracer(tracer);
+  }
   [[nodiscard]] trace::Tracer* tracer() const noexcept { return trace_; }
   /// Facade-level counters/histograms ("facade.*" names).
   [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
   [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
 
  private:
-  [[nodiscard]] QueryResult run_route(const hierarchy::NodePath& start,
-                                      const hierarchy::NodePath& dest, bool record_path);
   /// Counts the outcome, emits kQueryDelivered/kQueryFailed, returns `result`.
   QueryResult finish_query(std::uint64_t qid, QueryResult result);
+  /// Trace timestamp from the active backend (logical op clock or sim ticks).
+  [[nodiscard]] std::uint64_t stamp() { return backend_->trace_stamp(op_clock_); }
 
   HoursConfig config_;
   hierarchy::NamedHierarchy hierarchy_;
-  hierarchy::Router router_;
+  std::unique_ptr<QueryBackend> backend_;  // never null after construction
+  EventBackend* event_backend_ = nullptr;  // == backend_.get() when event-driven
   store::RecordStore records_;
   std::deque<std::string> bootstrap_cache_;  // most recent first
   rng::Xoshiro256 attack_rng_{0xA77ACCULL};

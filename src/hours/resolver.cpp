@@ -4,6 +4,30 @@
 
 namespace hours {
 
+namespace {
+
+/// Minimum TTL over the answer's records; answers without records get a
+/// short negative-style TTL (60s) so existence checks still benefit. No
+/// sentinel: a record whose TTL *is* 60 participates in the minimum like
+/// any other value.
+std::uint64_t min_ttl(const std::vector<store::Record>& records) {
+  std::uint64_t ttl = ~std::uint64_t{0};
+  for (const auto& r : records) ttl = std::min<std::uint64_t>(ttl, r.ttl);
+  return records.empty() ? 60 : ttl;
+}
+
+}  // namespace
+
+ResolveResult Resolver::resolve(std::string_view name) { return resolve(name, system_.now()); }
+
+const std::vector<store::Record>* Resolver::peek(std::string_view name) const {
+  return peek(name, system_.now());
+}
+
+void Resolver::insert(std::string_view name, std::vector<store::Record> records) {
+  insert(name, system_.now(), std::move(records));
+}
+
 ResolveResult Resolver::resolve(std::string_view name, std::uint64_t now) {
   ResolveResult result;
   const std::string key{name};
@@ -30,12 +54,8 @@ ResolveResult Resolver::resolve(std::string_view name, std::uint64_t now) {
   result.answered = true;
   result.records = looked_up.records;
 
-  // Cache under the minimum record TTL; answers without records get a short
-  // negative-style TTL so existence checks still benefit.
-  std::uint64_t ttl = 60;
-  for (const auto& r : result.records) ttl = std::min<std::uint64_t>(ttl == 60 ? r.ttl : ttl, r.ttl);
   if (cache_.size() >= capacity_) evict_expired_or_oldest(now);
-  cache_[key] = Entry{now + ttl, result.records};
+  cache_[key] = Entry{now + min_ttl(result.records), result.records};
   return result;
 }
 
@@ -48,8 +68,7 @@ const std::vector<store::Record>* Resolver::peek(std::string_view name,
 
 void Resolver::insert(std::string_view name, std::uint64_t now,
                       std::vector<store::Record> records) {
-  std::uint64_t ttl = 60;
-  for (const auto& r : records) ttl = std::min<std::uint64_t>(ttl == 60 ? r.ttl : ttl, r.ttl);
+  const std::uint64_t ttl = min_ttl(records);
   if (cache_.size() >= capacity_) evict_expired_or_oldest(now);
   cache_[std::string{name}] = Entry{now + ttl, std::move(records)};
 }

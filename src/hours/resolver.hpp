@@ -57,6 +57,14 @@ class Resolver {
   /// that routes through a different substrate).
   void insert(std::string_view name, std::uint64_t now, std::vector<store::Record> records);
 
+  // Backend-clock variants: `now` comes from system.now(), so cache TTLs
+  // live on the same timeline as the query engine — on the event backend
+  // that is simulated time, where FaultPlan windows and query deadlines are
+  // scheduled.
+  [[nodiscard]] ResolveResult resolve(std::string_view name);
+  [[nodiscard]] const std::vector<store::Record>* peek(std::string_view name) const;
+  void insert(std::string_view name, std::vector<store::Record> records);
+
   [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
   void clear_cache() noexcept { cache_.clear(); }
   [[nodiscard]] std::size_t cached_names() const noexcept { return cache_.size(); }

@@ -30,6 +30,28 @@ std::uint64_t overlay_seed(std::uint64_t base, const hierarchy::NodePath& parent
 
 }  // namespace
 
+bool TreeTopology::consistent() const noexcept {
+  if (child_counts.empty()) return false;
+  std::uint64_t total = 1;
+  for (const auto c : child_counts) {
+    total += c;
+    if (total >= 5'000'000) return false;  // event engine is for protocol-scale trees
+  }
+  return total == child_counts.size();
+}
+
+TreeTopology topology_from_fanout(const std::vector<std::uint32_t>& fanout) {
+  TreeTopology topology;
+  topology.child_counts.reserve(total_nodes(fanout));
+  std::uint64_t level_nodes = 1;
+  for (const auto f : fanout) {
+    topology.child_counts.insert(topology.child_counts.end(), level_nodes, f);
+    level_nodes *= f;
+  }
+  topology.child_counts.insert(topology.child_counts.end(), level_nodes, 0);  // leaves
+  return topology;
+}
+
 HierarchySimulation::HierarchySimulation(HierarchySimConfig config)
     : config_(std::move(config)),
       transport_(sim_, config_.transport, total_nodes(config_.fanout), config_.seed),
@@ -38,53 +60,74 @@ HierarchySimulation::HierarchySimulation(HierarchySimConfig config)
       hop_timeouts_(registry_.counter("hier.hop_timeouts")),
       delivered_hops_(&registry_.histogram("hier.delivered_hops")) {
   HOURS_EXPECTS(!config_.fanout.empty());
+  build(topology_from_fanout(config_.fanout));
+}
+
+HierarchySimulation::HierarchySimulation(HierarchySimConfig config, const TreeTopology& topology)
+    : config_(std::move(config)),
+      transport_(sim_, config_.transport, static_cast<std::uint32_t>(topology.child_counts.size()),
+                 config_.seed),
+      queries_delivered_(registry_.counter("hier.queries_delivered")),
+      queries_failed_(registry_.counter("hier.queries_failed")),
+      hop_timeouts_(registry_.counter("hier.hop_timeouts")),
+      delivered_hops_(&registry_.histogram("hier.delivered_hops")) {
+  build(topology);
+}
+
+void HierarchySimulation::build(const TreeTopology& topology) {
+  HOURS_EXPECTS(topology.consistent());
   config_.params.validate();
 
-  // Breadth-first materialization: children of each node get contiguous ids,
-  // so a sibling set is the id range [sibling_base, sibling_base + ring).
-  nodes_.reserve(total_nodes(config_.fanout));
+  // Breadth-first materialization: `child_counts` is indexed by the very ids
+  // being assigned (children of node i appear after every node j <= i has
+  // placed its children), so a single pass suffices and children of each
+  // node get contiguous ids — a sibling set is the id range
+  // [sibling_base, sibling_base + ring).
+  nodes_.reserve(topology.child_counts.size());
   nodes_.push_back(Node{});
   nodes_[0].path = {};
   nodes_[0].parent = 0;
   id_by_path_[{}] = 0;
 
-  std::vector<std::uint32_t> frontier{0};
-  for (std::size_t level = 0; level < config_.fanout.size(); ++level) {
-    const std::uint32_t f = config_.fanout[level];
-    std::vector<std::uint32_t> next_frontier;
-    next_frontier.reserve(frontier.size() * f);
-    for (const auto parent_id : frontier) {
-      nodes_[parent_id].first_child = static_cast<std::uint32_t>(nodes_.size());
-      nodes_[parent_id].child_count = f;
-      for (std::uint32_t j = 0; j < f; ++j) {
-        Node child;
-        child.path = hierarchy::child(nodes_[parent_id].path, j);
-        child.parent = parent_id;
-        child.sibling_base = nodes_[parent_id].first_child;
-        child.ring_size = f;
-        id_by_path_[child.path] = static_cast<std::uint32_t>(nodes_.size());
-        next_frontier.push_back(static_cast<std::uint32_t>(nodes_.size()));
-        nodes_.push_back(std::move(child));
-      }
+  for (std::uint32_t id = 0; id < topology.child_counts.size(); ++id) {
+    HOURS_EXPECTS(id < nodes_.size());  // counts describe a connected tree
+    const std::uint32_t count = topology.child_counts[id];
+    if (count == 0) continue;
+    nodes_[id].first_child = static_cast<std::uint32_t>(nodes_.size());
+    nodes_[id].child_count = count;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      Node child;
+      child.path = hierarchy::child(nodes_[id].path, j);
+      child.parent = id;
+      child.sibling_base = nodes_[id].first_child;
+      child.ring_size = count;
+      id_by_path_[child.path] = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(std::move(child));
     }
-    frontier = std::move(next_frontier);
   }
+  HOURS_EXPECTS(nodes_.size() == topology.child_counts.size());
 
   // Routing tables: one randomized overlay per sibling set (Algorithm 1).
-  const std::uint32_t child_fanout_levels = static_cast<std::uint32_t>(config_.fanout.size());
+  // Nephew pointers are sampled against each sibling's actual child count;
+  // a ring whose members are all leaves skips nephew sampling entirely
+  // (matching the uniform constructor's leaf level).
   for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
     Node& node = nodes_[id];
-    const auto level = static_cast<std::uint32_t>(node.path.size());
-    const std::uint32_t nephew_ring =
-        level < child_fanout_levels ? config_.fanout[level] : 0;
+    bool any_children = false;
+    for (std::uint32_t j = 0; j < node.ring_size; ++j) {
+      if (nodes_[node.sibling_base + j].child_count > 0) {
+        any_children = true;
+        break;
+      }
+    }
     overlay::OverlayParams params = config_.params;
     params.seed = overlay_seed(config_.seed, nodes_[node.parent].path);
     node.table = overlay::build_routing_table(
         node.ring_size, node.path.back(), params,
-        nephew_ring > 0 ? overlay::ChildCountFn{[nephew_ring](ids::RingIndex) {
-          return nephew_ring;
+        any_children ? overlay::ChildCountFn{[this, base = node.sibling_base](ids::RingIndex j) {
+          return nodes_[base + j].child_count;
         }}
-                        : overlay::ChildCountFn{});
+                     : overlay::ChildCountFn{});
   }
 
   transport_.set_handler([this](std::uint32_t to, const Transport<Message>::Envelope& env) {

@@ -32,9 +32,25 @@
 
 namespace hours::sim {
 
+/// An explicit (possibly irregular) tree shape: `child_counts[i]` is the
+/// number of children of node i in breadth-first order, root first, with
+/// each node's children assigned contiguous ids in parent order. This is
+/// exactly the id layout the uniform-fanout constructor produces, so
+/// `topology_from_fanout` round-trips. Used to mirror an admitted
+/// NamedHierarchy (whose zones rarely have equal sizes) into the event
+/// engine (hours::EventBackend).
+struct TreeTopology {
+  std::vector<std::uint32_t> child_counts;
+
+  /// Total node count must equal 1 + sum(child_counts).
+  [[nodiscard]] bool consistent() const noexcept;
+};
+
+[[nodiscard]] TreeTopology topology_from_fanout(const std::vector<std::uint32_t>& fanout);
+
 struct HierarchySimConfig {
   /// fanout[i] = children per level-i node (small trees; every node is
-  /// materialized as a process).
+  /// materialized as a process). Ignored by the TreeTopology constructor.
   std::vector<std::uint32_t> fanout{8, 8};
   overlay::OverlayParams params;
   TransportConfig transport;
@@ -54,6 +70,12 @@ struct HierarchySimConfig {
 class HierarchySimulation {
  public:
   explicit HierarchySimulation(HierarchySimConfig config);
+
+  /// Materializes an explicit tree shape instead of uniform per-level
+  /// fanouts; `config.fanout` is ignored. For a topology equal to
+  /// `topology_from_fanout(config.fanout)` this reproduces the uniform
+  /// constructor bit-for-bit (same ids, same routing tables).
+  HierarchySimulation(HierarchySimConfig config, const TreeTopology& topology);
 
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] const HierarchySimConfig& config() const noexcept { return config_; }
@@ -158,6 +180,9 @@ class HierarchySimulation {
     overlay::NodeBehavior behavior = overlay::NodeBehavior::kHonest;
     std::map<std::uint32_t, Ticks> suspected;  ///< id -> suspicion expiry
   };
+
+  /// Shared constructor body: BFS materialization + routing tables.
+  void build(const TreeTopology& topology);
 
   [[nodiscard]] bool is_suspected(const Node& node, std::uint32_t id) const;
   void suspect(std::uint32_t at, std::uint32_t peer);

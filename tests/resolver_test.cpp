@@ -165,6 +165,107 @@ TEST(Resolver, MultiRecordAnswerCachedUnderMinimumTtl) {
   EXPECT_EQ(resolver.peek("multi", 30), nullptr);   // the 30s record bounds it
 }
 
+TEST(Resolver, TtlOfSixtyIsNotASentinel) {
+  // Regression: min_ttl() once started its accumulator at the 60s
+  // no-records default, so a record whose TTL *was* 60 lost to any larger
+  // sibling and {60, 300} stayed cached for 300s.
+  Fixture f;
+  Resolver resolver{f.sys, /*capacity=*/4};
+  resolver.insert("pair", 0,
+                  {store::Record{"A", "1", 60}, store::Record{"TXT", "t", 300}});
+  EXPECT_NE(resolver.peek("pair", 59), nullptr);
+  EXPECT_EQ(resolver.peek("pair", 60), nullptr);  // bounded by the 60s record
+
+  // TTLs above 60 must still win over the empty-answer default...
+  resolver.insert("slow", 0, {store::Record{"A", "1", 200}});
+  EXPECT_NE(resolver.peek("slow", 199), nullptr);
+  EXPECT_EQ(resolver.peek("slow", 200), nullptr);
+  // ...and an answer with no records still gets the 60s existence TTL.
+  resolver.insert("bare", 0, {});
+  EXPECT_NE(resolver.peek("bare", 59), nullptr);
+  EXPECT_EQ(resolver.peek("bare", 60), nullptr);
+}
+
+TEST(Resolver, ExpiryBoundaryIsExclusive) {
+  // An entry expiring at T is stale *at* T, for peek and resolve alike.
+  Fixture f;
+  Resolver resolver{f.sys};
+  ASSERT_TRUE(resolver.resolve("a.red", 0).answered);  // ttl=100 -> expires_at=100
+  EXPECT_NE(resolver.peek("a.red", 99), nullptr);
+  EXPECT_EQ(resolver.peek("a.red", 100), nullptr);
+
+  const auto at_expiry = resolver.resolve("a.red", 100);
+  ASSERT_TRUE(at_expiry.answered);
+  EXPECT_FALSE(at_expiry.from_cache);  // refetched, not served stale
+  EXPECT_EQ(resolver.stats().cache_hits, 0U);
+  EXPECT_EQ(resolver.stats().cache_misses, 2U);
+}
+
+TEST(Resolver, EvictionCountsEveryExpiredDrop) {
+  // A single insert under capacity pressure may sweep several expired
+  // entries; each one is an eviction, not just the first.
+  Fixture f;
+  Resolver resolver{f.sys, /*capacity=*/3};
+  resolver.insert("e1", 0, {store::Record{"A", "1", 5}});
+  resolver.insert("e2", 0, {store::Record{"A", "2", 10}});
+  resolver.insert("e3", 0, {store::Record{"A", "3", 15}});
+  ASSERT_EQ(resolver.cached_names(), 3U);
+
+  resolver.insert("fresh", 50, {store::Record{"A", "4", 100}});  // all three expired
+  EXPECT_EQ(resolver.stats().evictions, 3U);
+  EXPECT_EQ(resolver.cached_names(), 1U);
+  EXPECT_NE(resolver.peek("fresh", 50), nullptr);
+
+  // No expired entries now: exactly one (earliest-expiry) victim.
+  resolver.insert("f2", 50, {store::Record{"A", "5", 200}});
+  resolver.insert("f3", 50, {store::Record{"A", "6", 300}});
+  resolver.insert("f4", 50, {store::Record{"A", "7", 400}});
+  EXPECT_EQ(resolver.stats().evictions, 4U);
+  EXPECT_EQ(resolver.cached_names(), 3U);
+  EXPECT_EQ(resolver.peek("fresh", 50), nullptr);  // closest expiry lost
+}
+
+TEST(Resolver, BackendClockDrivesTtlExpiry) {
+  // The now-less overloads read system.now(): cache TTLs live on the
+  // backend timeline, so advancing the clock ages entries.
+  Fixture f;
+  Resolver resolver{f.sys};
+  const auto first = resolver.resolve("a.red");
+  ASSERT_TRUE(first.answered);
+  EXPECT_FALSE(first.from_cache);
+
+  f.sys.advance(99);  // ttl=100, still fresh
+  EXPECT_TRUE(resolver.resolve("a.red").from_cache);
+  EXPECT_NE(resolver.peek("a.red"), nullptr);
+
+  f.sys.advance(1);  // now == expires_at
+  EXPECT_EQ(resolver.peek("a.red"), nullptr);
+  const auto refreshed = resolver.resolve("a.red");
+  ASSERT_TRUE(refreshed.answered);
+  EXPECT_FALSE(refreshed.from_cache);
+}
+
+TEST(Resolver, CacheSurvivesBackendSwapAndExpiresAcrossClockJump) {
+  // Swapping engines carries the clock forward, so cached answers stay
+  // valid across the swap; a large advance() on the new backend then ages
+  // them out like any other passage of time.
+  Fixture f;
+  Resolver resolver{f.sys};
+  ASSERT_TRUE(resolver.resolve("a.red").answered);  // graph backend, t=0
+
+  f.sys.use_event_backend();
+  ASSERT_EQ(f.sys.now(), 0U);
+  EXPECT_TRUE(resolver.resolve("a.red").from_cache);  // swap kept the entry live
+
+  f.sys.advance(250);  // clock jump far past the 100s TTL
+  EXPECT_EQ(resolver.peek("a.red"), nullptr);
+  const auto after_jump = resolver.resolve("a.red");
+  ASSERT_TRUE(after_jump.answered);
+  EXPECT_FALSE(after_jump.from_cache);  // re-routed through the event engine
+  EXPECT_EQ(resolver.stats().cache_hits, 1U);
+  EXPECT_EQ(resolver.stats().cache_misses, 2U);
+}
+
 TEST(Resolver, PeekDoesNotMutateStats) {
   Fixture f;
   Resolver resolver{f.sys};
