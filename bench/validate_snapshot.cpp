@@ -1,0 +1,78 @@
+// Snapshot-schema checker: reads a snapshot file written by
+// sim::Snapshotter::save_file or HoursSystem::save and validates its
+// structure — magic, version, section shape, and (for simulator snapshots)
+// the event list — via snapshot::validate_document. CI runs it on a
+// freshly written snapshot so a schema regression fails fast, outside any
+// particular test.
+//
+// Usage:
+//   validate_snapshot <file.json>     validate an existing snapshot
+//   validate_snapshot --demo <file>   write a small mid-run ring snapshot
+//                                     to <file>, then validate it (the CI
+//                                     smoke path needs no fixture file)
+// Exit: 0 valid, 1 invalid or unreadable (reported), 2 bad usage.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/fault_injector.hpp"
+#include "sim/ring_protocol.hpp"
+#include "sim/snapshotter.hpp"
+#include "snapshot/json.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+int write_demo(const std::string& path) {
+  using namespace hours::sim;
+  RingSimConfig config;
+  config.size = 12;
+  config.probe_failure_threshold = 2;
+  RingSimulation ring{config};
+  ring.start();
+  FaultPlan plan;
+  plan.crash(3, 1'500, 6'000);
+  plan.loss_episode(0.05, 2'000, 5'000);
+  FaultInjector injector{make_fault_target(ring), plan};
+  injector.arm();
+  Snapshotter snap{ring.simulator()};
+  snap.add(ring);
+  snap.add(injector);
+  ring.simulator().run(2'500);  // inside the fault window: nontrivial state
+  if (const auto error = snap.save_file(path); !error.empty()) {
+    std::fprintf(stderr, "validate_snapshot: demo save failed: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc == 2 && std::strcmp(argv[1], "--demo") != 0) {
+    path = argv[1];
+  } else if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
+    path = argv[2];
+    if (const int rc = write_demo(path); rc != 0) return rc;
+  } else {
+    std::fprintf(stderr, "usage: validate_snapshot [--demo] <file.json>\n");
+    return 2;
+  }
+
+  hours::snapshot::Json doc;
+  if (const auto error = hours::snapshot::read_file(path, doc); !error.empty()) {
+    std::fprintf(stderr, "validate_snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  if (const auto error = hours::snapshot::validate_document(doc); !error.empty()) {
+    std::fprintf(stderr, "validate_snapshot: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const auto* sections = doc.find("sections");
+  std::printf("validate_snapshot: %s schema-valid (version %llu, %zu sections)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(doc.find("version")->as_u64()),
+              sections->fields().size());
+  return 0;
+}

@@ -301,6 +301,26 @@ overlay::Overlay& NamedHierarchy::overlay_of(const NodePath& path) {
   return *node->child_overlay;
 }
 
+std::vector<NamedHierarchy::MemberInfo> NamedHierarchy::members() const {
+  std::vector<MemberInfo> out;
+  out.reserve(node_count_);
+  const std::function<void(const TreeNode&)> walk = [&](const TreeNode& node) {
+    for (const auto& child : node.owned) {
+      MemberInfo info;
+      info.name = child->name;
+      info.alive = child->alive;
+      info.secondary_parents.reserve(child->secondary_parents.size());
+      for (const TreeNode* sp : child->secondary_parents) {
+        info.secondary_parents.push_back(sp->name);
+      }
+      out.push_back(std::move(info));
+      walk(*child);
+    }
+  };
+  walk(*root_);
+  return out;
+}
+
 bool NamedHierarchy::root_alive() const noexcept { return root_->alive; }
 
 void NamedHierarchy::set_root_alive(bool alive) noexcept { root_->alive = alive; }

@@ -75,6 +75,20 @@ class NamedHierarchy final : public HierarchyModel {
   /// Number of admitted nodes (excluding the root; aliases do not count).
   [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
 
+  /// One admitted node's serializable membership facts.
+  struct MemberInfo {
+    naming::Name name;
+    bool alive = true;
+    std::vector<naming::Name> secondary_parents;  ///< mesh registrations
+  };
+
+  /// Every admitted node in pre-order (a parent precedes its primary
+  /// children), for snapshot serialization: re-admitting names in this
+  /// order — then registering the secondary parents — reproduces the
+  /// hierarchy exactly, since ring indices derive from identifier sorting,
+  /// not admission order.
+  [[nodiscard]] std::vector<MemberInfo> members() const;
+
   // -- HierarchyModel ----------------------------------------------------------
   [[nodiscard]] std::uint32_t child_count(const NodePath& path) override;
   [[nodiscard]] overlay::Overlay& overlay_of(const NodePath& path) override;

@@ -88,6 +88,10 @@ class EventBackend final : public QueryBackend {
 
   [[nodiscard]] const EventBackendConfig& config() const noexcept { return config_; }
 
+  /// Every plan scheduled so far (re-armed on each topology rebuild), for
+  /// facade snapshots.
+  [[nodiscard]] const std::vector<sim::FaultPlan>& plans() const noexcept { return plans_; }
+
  private:
   /// Snapshots the NamedHierarchy into a fresh simulation: BFS topology,
   /// name<->id mapping, oracle liveness mirrored as initial kills, stored

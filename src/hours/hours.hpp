@@ -30,6 +30,7 @@
 #include "hours/query_backend.hpp"
 #include "naming/name.hpp"
 #include "overlay/params.hpp"
+#include "snapshot/json.hpp"
 #include "store/record_store.hpp"
 #include "trace/registry.hpp"
 #include "trace/sink.hpp"
@@ -133,6 +134,29 @@ class HoursSystem {
   [[nodiscard]] hierarchy::NamedHierarchy& hierarchy() noexcept { return hierarchy_; }
   [[nodiscard]] const HoursConfig& config() const noexcept { return config_; }
 
+  // -- snapshot/restore --------------------------------------------------------
+  // Versioned serialization of the complete facade state (docs/PROTOCOL.md
+  // appendix C, "system" section): membership (names, liveness, mesh
+  // registrations), records, the bootstrap cache, attack bookkeeping and its
+  // RNG stream, facade metrics, the operation/qid counters, and the active
+  // backend (kind, clock, and — on the event engine — its configuration and
+  // every scheduled FaultPlan in describe() text form).
+  //
+  // restore() requires a freshly constructed, identically configured system.
+  // On the event backend the simulation itself re-materializes lazily from
+  // the restored membership and plans — the same semantics every membership
+  // change already has (EventBackend::on_membership_change). Byte-exact
+  // mid-run replay lives one layer down, in sim::Snapshotter.
+
+  /// Writes the snapshot to `path`. Returns "" on success.
+  [[nodiscard]] std::string save(const std::string& path) const;
+  /// Builds the snapshot document in memory.
+  [[nodiscard]] std::string save_json(snapshot::Json& doc) const;
+  /// Reads and applies a snapshot written by save(). Returns "" on success;
+  /// on failure the system may be partially restored — discard it.
+  [[nodiscard]] std::string restore(const std::string& path);
+  [[nodiscard]] std::string restore_json(const snapshot::Json& doc);
+
   // -- observability ----------------------------------------------------------
   /// Attach (or detach with nullptr) a tracer, propagated into the active
   /// backend. On the graph backend events are stamped with a logical
@@ -149,6 +173,8 @@ class HoursSystem {
  private:
   /// Counts the outcome, emits kQueryDelivered/kQueryFailed, returns `result`.
   QueryResult finish_query(std::uint64_t qid, QueryResult result);
+  /// The configuration echo stored in (and verified against) a snapshot.
+  [[nodiscard]] snapshot::Json config_json() const;
   /// Trace timestamp from the active backend (logical op clock or sim ticks).
   [[nodiscard]] std::uint64_t stamp() { return backend_->trace_stamp(op_clock_); }
 

@@ -94,4 +94,76 @@ void Resolver::evict_expired_or_oldest(std::uint64_t now) {
   ++stats_.evictions;
 }
 
+snapshot::Json Resolver::to_json() const {
+  using snapshot::Json;
+  Json out = Json::object();
+  out["capacity"] = Json(static_cast<std::uint64_t>(capacity_));
+  Json cache = Json::array();  // rows [name, expires_at, [[type, value, ttl]...]]
+  for (const auto& [name, entry] : cache_) {
+    Json row = Json::array();
+    row.push(Json(name));
+    row.push(Json(entry.expires_at));
+    Json records = Json::array();
+    for (const auto& record : entry.records) {
+      Json fields = Json::array();
+      fields.push(Json(record.type));
+      fields.push(Json(record.value));
+      fields.push(Json(record.ttl));
+      records.push(std::move(fields));
+    }
+    row.push(std::move(records));
+    cache.push(std::move(row));
+  }
+  out["cache"] = std::move(cache);
+  Json stats = Json::array();
+  stats.push(Json(stats_.cache_hits));
+  stats.push(Json(stats_.cache_misses));
+  stats.push(Json(stats_.failures));
+  stats.push(Json(stats_.evictions));
+  out["stats"] = std::move(stats);
+  return out;
+}
+
+std::string Resolver::from_json(const snapshot::Json& state) {
+  using snapshot::Json;
+  const Json* capacity = state.find("capacity");
+  const Json* cache = state.find("cache");
+  const Json* stats = state.find("stats");
+  if (capacity == nullptr || !capacity->is_u64() || cache == nullptr || !cache->is_array() ||
+      stats == nullptr || !stats->is_array() || stats->items().size() != 4) {
+    return "resolver state malformed";
+  }
+  for (const auto& field : stats->items()) {
+    if (!field.is_u64()) return "resolver.stats malformed";
+  }
+  std::map<std::string, Entry> restored;
+  for (const auto& raw : cache->items()) {
+    if (!raw.is_array() || raw.items().size() != 3 || !raw.items()[0].is_string() ||
+        !raw.items()[1].is_u64() || !raw.items()[2].is_array()) {
+      return "resolver.cache entry malformed";
+    }
+    Entry entry;
+    entry.expires_at = raw.items()[1].as_u64();
+    for (const auto& fields : raw.items()[2].items()) {
+      if (!fields.is_array() || fields.items().size() != 3 || !fields.items()[0].is_string() ||
+          !fields.items()[1].is_string() || !fields.items()[2].is_u64()) {
+        return "resolver.cache record malformed";
+      }
+      store::Record record;
+      record.type = fields.items()[0].as_string();
+      record.value = fields.items()[1].as_string();
+      record.ttl = fields.items()[2].as_u64();
+      entry.records.push_back(std::move(record));
+    }
+    restored[raw.items()[0].as_string()] = std::move(entry);
+  }
+  capacity_ = static_cast<std::size_t>(capacity->as_u64());
+  cache_ = std::move(restored);
+  stats_.cache_hits = stats->items()[0].as_u64();
+  stats_.cache_misses = stats->items()[1].as_u64();
+  stats_.failures = stats->items()[2].as_u64();
+  stats_.evictions = stats->items()[3].as_u64();
+  return "";
+}
+
 }  // namespace hours

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "hours/hours.hpp"
+#include "snapshot/json.hpp"
 #include "store/record_store.hpp"
 
 namespace hours {
@@ -68,6 +69,15 @@ class Resolver {
   [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
   void clear_cache() noexcept { cache_.clear(); }
   [[nodiscard]] std::size_t cached_names() const noexcept { return cache_.size(); }
+
+  // -- snapshot ---------------------------------------------------------------
+  /// Serializes the answer cache and statistics (docs/PROTOCOL.md appendix
+  /// C, "resolver" layout). The HoursSystem reference is not captured: a
+  /// restored resolver must be constructed over the restored system.
+  [[nodiscard]] snapshot::Json to_json() const;
+  /// Replaces cache and statistics with the saved state. Returns "" on
+  /// success.
+  [[nodiscard]] std::string from_json(const snapshot::Json& state);
 
  private:
   struct Entry {

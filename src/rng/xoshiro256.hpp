@@ -5,6 +5,7 @@
 // bit-reproducible across standard libraries).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -59,6 +60,16 @@ class Xoshiro256 {
 
   /// Bernoulli(p).
   [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// The full generator state, for exact serialization: a stream restored
+  /// with set_state() continues the original sequence bit-for-bit.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const State& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {

@@ -18,17 +18,27 @@
 // the same way, per directed (from, to) pair, independently of the node
 // refcounts: crashing a partitioned node and lifting the crash leaves the
 // node alive but still unreachable until the partition heals.
+//
+// Snapshot integration: arm() first expands the plan into an indexed,
+// deterministic action list (build_schedule()); each simulator event is the
+// described datum {kFaultAction, [index]}, so a snapshot stores indices and
+// a restored injector — constructed with the identical plan — rebuilds the
+// identical closures. FaultInjector is a snapshot::Participant; FaultPlan
+// round-trips through describe()/parse().
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "overlay/overlay.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/participant.hpp"
 #include "trace/sink.hpp"
 
 namespace hours::sim {
@@ -107,9 +117,20 @@ class FaultPlan {
   }
 
   /// One builder call per line, in builder-call syntax — enough to re-type
-  /// a failing fuzz schedule by hand. Logged alongside the generating seed
-  /// in the fuzz harness's failure artifacts.
+  /// a failing fuzz schedule by hand, and exact enough to round-trip:
+  /// parse(describe(p)) == p (doubles are printed with 17 significant
+  /// digits). Logged alongside the generating seed in fuzz artifacts and
+  /// stored verbatim in snapshots.
   [[nodiscard]] std::string describe() const;
+
+  /// Parses describe() output back into a plan. Returns std::nullopt — and
+  /// fills `error`, when given — on malformed text. Syntax errors are
+  /// reported; semantic violations (e.g. a zero-cycle flap) go through the
+  /// builders and abort exactly as the equivalent code would.
+  [[nodiscard]] static std::optional<FaultPlan> parse(std::string_view text,
+                                                      std::string* error = nullptr);
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const = default;
 
  private:
   friend class FaultInjector;
@@ -118,6 +139,7 @@ class FaultPlan {
     std::uint32_t node = 0;
     Ticks at = 0;
     Ticks recover_at = 0;  ///< 0 = permanent
+    [[nodiscard]] bool operator==(const CrashSpec&) const = default;
   };
   struct FlapSpec {
     std::uint32_t node = 0;
@@ -125,6 +147,7 @@ class FaultPlan {
     Ticks down = 0;
     Ticks up = 0;
     std::uint32_t cycles = 0;
+    [[nodiscard]] bool operator==(const FlapSpec&) const = default;
   };
   struct OutageSpec {
     std::vector<std::uint32_t> nodes;
@@ -132,27 +155,32 @@ class FaultPlan {
     Ticks duration = 0;
     std::uint32_t strikes = 1;
     Ticks strike_gap = 0;
+    [[nodiscard]] bool operator==(const OutageSpec&) const = default;
   };
   struct PartitionSpec {
     std::vector<std::vector<std::uint32_t>> groups;
     Ticks at = 0;
     Ticks heal_at = 0;  ///< 0 = permanent
+    [[nodiscard]] bool operator==(const PartitionSpec&) const = default;
   };
   struct CutLinkSpec {
     std::uint32_t a = 0;
     std::uint32_t b = 0;
     Ticks at = 0;
     Ticks heal_at = 0;  ///< 0 = permanent
+    [[nodiscard]] bool operator==(const CutLinkSpec&) const = default;
   };
   struct LossSpec {
     double probability = 0.0;
     Ticks from = 0;
     Ticks until = 0;
+    [[nodiscard]] bool operator==(const LossSpec&) const = default;
   };
   struct ByzantineSpec {
     std::uint32_t node = 0;
     overlay::NodeBehavior behavior = overlay::NodeBehavior::kHonest;
     Ticks at = 0;
+    [[nodiscard]] bool operator==(const ByzantineSpec&) const = default;
   };
   struct ChurnSpec {
     std::uint32_t events = 0;
@@ -161,6 +189,7 @@ class FaultPlan {
     Ticks mean_downtime = 0;
     std::uint64_t seed = 0;
     std::vector<std::uint32_t> spare;
+    [[nodiscard]] bool operator==(const ChurnSpec&) const = default;
   };
 
   std::vector<CrashSpec> crashes_;
@@ -184,7 +213,7 @@ struct FaultInjectorStats {
   std::uint64_t behavior_changes = 0;  ///< insider switches applied
 };
 
-class FaultInjector {
+class FaultInjector : public snapshot::Participant {
  public:
   /// The target's simulator/hooks must outlive the injector; the injector
   /// itself must outlive the run (scheduled events point back into it).
@@ -192,7 +221,8 @@ class FaultInjector {
 
   /// Expands the plan into simulator events, offset from the current
   /// simulation instant. Call exactly once, before running the schedule
-  /// window.
+  /// window — and not at all when the injector is about to be restored
+  /// from a snapshot.
   void arm();
 
   /// Attaches the trace stream (kill/revive/link/loss/behavior events as
@@ -209,12 +239,46 @@ class FaultInjector {
   /// but the state is tracked (and queryable) per direction.
   [[nodiscard]] bool link_severed(std::uint32_t from, std::uint32_t to) const;
 
+  // -- snapshot (snapshot::Participant) -----------------------------------------
+  [[nodiscard]] std::string section() const override { return "faults"; }
+  [[nodiscard]] snapshot::Json save_state(std::string& error) const override;
+  [[nodiscard]] std::string restore_state(const snapshot::Json& state) override;
+  [[nodiscard]] std::function<void()> rebuild_event(
+      const snapshot::Described& desc) override;
+
  private:
-  void schedule_down(std::uint32_t node, Ticks at);
-  void schedule_up(std::uint32_t node, Ticks at);
+  /// One expanded plan step. `at` is the delay from the arm() instant;
+  /// apply_planned() interprets the rest. A link action covers BOTH
+  /// directions of the (a, b) pair, matching how every builder severs.
+  struct PlannedAction {
+    enum class Kind : std::uint8_t {
+      kDown,
+      kUp,
+      kLinkDown,
+      kLinkUp,
+      kLossSet,
+      kLossRestore,
+      kBehavior,
+    };
+    Kind kind = Kind::kDown;
+    Ticks at = 0;
+    std::uint32_t a = 0;  ///< node, link endpoint, or behavior target
+    std::uint32_t b = 0;  ///< second link endpoint
+    double probability = 0.0;                                    ///< kLossSet
+    std::size_t slot = 0;  ///< loss episode index (kLossSet/kLossRestore)
+    overlay::NodeBehavior behavior = overlay::NodeBehavior::kHonest;
+  };
+
+  /// Pure, deterministic expansion of the plan. The vector ORDER is part of
+  /// the snapshot contract: same-instant actions fire in list order (the
+  /// simulator's FIFO tie-break), so it must never be reordered across
+  /// versions without bumping kSnapshotVersion.
+  [[nodiscard]] std::vector<PlannedAction> build_schedule() const;
+  void apply_planned(std::size_t index);
+  void install_link_filter();
+
   void apply_down(std::uint32_t node);
   void apply_up(std::uint32_t node);
-  void schedule_link_window(std::uint32_t a, std::uint32_t b, Ticks at, Ticks heal_at);
   void apply_link_down(std::uint32_t a, std::uint32_t b);
   void apply_link_up(std::uint32_t a, std::uint32_t b);
 
@@ -222,6 +286,8 @@ class FaultInjector {
   FaultPlan plan_;
   FaultInjectorStats stats_;
   trace::Tracer* trace_ = nullptr;
+  std::vector<PlannedAction> schedule_;  ///< built by arm() / restore_state()
+  std::vector<double> loss_saved_;       ///< per-episode pre-episode loss rate
   std::vector<std::uint32_t> down_count_;
   /// Directed (from, to) -> number of severing windows currently in force.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> link_down_count_;

@@ -5,6 +5,8 @@
 #include "ids/ring.hpp"
 #include "overlay/table_builder.hpp"
 #include "rng/splitmix64.hpp"
+#include "snapshot/event_kinds.hpp"
+#include "snapshot/registry_io.hpp"
 #include "util/contracts.hpp"
 
 namespace hours::sim {
@@ -133,6 +135,11 @@ void HierarchySimulation::build(const TreeTopology& topology) {
   transport_.set_handler([this](std::uint32_t to, const Transport<Message>::Envelope& env) {
     handle(to, env.payload);
   });
+  transport_.set_snapshot_codec(
+      [](const Message& msg) { return encode_message(msg); },
+      [](const std::uint64_t* words, std::size_t count) { return decode_message(words, count); });
+  transport_.set_continuation_runner(
+      [this](const snapshot::Described& cont) { run_continuation(cont); });
 }
 
 std::uint32_t HierarchySimulation::id_of(const hierarchy::NodePath& path) const {
@@ -184,7 +191,10 @@ std::uint64_t HierarchySimulation::inject_query(const hierarchy::NodePath& dest,
   Message msg;
   msg.qid = qid;
   msg.dest = dest;
-  sim_.schedule(0, [this, start_id, msg] { handle(start_id, msg); });
+  snapshot::Described submit{snapshot::kHierQueryStart, {start_id}};
+  const auto words = encode_message(msg);
+  submit.args.insert(submit.args.end(), words.begin(), words.end());
+  sim_.schedule(0, submit, [this, submit] { run_continuation(submit); });
   return qid;
 }
 
@@ -404,7 +414,8 @@ void HierarchySimulation::handle(std::uint32_t at, const Message& msg) {
       Message forwarded = msg;
       forwarded.hops += 1;
       if (forwarded.hops <= 4 * node_count() + 64) {
-        transport_.send_expect_ack(at, sibling_id(node, pick), forwarded, nullptr, nullptr);
+        transport_.send_expect_ack(at, sibling_id(node, pick), forwarded,
+                                   snapshot::Described{}, snapshot::Described{});
         return;
       }
     }
@@ -446,19 +457,241 @@ void HierarchySimulation::try_candidates(std::uint32_t at, Message msg,
                             .level = static_cast<std::int32_t>(nodes_[at].path.size()),
                             .causal = msg.qid,
                             .value = forwarded.hops});
-  transport_.send_expect_ack(
-      at, next, forwarded, /*on_ack=*/nullptr,
-      /*on_timeout=*/[this, at, msg, next, remaining = std::move(candidates)]() mutable {
-        suspect(at, next);
-        hop_timeouts_.inc();
-        queries_[msg.qid].timeouts += 1;
-        HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
-                                  .type = trace::EventType::kRetry,
-                                  .node = at,
-                                  .peer = next,
-                                  .causal = msg.qid});
-        try_candidates(at, msg, std::move(remaining));
-      });
+  // The timeout continuation carries the PRE-hop message: the retry
+  // re-decides from the state the failed attempt saw, plus the enriched
+  // suspicion set.
+  snapshot::Described timeout{snapshot::kHierAttemptTimeout, {at, next}};
+  const auto words = encode_message(msg);
+  timeout.args.insert(timeout.args.end(), words.begin(), words.end());
+  for (const auto candidate : candidates) timeout.args.push_back(candidate);
+  transport_.send_expect_ack(at, next, forwarded, /*on_ack=*/snapshot::Described{},
+                             /*on_timeout=*/std::move(timeout));
+}
+
+void HierarchySimulation::attempt_timeout(std::uint32_t at, std::uint32_t next, Message msg,
+                                          std::vector<std::uint32_t> remaining) {
+  suspect(at, next);
+  hop_timeouts_.inc();
+  queries_[msg.qid].timeouts += 1;
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kRetry,
+                            .node = at,
+                            .peer = next,
+                            .causal = msg.qid});
+  try_candidates(at, std::move(msg), std::move(remaining));
+}
+
+std::vector<std::uint64_t> HierarchySimulation::encode_message(const Message& msg) {
+  std::vector<std::uint64_t> words;
+  words.reserve(4 + msg.dest.size());
+  words.push_back(msg.qid);
+  words.push_back((msg.backward ? 1ULL : 0ULL) | (msg.client_hop ? 2ULL : 0ULL));
+  words.push_back(msg.hops);
+  words.push_back(msg.dest.size());
+  for (const auto index : msg.dest) words.push_back(index);
+  return words;
+}
+
+HierarchySimulation::Message HierarchySimulation::decode_message(const std::uint64_t* words,
+                                                                 std::size_t count) {
+  HOURS_EXPECTS(count >= 4 && count == 4 + words[3]);
+  Message msg;
+  msg.qid = words[0];
+  msg.backward = (words[1] & 1ULL) != 0;
+  msg.client_hop = (words[1] & 2ULL) != 0;
+  msg.hops = static_cast<std::uint32_t>(words[2]);
+  msg.dest.reserve(static_cast<std::size_t>(words[3]));
+  for (std::uint64_t i = 0; i < words[3]; ++i) {
+    msg.dest.push_back(static_cast<ids::RingIndex>(words[4 + i]));
+  }
+  return msg;
+}
+
+void HierarchySimulation::run_continuation(const snapshot::Described& cont) {
+  const auto& args = cont.args;
+  switch (cont.kind) {
+    case snapshot::kHierQueryStart: {
+      HOURS_EXPECTS(args.size() >= 5);
+      handle(static_cast<std::uint32_t>(args[0]),
+             decode_message(args.data() + 1, args.size() - 1));
+      return;
+    }
+    case snapshot::kHierAttemptTimeout: {
+      HOURS_EXPECTS(args.size() >= 6);  // at, tried, then a >= 4-word message
+      const auto at = static_cast<std::uint32_t>(args[0]);
+      const auto next = static_cast<std::uint32_t>(args[1]);
+      const std::size_t msg_words = 4 + static_cast<std::size_t>(args[2 + 3]);
+      HOURS_EXPECTS(args.size() >= 2 + msg_words);
+      Message msg = decode_message(args.data() + 2, msg_words);
+      std::vector<std::uint32_t> remaining;
+      remaining.reserve(args.size() - 2 - msg_words);
+      for (std::size_t i = 2 + msg_words; i < args.size(); ++i) {
+        remaining.push_back(static_cast<std::uint32_t>(args[i]));
+      }
+      attempt_timeout(at, next, std::move(msg), std::move(remaining));
+      return;
+    }
+    default:
+      HOURS_EXPECTS(!"unknown hierarchy continuation kind");
+  }
+}
+
+snapshot::Json HierarchySimulation::config_json() const {
+  using snapshot::Json;
+  Json config = Json::object();
+  Json counts = Json::array();
+  for (const auto& node : nodes_) {
+    counts.push(Json(static_cast<std::uint64_t>(node.child_count)));
+  }
+  config["child_counts"] = std::move(counts);
+  config["design"] = Json(static_cast<std::uint64_t>(config_.params.design));
+  config["k"] = Json(static_cast<std::uint64_t>(config_.params.k));
+  config["q"] = Json(static_cast<std::uint64_t>(config_.params.q));
+  config["seed"] = Json(config_.seed);
+  config["suspicion_ttl"] = Json(config_.suspicion_ttl);
+  config["assume_ring_repaired"] =
+      Json(static_cast<std::uint64_t>(config_.assume_ring_repaired ? 1 : 0));
+  return config;
+}
+
+snapshot::Json HierarchySimulation::save_state(std::string& error) const {
+  using snapshot::Json;
+  Json out = Json::object();
+  out["config"] = config_json();
+
+  Json rng = Json::array();
+  for (const auto word : misroute_rng_.state()) rng.push(Json(word));
+  out["misroute_rng"] = std::move(rng);
+  out["next_qid"] = Json(next_qid_);
+
+  // Sparse per-node state: honest behavior and an empty suspicion set are
+  // the overwhelmingly common case in thousands-of-nodes trees.
+  Json behaviors = Json::array();  // rows [id, behavior]
+  Json suspected = Json::array();  // rows [node, peer, expiry]
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.behavior != overlay::NodeBehavior::kHonest) {
+      Json row = Json::array();
+      row.push(Json(static_cast<std::uint64_t>(id)));
+      row.push(Json(static_cast<std::uint64_t>(node.behavior)));
+      behaviors.push(std::move(row));
+    }
+    for (const auto& [peer, expiry] : node.suspected) {
+      Json row = Json::array();
+      row.push(Json(static_cast<std::uint64_t>(id)));
+      row.push(Json(static_cast<std::uint64_t>(peer)));
+      row.push(Json(expiry));
+      suspected.push(std::move(row));
+    }
+  }
+  out["behaviors"] = std::move(behaviors);
+  out["suspected"] = std::move(suspected);
+
+  Json queries = Json::array();
+  for (const auto& [qid, outcome] : queries_) {
+    Json row = Json::array();
+    row.push(Json(qid));
+    row.push(Json(static_cast<std::uint64_t>(outcome.done ? 1 : 0)));
+    row.push(Json(static_cast<std::uint64_t>(outcome.delivered ? 1 : 0)));
+    row.push(Json(static_cast<std::uint64_t>(outcome.hops)));
+    row.push(Json(static_cast<std::uint64_t>(outcome.timeouts)));
+    row.push(Json(outcome.completed_at));
+    queries.push(std::move(row));
+  }
+  out["queries"] = std::move(queries);
+
+  out["registry"] = snapshot::registry_to_json(registry_);
+  out["transport"] = transport_.save_state(error);
+  return out;
+}
+
+std::string HierarchySimulation::restore_state(const snapshot::Json& state) {
+  using snapshot::Json;
+  const Json* config = state.find("config");
+  const Json* rng = state.find("misroute_rng");
+  const Json* next_qid = state.find("next_qid");
+  const Json* behaviors = state.find("behaviors");
+  const Json* suspected = state.find("suspected");
+  const Json* queries = state.find("queries");
+  const Json* registry = state.find("registry");
+  const Json* transport = state.find("transport");
+  if (config == nullptr || rng == nullptr || !rng->is_array() || rng->items().size() != 4 ||
+      next_qid == nullptr || !next_qid->is_u64() || behaviors == nullptr ||
+      !behaviors->is_array() || suspected == nullptr || !suspected->is_array() ||
+      queries == nullptr || !queries->is_array() || registry == nullptr ||
+      transport == nullptr) {
+    return "hier section malformed";
+  }
+  if (*config != config_json()) {
+    return "hier.config does not match the running simulation";
+  }
+  const auto u64_row = [](const Json& row, std::size_t n) {
+    if (!row.is_array() || row.items().size() != n) return false;
+    for (const auto& field : row.items()) {
+      if (!field.is_u64()) return false;
+    }
+    return true;
+  };
+
+  for (auto& node : nodes_) {
+    node.behavior = overlay::NodeBehavior::kHonest;
+    node.suspected.clear();
+  }
+  for (const auto& raw : behaviors->items()) {
+    if (!u64_row(raw, 2)) return "hier.behaviors entry malformed";
+    const auto id = raw.items()[0].as_u64();
+    const auto value = raw.items()[1].as_u64();
+    if (id >= nodes_.size() || value > static_cast<std::uint64_t>(overlay::NodeBehavior::kMisrouter)) {
+      return "hier.behaviors entry out of range";
+    }
+    nodes_[id].behavior = static_cast<overlay::NodeBehavior>(value);
+  }
+  for (const auto& raw : suspected->items()) {
+    if (!u64_row(raw, 3)) return "hier.suspected entry malformed";
+    const auto id = raw.items()[0].as_u64();
+    const auto peer = raw.items()[1].as_u64();
+    if (id >= nodes_.size() || peer >= nodes_.size()) {
+      return "hier.suspected entry out of range";
+    }
+    nodes_[id].suspected[static_cast<std::uint32_t>(peer)] = raw.items()[2].as_u64();
+  }
+
+  for (const auto& field : rng->items()) {
+    if (!field.is_u64()) return "hier.misroute_rng malformed";
+  }
+  rng::Xoshiro256::State words{};
+  for (std::size_t i = 0; i < 4; ++i) words[i] = rng->items()[i].as_u64();
+  misroute_rng_.set_state(words);
+  next_qid_ = next_qid->as_u64();
+
+  queries_.clear();
+  for (const auto& raw : queries->items()) {
+    if (!u64_row(raw, 6)) return "hier.queries entry malformed";
+    const auto& f = raw.items();
+    QueryOutcome outcome;
+    outcome.done = f[1].as_u64() != 0;
+    outcome.delivered = f[2].as_u64() != 0;
+    outcome.hops = static_cast<std::uint32_t>(f[3].as_u64());
+    outcome.timeouts = static_cast<std::uint32_t>(f[4].as_u64());
+    outcome.completed_at = f[5].as_u64();
+    queries_[f[0].as_u64()] = outcome;
+  }
+
+  if (std::string err = snapshot::registry_from_json(registry_, *registry); !err.empty()) {
+    return "hier.registry: " + err;
+  }
+  if (std::string err = transport_.restore_state(*transport); !err.empty()) {
+    return "hier.transport: " + err;
+  }
+  return "";
+}
+
+std::function<void()> HierarchySimulation::rebuild_event(const snapshot::Described& desc) {
+  if (desc.kind >= 0x100 && desc.kind <= 0x1FF) return transport_.rebuild_event(desc);
+  if (desc.kind >= 0x300 && desc.kind <= 0x3FF) {
+    return [this, copy = desc] { run_continuation(copy); };
+  }
+  return nullptr;
 }
 
 }  // namespace hours::sim

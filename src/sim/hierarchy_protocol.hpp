@@ -27,6 +27,7 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
 #include "sim/transport.hpp"
+#include "snapshot/participant.hpp"
 #include "trace/registry.hpp"
 #include "trace/sink.hpp"
 
@@ -67,7 +68,7 @@ struct HierarchySimConfig {
   bool assume_ring_repaired = true;
 };
 
-class HierarchySimulation {
+class HierarchySimulation : public snapshot::Participant {
  public:
   explicit HierarchySimulation(HierarchySimConfig config);
 
@@ -157,8 +158,24 @@ class HierarchySimulation {
   /// One custody-transfer attempt from `at` to `to` on behalf of an external
   /// query client; exactly one of the callbacks fires. The receiving node
   /// acks (if alive) but takes no forwarding action of its own.
+  ///
+  /// Snapshot note: client callbacks are caller-owned closures with no data
+  /// form, so saves are blocked while a client attempt is outstanding (the
+  /// protocol's own queries serialize fully).
   void client_attempt(std::uint32_t at, std::uint32_t to, std::function<void()> on_ack,
                       std::function<void()> on_timeout);
+
+  // -- snapshot (snapshot/participant.hpp) -----------------------------------------
+  // The "hier" section: suspicion state, insider behaviors, the misroute RNG
+  // stream, query outcomes, metrics, and the transport — everything mutated
+  // after construction. Topology and routing tables are NOT serialized; they
+  // are pure functions of the configuration, which the section echoes and
+  // restore_state() verifies against the running simulation.
+  [[nodiscard]] std::string section() const override { return "hier"; }
+  [[nodiscard]] snapshot::Json save_state(std::string& error) const override;
+  [[nodiscard]] std::string restore_state(const snapshot::Json& state) override;
+  [[nodiscard]] std::function<void()> rebuild_event(
+      const snapshot::Described& desc) override;
 
  private:
   struct Message {
@@ -190,6 +207,25 @@ class HierarchySimulation {
   void handle(std::uint32_t at, const Message& msg);
   void try_candidates(std::uint32_t at, Message msg, std::vector<std::uint32_t> candidates);
   void finish(std::uint64_t qid, bool delivered, std::uint32_t hops);
+
+  /// Message <-> u64 words, self-delimiting ([qid, flags, hops, |dest|,
+  /// dest...]) so a description can carry a message followed by more args.
+  static std::vector<std::uint64_t> encode_message(const Message& msg);
+  static Message decode_message(const std::uint64_t* words, std::size_t count);
+
+  /// Dispatches a described continuation (kHier* kinds) — the single decode
+  /// path shared by live scheduling and snapshot restore.
+  void run_continuation(const snapshot::Described& cont);
+
+  /// The configuration echo stored in a snapshot and verified by
+  /// restore_state() (a snapshot only restores into an identically
+  /// configured simulation).
+  [[nodiscard]] snapshot::Json config_json() const;
+
+  /// Body of the per-attempt ack-timeout continuation: suspect the silent
+  /// peer and walk on to the remaining candidates.
+  void attempt_timeout(std::uint32_t at, std::uint32_t next, Message msg,
+                       std::vector<std::uint32_t> remaining);
 
   /// Algorithm 2+3 decision at node `at`: ordered candidate ids for the
   /// next hop, or empty when the query must fail here.

@@ -4,6 +4,8 @@
 
 #include "overlay/table_builder.hpp"
 #include "rng/splitmix64.hpp"
+#include "snapshot/event_kinds.hpp"
+#include "snapshot/registry_io.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -43,6 +45,15 @@ RingSimulation::RingSimulation(RingSimConfig config)
       [this](std::uint32_t to, const Transport<Message>::Envelope& env) {
         handle(static_cast<ids::RingIndex>(to), env.from, env.payload);
       });
+  // With codec + runner installed, every in-flight message and every protocol
+  // callback is a described event: the whole run is snapshottable.
+  transport_.set_snapshot_codec(
+      [](const Message& msg) { return encode_message(msg); },
+      [](const std::uint64_t* words, std::size_t count) {
+        return decode_message(words, count);
+      });
+  transport_.set_continuation_runner(
+      [this](const snapshot::Described& cont) { run_continuation(cont); });
 }
 
 void RingSimulation::start() {
@@ -109,11 +120,122 @@ bool RingSimulation::ring_connected() const {
   return visited == alive_total;
 }
 
+// -- continuations -----------------------------------------------------------------
+
+std::vector<std::uint64_t> RingSimulation::encode_message(const Message& msg) {
+  return {static_cast<std::uint64_t>(msg.type),
+          msg.origin,
+          msg.qid,
+          msg.od,
+          static_cast<std::uint64_t>(msg.backward ? 1 : 0),
+          msg.hops};
+}
+
+RingSimulation::Message RingSimulation::decode_message(const std::uint64_t* words,
+                                                       std::size_t count) {
+  HOURS_EXPECTS(count == 6);
+  Message msg;
+  msg.type = static_cast<Message::Type>(words[0]);
+  msg.origin = static_cast<ids::RingIndex>(words[1]);
+  msg.qid = words[2];
+  msg.od = static_cast<ids::RingIndex>(words[3]);
+  msg.backward = words[4] != 0;
+  msg.hops = static_cast<std::uint32_t>(words[5]);
+  return msg;
+}
+
+void RingSimulation::run_continuation(const snapshot::Described& cont) {
+  const auto arg = [&cont](std::size_t k) {
+    HOURS_EXPECTS(k < cont.args.size());
+    return static_cast<ids::RingIndex>(cont.args[k]);
+  };
+  const auto tail = [&cont](std::size_t from) {
+    std::vector<ids::RingIndex> out;
+    for (std::size_t k = from; k < cont.args.size(); ++k) {
+      out.push_back(static_cast<ids::RingIndex>(cont.args[k]));
+    }
+    return out;
+  };
+
+  switch (cont.kind) {
+    case snapshot::kRingProbeTimer:
+      probe_cycle(arg(0));
+      break;
+    case snapshot::kRingCwProbeAck:
+      nodes_[arg(0)].cw_miss_count = 0;
+      break;
+    case snapshot::kRingCwProbeTimeout:
+      cw_probe_timeout(arg(0), arg(1));
+      break;
+    case snapshot::kRingCcwProbeAck: {
+      Node& node = nodes_[arg(0)];
+      node.ccw_suspected = false;
+      node.ccw_miss_count = 0;
+      break;
+    }
+    case snapshot::kRingCcwProbeTimeout:
+      ccw_probe_timeout(arg(0), arg(1));
+      break;
+    case snapshot::kRingRecoveredAck:
+      on_suspect_recovered(arg(0), arg(1));
+      break;
+    case snapshot::kRingAdvanceAck:
+      advance_ack(arg(0), arg(1));
+      break;
+    case snapshot::kRingAdvanceTimeout: {
+      const ids::RingIndex i = arg(0);
+      const ids::RingIndex candidate = arg(1);
+      HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                                .type = trace::EventType::kProbeFailed,
+                                .node = i,
+                                .peer = candidate});
+      suspect_peer(i, candidate);
+      advance_cw_successor(i, tail(2));
+      break;
+    }
+    case snapshot::kRingCcwSilenceCheck:
+      ccw_silence_check(arg(0));
+      break;
+    case snapshot::kRingRepairTimeout: {
+      const ids::RingIndex at = arg(0);
+      const ids::RingIndex origin = arg(1);
+      const std::uint64_t rid = cont.args[2];
+      const ids::RingIndex tried = arg(3);
+      suspect_peer(at, tried);
+      repair_attempt(at, origin, rid, tail(4));
+      break;
+    }
+    case snapshot::kRingQueryStart: {
+      HOURS_EXPECTS(cont.args.size() == 7);
+      process_query(arg(0), decode_message(cont.args.data() + 1, 6));
+      break;
+    }
+    case snapshot::kRingQueryHopTimeout: {
+      HOURS_EXPECTS(cont.args.size() >= 8);
+      const ids::RingIndex at = arg(0);
+      const ids::RingIndex tried = arg(1);
+      const Message msg = decode_message(cont.args.data() + 2, 6);
+      suspect_peer(at, tried);
+      try_query_candidates(at, msg, tail(8));
+      break;
+    }
+    default:
+      HOURS_EXPECTS(!"unknown ring continuation kind");
+  }
+}
+
 // -- transport ------------------------------------------------------------------
 
 void RingSimulation::send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
                                      std::function<void()> on_ack,
                                      std::function<void()> on_timeout) {
+  transport_.send_expect_ack(from, to, std::move(msg), std::move(on_ack),
+                             std::move(on_timeout));
+}
+
+void RingSimulation::send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
+                                     snapshot::Described on_ack,
+                                     snapshot::Described on_timeout) {
   transport_.send_expect_ack(from, to, std::move(msg), std::move(on_ack),
                              std::move(on_timeout));
 }
@@ -178,8 +300,8 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
       // The recovery check subsumes the adopt-if-closer logic this handler
       // used to inline, and additionally repairs the ccw side.
       send_expect_ack(at, suggested, probe,
-                      /*on_ack=*/[this, at, suggested] { on_suspect_recovered(at, suggested); },
-                      /*on_timeout=*/nullptr);
+                      snapshot::Described{snapshot::kRingRecoveredAck, {at, suggested}},
+                      snapshot::Described{});
       break;
     }
     case Message::Type::kNeighborClaim: {
@@ -219,7 +341,8 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
 // -- probing & recovery ------------------------------------------------------------
 
 void RingSimulation::schedule_probe(ids::RingIndex i, Ticks delay) {
-  sim_.schedule(delay, [this, i] { probe_cycle(i); });
+  const snapshot::Described timer{snapshot::kRingProbeTimer, {i}};
+  sim_.schedule(delay, timer, [this, timer] { run_continuation(timer); });
 }
 
 void RingSimulation::probe_cycle(ids::RingIndex i) {
@@ -241,26 +364,8 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
                               .node = i,
                               .peer = succ});
     send_expect_ack(i, succ, probe,
-                    /*on_ack=*/[this, i] { nodes_[i].cw_miss_count = 0; },
-                    /*on_timeout=*/[this, i, succ] {
-      Node& self = nodes_[i];
-      if (!self.alive || self.cw_succ != succ) return;
-      HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
-                                .type = trace::EventType::kProbeFailed,
-                                .node = i,
-                                .peer = succ});
-      if (++self.cw_miss_count < config_.probe_failure_threshold) return;
-      self.cw_miss_count = 0;
-      suspect_peer(i, succ);
-      // Candidates: remaining table entries in increasing clockwise distance.
-      std::vector<ids::RingIndex> candidates;
-      for (const auto& entry : self.table.entries()) {
-        if (entry.sibling != succ && self.suspected.count(entry.sibling) == 0) {
-          candidates.push_back(entry.sibling);
-        }
-      }
-      advance_cw_successor(i, std::move(candidates));
-    });
+                    snapshot::Described{snapshot::kRingCwProbeAck, {i}},
+                    snapshot::Described{snapshot::kRingCwProbeTimeout, {i, succ}});
   }
 
   // Probe the counter-clockwise neighbor; on silence, wait one probe period
@@ -275,35 +380,53 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
                               .node = i,
                               .peer = ccw});
     send_expect_ack(i, ccw, probe,
-                    /*on_ack=*/
-                    [this, i] {
-                      nodes_[i].ccw_suspected = false;
-                      nodes_[i].ccw_miss_count = 0;
-                    },
-                    /*on_timeout=*/[this, i, ccw] {
-                      Node& self = nodes_[i];
-                      if (!self.alive || self.ccw != ccw) return;
-                      HOURS_TRACE_EMIT(trace_,
-                                       {.at = sim_.now(),
-                                        .type = trace::EventType::kProbeFailed,
-                                        .node = i,
-                                        .peer = ccw});
-                      if (++self.ccw_miss_count < config_.probe_failure_threshold) return;
-                      self.ccw_miss_count = 0;
-                      if (self.awaiting_claim) return;  // a silence check is pending
-                      // Re-armed on every silent probe period: if a Repair or
-                      // its closing NeighborClaim is lost in transit, the next
-                      // period simply tries again until the ring closes.
-                      self.ccw_suspected = true;
-                      self.awaiting_claim = true;
-                      self.awaiting_check_event =
-                          sim_.schedule(config_.probe_period, [this, i] { ccw_silence_check(i); });
-                    });
+                    snapshot::Described{snapshot::kRingCcwProbeAck, {i}},
+                    snapshot::Described{snapshot::kRingCcwProbeTimeout, {i, ccw}});
   }
 
   if (config_.suspicion_refresh && !node.suspected.empty()) refresh_suspected(i);
 
   schedule_probe(i, config_.probe_period);
+}
+
+void RingSimulation::cw_probe_timeout(ids::RingIndex i, ids::RingIndex succ) {
+  Node& self = nodes_[i];
+  if (!self.alive || self.cw_succ != succ) return;
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kProbeFailed,
+                            .node = i,
+                            .peer = succ});
+  if (++self.cw_miss_count < config_.probe_failure_threshold) return;
+  self.cw_miss_count = 0;
+  suspect_peer(i, succ);
+  // Candidates: remaining table entries in increasing clockwise distance.
+  std::vector<ids::RingIndex> candidates;
+  for (const auto& entry : self.table.entries()) {
+    if (entry.sibling != succ && self.suspected.count(entry.sibling) == 0) {
+      candidates.push_back(entry.sibling);
+    }
+  }
+  advance_cw_successor(i, std::move(candidates));
+}
+
+void RingSimulation::ccw_probe_timeout(ids::RingIndex i, ids::RingIndex ccw) {
+  Node& self = nodes_[i];
+  if (!self.alive || self.ccw != ccw) return;
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kProbeFailed,
+                            .node = i,
+                            .peer = ccw});
+  if (++self.ccw_miss_count < config_.probe_failure_threshold) return;
+  self.ccw_miss_count = 0;
+  if (self.awaiting_claim) return;  // a silence check is pending
+  // Re-armed on every silent probe period: if a Repair or its closing
+  // NeighborClaim is lost in transit, the next period simply tries again
+  // until the ring closes.
+  self.ccw_suspected = true;
+  self.awaiting_claim = true;
+  const snapshot::Described check{snapshot::kRingCcwSilenceCheck, {i}};
+  self.awaiting_check_event =
+      sim_.schedule(config_.probe_period, check, [this, check] { run_continuation(check); });
 }
 
 void RingSimulation::refresh_suspected(ids::RingIndex i) {
@@ -323,8 +446,8 @@ void RingSimulation::refresh_suspected(ids::RingIndex i) {
                             .node = i,
                             .peer = target});
   send_expect_ack(i, target, probe,
-                  /*on_ack=*/[this, i, target] { on_suspect_recovered(i, target); },
-                  /*on_timeout=*/nullptr);  // still silent: stays suspected
+                  snapshot::Described{snapshot::kRingRecoveredAck, {i, target}},
+                  snapshot::Described{});  // still silent: stays suspected
 }
 
 void RingSimulation::on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer) {
@@ -342,7 +465,7 @@ void RingSimulation::on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer)
     Message claim;
     claim.type = Message::Type::kNeighborClaim;
     claims_sent_.inc();
-    send_expect_ack(i, peer, claim, nullptr, nullptr);
+    send_expect_ack(i, peer, claim, snapshot::Described{}, snapshot::Described{});
   }
 
   // Counter-clockwise side: a recovered peer closer than the current ccw
@@ -358,7 +481,8 @@ void RingSimulation::on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer)
   }
 }
 
-void RingSimulation::advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates) {
+void RingSimulation::advance_cw_successor(ids::RingIndex i,
+                                          std::vector<ids::RingIndex> candidates) {
   Node& node = nodes_[i];
   if (!node.alive) return;
   if (candidates.empty()) {
@@ -376,27 +500,21 @@ void RingSimulation::advance_cw_successor(ids::RingIndex i, std::vector<ids::Rin
                             .type = trace::EventType::kProbeSent,
                             .node = i,
                             .peer = candidate});
-  send_expect_ack(
-      i, candidate, probe,
-      /*on_ack=*/
-      [this, i, candidate] {
-        Node& self = nodes_[i];
-        if (!self.alive) return;
-        self.cw_succ = candidate;
-        Message claim;
-        claim.type = Message::Type::kNeighborClaim;
-        claims_sent_.inc();
-        send_expect_ack(i, candidate, claim, nullptr, nullptr);
-      },
-      /*on_timeout=*/
-      [this, i, candidate, remaining = std::move(candidates)]() mutable {
-        HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
-                                  .type = trace::EventType::kProbeFailed,
-                                  .node = i,
-                                  .peer = candidate});
-        suspect_peer(i, candidate);
-        advance_cw_successor(i, std::move(remaining));
-      });
+  snapshot::Described timeout{snapshot::kRingAdvanceTimeout, {i, candidate}};
+  timeout.args.insert(timeout.args.end(), candidates.begin(), candidates.end());
+  send_expect_ack(i, candidate, probe,
+                  snapshot::Described{snapshot::kRingAdvanceAck, {i, candidate}},
+                  std::move(timeout));
+}
+
+void RingSimulation::advance_ack(ids::RingIndex i, ids::RingIndex candidate) {
+  Node& self = nodes_[i];
+  if (!self.alive) return;
+  self.cw_succ = candidate;
+  Message claim;
+  claim.type = Message::Type::kNeighborClaim;
+  claims_sent_.inc();
+  send_expect_ack(i, candidate, claim, snapshot::Described{}, snapshot::Described{});
 }
 
 void RingSimulation::ccw_silence_check(ids::RingIndex i) {
@@ -447,43 +565,26 @@ void RingSimulation::forward_repair(ids::RingIndex at, ids::RingIndex origin,
   // itself (that is the "second best choice" when the originator is in the
   // table). When nothing responds, this node is the far edge of the gap —
   // attach.
-  std::vector<ids::RingIndex> candidates = progress_candidates(node, at, origin);
-  if (candidates.empty()) {
+  repair_attempt(at, origin, rid, progress_candidates(node, at, origin));
+}
+
+void RingSimulation::repair_attempt(ids::RingIndex at, ids::RingIndex origin,
+                                    std::uint64_t rid,
+                                    std::vector<ids::RingIndex> remaining) {
+  if (!nodes_[at].alive) return;
+  if (remaining.empty()) {
     attach_repair(at, origin, rid);
     return;
   }
-
-  struct Attempt {
-    RingSimulation* self;
-    ids::RingIndex at;
-    ids::RingIndex origin;
-    std::uint64_t rid;
-    std::vector<ids::RingIndex> remaining;
-
-    void run() {
-      if (!self->nodes_[at].alive) return;
-      if (remaining.empty()) {
-        self->attach_repair(at, origin, rid);
-        return;
-      }
-      const ids::RingIndex next = remaining.front();
-      remaining.erase(remaining.begin());
-      Message repair;
-      repair.type = Message::Type::kRepair;
-      repair.origin = origin;
-      repair.qid = rid;
-      Attempt copy = *this;
-      self->send_expect_ack(
-          at, next, repair, /*on_ack=*/nullptr,
-          /*on_timeout=*/[copy, next]() mutable {
-            copy.self->suspect_peer(copy.at, next);
-            copy.run();
-          });
-    }
-  };
-
-  Attempt attempt{this, at, origin, rid, std::move(candidates)};
-  attempt.run();
+  const ids::RingIndex next = remaining.front();
+  remaining.erase(remaining.begin());
+  Message repair;
+  repair.type = Message::Type::kRepair;
+  repair.origin = origin;
+  repair.qid = rid;
+  snapshot::Described timeout{snapshot::kRingRepairTimeout, {at, origin, rid, next}};
+  timeout.args.insert(timeout.args.end(), remaining.begin(), remaining.end());
+  send_expect_ack(at, next, repair, snapshot::Described{}, std::move(timeout));
 }
 
 void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin,
@@ -509,7 +610,7 @@ void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin,
   claim.type = Message::Type::kNeighborClaim;
   claim.qid = rid;  // lets the originator's acceptance close the trace span
   claims_sent_.inc();
-  send_expect_ack(at, origin, claim, nullptr, nullptr);
+  send_expect_ack(at, origin, claim, snapshot::Described{}, snapshot::Described{});
 }
 
 void RingSimulation::suspect_peer(ids::RingIndex i, ids::RingIndex peer) {
@@ -538,7 +639,10 @@ std::uint64_t RingSimulation::inject_query(ids::RingIndex from, ids::RingIndex o
   query.type = Message::Type::kQuery;
   query.qid = qid;
   query.od = od;
-  sim_.schedule(0, [this, from, query] { process_query(from, query); });
+  snapshot::Described start{snapshot::kRingQueryStart, {from}};
+  const auto words = encode_message(query);
+  start.args.insert(start.args.end(), words.begin(), words.end());
+  sim_.schedule(0, start, [this, start] { run_continuation(start); });
   return qid;
 }
 
@@ -637,12 +741,252 @@ void RingSimulation::try_query_candidates(ids::RingIndex at, Message msg,
                             .peer = next,
                             .causal = msg.qid,
                             .value = forwarded.hops});
-  send_expect_ack(
-      at, next, forwarded, /*on_ack=*/nullptr,
-      /*on_timeout=*/[this, at, msg, next, remaining = std::move(candidates)]() mutable {
-        suspect_peer(at, next);
-        try_query_candidates(at, msg, std::move(remaining));
-      });
+  // The timeout carries the PRE-hop message: the retry re-decides from the
+  // state the failed attempt saw.
+  snapshot::Described timeout{snapshot::kRingQueryHopTimeout, {at, next}};
+  const auto words = encode_message(msg);
+  timeout.args.insert(timeout.args.end(), words.begin(), words.end());
+  timeout.args.insert(timeout.args.end(), candidates.begin(), candidates.end());
+  send_expect_ack(at, next, forwarded, snapshot::Described{}, std::move(timeout));
+}
+
+// -- snapshot (snapshot::Participant) ------------------------------------------------
+
+snapshot::Json RingSimulation::save_state(std::string& error) const {
+  using snapshot::Json;
+  Json transport = transport_.save_state(error);
+  if (!error.empty()) return Json::object();
+
+  Json out = Json::object();
+
+  // Config echo: a snapshot only restores into an identically configured
+  // simulation (routing tables and transport seeds must regenerate equal).
+  Json cfg = Json::object();
+  cfg["size"] = Json(static_cast<std::uint64_t>(config_.size));
+  cfg["design"] = Json(static_cast<std::uint64_t>(config_.params.design));
+  cfg["k"] = Json(static_cast<std::uint64_t>(config_.params.k));
+  cfg["q"] = Json(static_cast<std::uint64_t>(config_.params.q));
+  cfg["table_seed"] = Json(config_.params.seed);
+  cfg["seed"] = Json(config_.seed);
+  cfg["probe_period"] = Json(config_.probe_period);
+  cfg["ack_timeout"] = Json(config_.ack_timeout);
+  out["config"] = std::move(cfg);
+
+  Json rng = Json::array();
+  for (const auto word : rng_.state()) rng.push(Json(word));
+  out["rng"] = std::move(rng);
+  out["next_qid"] = Json(next_qid_);
+  out["next_rid"] = Json(next_rid_);
+
+  Json nodes = Json::array();
+  for (const Node& node : nodes_) {
+    Json n = Json::object();
+    n["alive"] = Json(static_cast<std::uint64_t>(node.alive ? 1 : 0));
+    n["cw_succ"] = Json(static_cast<std::uint64_t>(node.cw_succ));
+    n["ccw"] = Json(static_cast<std::uint64_t>(node.ccw));
+    n["ccw_suspected"] = Json(static_cast<std::uint64_t>(node.ccw_suspected ? 1 : 0));
+    n["awaiting_claim"] = Json(static_cast<std::uint64_t>(node.awaiting_claim ? 1 : 0));
+    n["cw_miss"] = Json(static_cast<std::uint64_t>(node.cw_miss_count));
+    n["ccw_miss"] = Json(static_cast<std::uint64_t>(node.ccw_miss_count));
+    n["awaiting_check_event"] = Json(node.awaiting_check_event);
+    n["refresh_cursor"] = Json(static_cast<std::uint64_t>(node.refresh_cursor));
+    Json suspected = Json::array();
+    for (const auto peer : node.suspected) {
+      suspected.push(Json(static_cast<std::uint64_t>(peer)));
+    }
+    n["suspected"] = std::move(suspected);
+    // Table: entries as [sibling, nephews...] rows in stored (distance)
+    // order; ccw pointer as a 0/1-element array (optional).
+    Json entries = Json::array();
+    for (const auto& entry : node.table.entries()) {
+      Json row = Json::array();
+      row.push(Json(static_cast<std::uint64_t>(entry.sibling)));
+      for (const auto nephew : entry.nephews) {
+        row.push(Json(static_cast<std::uint64_t>(nephew)));
+      }
+      entries.push(std::move(row));
+    }
+    Json table = Json::object();
+    table["entries"] = std::move(entries);
+    Json ccw_ptr = Json::array();
+    if (node.table.ccw_neighbor().has_value()) {
+      ccw_ptr.push(Json(static_cast<std::uint64_t>(*node.table.ccw_neighbor())));
+    }
+    table["ccw_neighbor"] = std::move(ccw_ptr);
+    n["table"] = std::move(table);
+    nodes.push(std::move(n));
+  }
+  out["nodes"] = std::move(nodes);
+
+  Json queries = Json::array();
+  for (const auto& [qid, outcome] : queries_) {
+    Json row = Json::array();
+    row.push(Json(qid));
+    row.push(Json(static_cast<std::uint64_t>(outcome.done ? 1 : 0)));
+    row.push(Json(static_cast<std::uint64_t>(outcome.delivered ? 1 : 0)));
+    row.push(Json(static_cast<std::uint64_t>(outcome.hops)));
+    row.push(Json(outcome.completed_at));
+    queries.push(std::move(row));
+  }
+  out["queries"] = std::move(queries);
+
+  out["registry"] = snapshot::registry_to_json(registry_);
+  out["transport"] = std::move(transport);
+  return out;
+}
+
+std::string RingSimulation::restore_state(const snapshot::Json& state) {
+  using snapshot::Json;
+  const auto u64_field = [&state](const char* key, std::uint64_t& out) {
+    const Json* v = state.find(key);
+    if (v == nullptr || !v->is_u64()) return false;
+    out = v->as_u64();
+    return true;
+  };
+
+  const Json* cfg = state.find("config");
+  if (cfg == nullptr || !cfg->is_object()) return "ring.config missing";
+  const auto cfg_is = [cfg](const char* key, std::uint64_t expect) {
+    const Json* v = cfg->find(key);
+    return v != nullptr && v->is_u64() && v->as_u64() == expect;
+  };
+  if (!cfg_is("size", config_.size) ||
+      !cfg_is("design", static_cast<std::uint64_t>(config_.params.design)) ||
+      !cfg_is("k", config_.params.k) || !cfg_is("q", config_.params.q) ||
+      !cfg_is("table_seed", config_.params.seed) || !cfg_is("seed", config_.seed) ||
+      !cfg_is("probe_period", config_.probe_period) ||
+      !cfg_is("ack_timeout", config_.ack_timeout)) {
+    return "ring.config does not match this simulation's configuration";
+  }
+
+  const Json* rng = state.find("rng");
+  if (rng == nullptr || !rng->is_array() || rng->items().size() != 4) {
+    return "ring.rng missing or malformed";
+  }
+  const Json* nodes = state.find("nodes");
+  if (nodes == nullptr || !nodes->is_array() || nodes->items().size() != nodes_.size()) {
+    return "ring.nodes missing or wrong node count";
+  }
+  const Json* queries = state.find("queries");
+  if (queries == nullptr || !queries->is_array()) return "ring.queries missing";
+  const Json* registry = state.find("registry");
+  if (registry == nullptr) return "ring.registry missing";
+  const Json* transport = state.find("transport");
+  if (transport == nullptr) return "ring.transport missing";
+  if (!u64_field("next_qid", next_qid_)) return "ring.next_qid missing";
+  if (!u64_field("next_rid", next_rid_)) return "ring.next_rid missing";
+
+  rng::Xoshiro256::State words{};
+  for (std::size_t i = 0; i < 4; ++i) words[i] = rng->items()[i].as_u64();
+  rng_.set_state(words);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Json& n = nodes->items()[i];
+    if (!n.is_object()) return "ring.nodes entry malformed";
+    Node& node = nodes_[i];
+    const auto get = [&n](const char* key) -> const Json* {
+      const Json* v = n.find(key);
+      return (v != nullptr && v->is_u64()) ? v : nullptr;
+    };
+    const Json* alive = get("alive");
+    const Json* cw_succ = get("cw_succ");
+    const Json* ccw = get("ccw");
+    const Json* ccw_suspected = get("ccw_suspected");
+    const Json* awaiting_claim = get("awaiting_claim");
+    const Json* cw_miss = get("cw_miss");
+    const Json* ccw_miss = get("ccw_miss");
+    const Json* check_event = get("awaiting_check_event");
+    const Json* refresh_cursor = get("refresh_cursor");
+    const Json* suspected = n.find("suspected");
+    const Json* table = n.find("table");
+    if (alive == nullptr || cw_succ == nullptr || ccw == nullptr ||
+        ccw_suspected == nullptr || awaiting_claim == nullptr || cw_miss == nullptr ||
+        ccw_miss == nullptr || check_event == nullptr || refresh_cursor == nullptr ||
+        suspected == nullptr || !suspected->is_array() || table == nullptr ||
+        !table->is_object()) {
+      return "ring.nodes entry malformed";
+    }
+    if (cw_succ->as_u64() >= config_.size || ccw->as_u64() >= config_.size) {
+      return "ring.nodes pointer out of range";
+    }
+    node.alive = alive->as_u64() != 0;
+    node.cw_succ = static_cast<ids::RingIndex>(cw_succ->as_u64());
+    node.ccw = static_cast<ids::RingIndex>(ccw->as_u64());
+    node.ccw_suspected = ccw_suspected->as_u64() != 0;
+    node.awaiting_claim = awaiting_claim->as_u64() != 0;
+    node.cw_miss_count = static_cast<std::uint32_t>(cw_miss->as_u64());
+    node.ccw_miss_count = static_cast<std::uint32_t>(ccw_miss->as_u64());
+    node.awaiting_check_event = check_event->as_u64();
+    node.refresh_cursor = static_cast<ids::RingIndex>(refresh_cursor->as_u64());
+    node.suspected.clear();
+    for (const auto& peer : suspected->items()) {
+      if (!peer.is_u64() || peer.as_u64() >= config_.size) {
+        return "ring.nodes suspected peer malformed";
+      }
+      node.suspected.insert(static_cast<ids::RingIndex>(peer.as_u64()));
+    }
+    const Json* entries = table->find("entries");
+    const Json* ccw_ptr = table->find("ccw_neighbor");
+    if (entries == nullptr || !entries->is_array() || ccw_ptr == nullptr ||
+        !ccw_ptr->is_array() || ccw_ptr->items().size() > 1) {
+      return "ring.nodes table malformed";
+    }
+    overlay::RoutingTable rebuilt{static_cast<ids::RingIndex>(i), config_.size};
+    for (const auto& raw : entries->items()) {
+      if (!raw.is_array() || raw.items().empty()) return "ring.nodes table row malformed";
+      overlay::TableEntry entry;
+      for (std::size_t f = 0; f < raw.items().size(); ++f) {
+        const Json& v = raw.items()[f];
+        if (!v.is_u64() || v.as_u64() >= config_.size) {
+          return "ring.nodes table row malformed";
+        }
+        if (f == 0) {
+          entry.sibling = static_cast<ids::RingIndex>(v.as_u64());
+        } else {
+          entry.nephews.push_back(static_cast<ids::RingIndex>(v.as_u64()));
+        }
+      }
+      rebuilt.add_entry(std::move(entry));
+    }
+    if (!ccw_ptr->items().empty()) {
+      const Json& v = ccw_ptr->items()[0];
+      if (!v.is_u64() || v.as_u64() >= config_.size) return "ring.nodes table malformed";
+      rebuilt.set_ccw_neighbor(static_cast<ids::RingIndex>(v.as_u64()));
+    }
+    node.table = std::move(rebuilt);
+  }
+
+  queries_.clear();
+  for (const auto& raw : queries->items()) {
+    if (!raw.is_array() || raw.items().size() != 5) return "ring.queries entry malformed";
+    const auto& f = raw.items();
+    for (const auto& v : f) {
+      if (!v.is_u64()) return "ring.queries entry malformed";
+    }
+    QueryOutcome outcome;
+    outcome.done = f[1].as_u64() != 0;
+    outcome.delivered = f[2].as_u64() != 0;
+    outcome.hops = static_cast<std::uint32_t>(f[3].as_u64());
+    outcome.completed_at = f[4].as_u64();
+    queries_.emplace(f[0].as_u64(), outcome);
+  }
+
+  if (std::string err = snapshot::registry_from_json(registry_, *registry); !err.empty()) {
+    return "ring.registry: " + err;
+  }
+  if (std::string err = transport_.restore_state(*transport); !err.empty()) {
+    return "ring.transport: " + err;
+  }
+  return "";
+}
+
+std::function<void()> RingSimulation::rebuild_event(const snapshot::Described& desc) {
+  if (desc.kind >= 0x100 && desc.kind < 0x200) return transport_.rebuild_event(desc);
+  if (desc.kind >= 0x200 && desc.kind < 0x300) {
+    const snapshot::Described copy = desc;
+    return [this, copy] { run_continuation(copy); };
+  }
+  return nullptr;
 }
 
 }  // namespace hours::sim

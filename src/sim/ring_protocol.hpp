@@ -19,6 +19,13 @@
 // Queries ride the same machinery (greedy with per-hop timeout fallback and
 // backward mode), so integration tests can show end-to-end service before,
 // during, and after recovery.
+//
+// Every protocol continuation (probe callbacks, repair retries, query hops)
+// is expressed as a snapshot::Described datum dispatched through
+// run_continuation() — the same dispatcher on the live path and after a
+// snapshot restore — making the whole simulation serializable mid-flight
+// (RingSimulation is a snapshot::Participant). The only opaque events are
+// client_attempt() callbacks, which belong to an external query client.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,7 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
 #include "sim/transport.hpp"
+#include "snapshot/participant.hpp"
 #include "trace/registry.hpp"
 #include "trace/sink.hpp"
 
@@ -61,14 +69,15 @@ struct RingSimConfig {
   bool suspicion_refresh = true;
 };
 
-class RingSimulation {
+class RingSimulation : public snapshot::Participant {
  public:
   explicit RingSimulation(RingSimConfig config);
 
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] const RingSimConfig& config() const noexcept { return config_; }
 
-  /// Schedules the initial (staggered) probe timers. Call once.
+  /// Schedules the initial (staggered) probe timers. Call once — and not at
+  /// all when the simulation is about to be restored from a snapshot.
   void start();
 
   void kill(ids::RingIndex i);
@@ -97,6 +106,13 @@ class RingSimulation {
   /// The run's counter registry ("ring.probes_sent", ...).
   [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
   [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
+
+  // -- snapshot (snapshot::Participant) -----------------------------------------
+  [[nodiscard]] std::string section() const override { return "ring"; }
+  [[nodiscard]] snapshot::Json save_state(std::string& error) const override;
+  [[nodiscard]] std::string restore_state(const snapshot::Json& state) override;
+  [[nodiscard]] std::function<void()> rebuild_event(
+      const snapshot::Described& desc) override;
 
   // -- protocol introspection (tests) ------------------------------------------
   [[nodiscard]] ids::RingIndex cw_successor(ids::RingIndex i) const;
@@ -141,6 +157,8 @@ class RingSimulation {
   /// One custody-transfer attempt from `at` to `to` on behalf of an external
   /// query client: rides the transport's ack/timeout primitive, so exactly
   /// one of the callbacks fires. The receiving node takes no protocol action.
+  /// Uses opaque (closure) callbacks: snapshotting is unavailable while one
+  /// is outstanding.
   void client_attempt(ids::RingIndex at, ids::RingIndex to, std::function<void()> on_ack,
                       std::function<void()> on_timeout);
 
@@ -179,19 +197,35 @@ class RingSimulation {
     ids::RingIndex refresh_cursor = 0;   ///< round-robin position in `suspected`
   };
 
+  // Message <-> u64 words (transport snapshot codec).
+  static std::vector<std::uint64_t> encode_message(const Message& msg);
+  static Message decode_message(const std::uint64_t* words, std::size_t count);
+
+  /// Executes one described continuation — the single dispatch point for
+  /// the live path and the restore path.
+  void run_continuation(const snapshot::Described& cont);
+
   void send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
                        std::function<void()> on_ack, std::function<void()> on_timeout);
+  void send_expect_ack(ids::RingIndex from, ids::RingIndex to, Message msg,
+                       snapshot::Described on_ack, snapshot::Described on_timeout);
   void handle(ids::RingIndex at, ids::RingIndex from, const Message& msg);
 
-  // Probing and recovery.
+  // Probing and recovery. The *_ack / *_timeout methods are the bodies of
+  // continuations; their arguments mirror the continuation args.
   void schedule_probe(ids::RingIndex i, Ticks delay);
   void probe_cycle(ids::RingIndex i);
+  void cw_probe_timeout(ids::RingIndex i, ids::RingIndex succ);
+  void ccw_probe_timeout(ids::RingIndex i, ids::RingIndex ccw);
   void refresh_suspected(ids::RingIndex i);
   void on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer);
   void advance_cw_successor(ids::RingIndex i, std::vector<ids::RingIndex> candidates);
+  void advance_ack(ids::RingIndex i, ids::RingIndex candidate);
   void ccw_silence_check(ids::RingIndex i);
   void start_active_recovery(ids::RingIndex origin);
   void forward_repair(ids::RingIndex at, ids::RingIndex origin, std::uint64_t rid);
+  void repair_attempt(ids::RingIndex at, ids::RingIndex origin, std::uint64_t rid,
+                      std::vector<ids::RingIndex> remaining);
   void attach_repair(ids::RingIndex at, ids::RingIndex origin, std::uint64_t rid);
 
   /// Marks `peer` suspected at node `i` (with the trace event); the

@@ -2,43 +2,83 @@
 
 namespace hours::sim {
 
-std::uint64_t Simulator::schedule(Ticks delay, Action action) {
+std::uint64_t Simulator::insert(Ticks at, std::uint64_t id, snapshot::Described desc,
+                                Action action) {
   HOURS_EXPECTS(action != nullptr);
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{now_ + delay, id, std::move(action)});
-  live_.insert(id);
+  queue_.emplace(Key{at, id}, Entry{std::move(desc), std::move(action)});
+  at_of_.emplace(id, at);
   return id;
 }
 
+std::uint64_t Simulator::schedule(Ticks delay, Action action) {
+  return insert(now_ + delay, next_id_++, snapshot::Described{}, std::move(action));
+}
+
+std::uint64_t Simulator::schedule(Ticks delay, snapshot::Described desc, Action action) {
+  HOURS_EXPECTS(desc.kind != snapshot::kOpaque);
+  return insert(now_ + delay, next_id_++, std::move(desc), std::move(action));
+}
+
 void Simulator::cancel(std::uint64_t id) {
-  // Only ids that are actually queued move to the cancelled set; stale ids
-  // (already executed, already cancelled, never issued) must not accumulate
-  // or they would corrupt pending() and leak forever.
-  if (live_.erase(id) != 0) cancelled_.insert(id);
+  // Stale ids (already executed, already cancelled, never issued) are
+  // no-ops; live ones are erased outright — pending() stays exact.
+  const auto it = at_of_.find(id);
+  if (it == at_of_.end()) return;
+  queue_.erase(Key{it->second, id});
+  at_of_.erase(it);
 }
 
 std::size_t Simulator::run(Ticks limit, std::size_t max_events) {
   const Ticks deadline = limit == 0 ? 0 : now_ + limit;
   std::size_t executed = 0;
   while (!queue_.empty() && executed < max_events) {
-    const Event& top = queue_.top();
-    if (deadline != 0 && top.at > deadline) break;
+    const auto it = queue_.begin();
+    if (deadline != 0 && it->first.at > deadline) break;
 
-    if (cancelled_.erase(top.id) != 0) {
-      queue_.pop();
-      continue;
-    }
-    live_.erase(top.id);
-
-    // Copy out before pop: the action may schedule (and thus reallocate).
-    Action action = std::move(const_cast<Event&>(top).action);
-    now_ = top.at;
-    queue_.pop();
+    // Move out before erase: the action may schedule or cancel freely.
+    now_ = it->first.at;
+    Action action = std::move(it->second.action);
+    at_of_.erase(it->first.id);
+    queue_.erase(it);
     action();
     ++executed;
   }
   if (deadline != 0 && now_ < deadline) now_ = deadline;
   return executed;
+}
+
+std::vector<Simulator::PendingEvent> Simulator::pending_events() const {
+  std::vector<PendingEvent> out;
+  out.reserve(queue_.size());
+  for (const auto& [key, entry] : queue_) {
+    out.push_back(PendingEvent{key.at, key.id, entry.desc});
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::opaque_event_ids() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, entry] : queue_) {
+    if (entry.desc.kind == snapshot::kOpaque) out.push_back(key.id);
+  }
+  return out;
+}
+
+void Simulator::reset(Ticks now, std::uint64_t next_id) {
+  HOURS_EXPECTS(next_id >= 1);
+  queue_.clear();
+  at_of_.clear();
+  now_ = now;
+  next_id_ = next_id;
+}
+
+void Simulator::restore_event(Ticks at, std::uint64_t id, snapshot::Described desc,
+                              Action action) {
+  HOURS_EXPECTS(at >= now_);
+  HOURS_EXPECTS(id >= 1 && id < next_id_);
+  HOURS_EXPECTS(at_of_.find(id) == at_of_.end());
+  HOURS_EXPECTS(desc.kind != snapshot::kOpaque);
+  insert(at, id, std::move(desc), std::move(action));
 }
 
 }  // namespace hours::sim

@@ -4,14 +4,25 @@
 // protocol state needs no locking and every run is bit-reproducible for a
 // given seed. The engine knows nothing about networks or nodes; it executes
 // closures at simulated instants.
+//
+// The event store is an ordered map keyed by (at, id) — inspectable and
+// deterministically ordered, which is what snapshot/restore requires of it.
+// Each event carries an optional snapshot::Described data form (kind +
+// args); events scheduled through the legacy closure-only overload are
+// *opaque* (kind 0) and make the queue unserializable while present.
+// restore_event() re-instates a saved event under its ORIGINAL id, so
+// same-instant FIFO tie-breaking after a restore is byte-identical to the
+// uninterrupted run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <map>
+#include <unordered_map>
 #include <vector>
 
+#include "snapshot/described.hpp"
+#include "snapshot/event_kinds.hpp"
 #include "util/contracts.hpp"
 
 namespace hours::sim {
@@ -24,11 +35,24 @@ class Simulator {
  public:
   using Action = std::function<void()>;
 
+  /// One queued event's inspectable form (snapshot save path).
+  struct PendingEvent {
+    Ticks at = 0;
+    std::uint64_t id = 0;
+    snapshot::Described desc;
+  };
+
   [[nodiscard]] Ticks now() const noexcept { return now_; }
 
-  /// Schedules `action` to run at now() + delay. Returns an id usable with
-  /// cancel().
+  /// Schedules an opaque `action` to run at now() + delay. Returns an id
+  /// usable with cancel(). Opaque events execute normally but block
+  /// snapshot save while queued; prefer the described overload.
   std::uint64_t schedule(Ticks delay, Action action);
+
+  /// Schedules an action together with its data form. `desc.kind` must be a
+  /// registered kind (event_kinds.hpp) and `action` must be derived from
+  /// `desc` alone, so a restored snapshot rebuilds the identical closure.
+  std::uint64_t schedule(Ticks delay, snapshot::Described desc, Action action);
 
   /// Cancels a scheduled event; no-op if it already ran, was cancelled, or
   /// never existed.
@@ -38,26 +62,49 @@ class Simulator {
   /// limit). Returns the number of events executed.
   std::size_t run(Ticks limit = 0, std::size_t max_events = 10'000'000);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  // -- snapshot support ---------------------------------------------------------
+  /// The id the next scheduled event will receive (saved, so a restore can
+  /// continue the same id sequence — the FIFO tie-break depends on it).
+  [[nodiscard]] std::uint64_t next_id() const noexcept { return next_id_; }
+
+  /// Every queued event in execution order. Opaque events appear with
+  /// desc.kind == snapshot::kOpaque.
+  [[nodiscard]] std::vector<PendingEvent> pending_events() const;
+
+  /// Ids of queued opaque events (empty = the queue is serializable).
+  [[nodiscard]] std::vector<std::uint64_t> opaque_event_ids() const;
+
+  /// Drops every queued event and rewinds/forwards the clock and the id
+  /// counter to a saved instant. First step of a restore.
+  void reset(Ticks now, std::uint64_t next_id);
+
+  /// Re-instates a saved event under its original id (must be < next_id and
+  /// unused; `at` must not be in the past). The caller supplies the closure
+  /// rebuilt from `desc` by the owning subsystem.
+  void restore_event(Ticks at, std::uint64_t id, snapshot::Described desc, Action action);
 
  private:
-  struct Event {
-    Ticks at;
-    std::uint64_t id;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among same-instant events
+  struct Key {
+    Ticks at = 0;
+    std::uint64_t id = 0;
+    bool operator<(const Key& other) const noexcept {
+      if (at != other.at) return at < other.at;
+      return id < other.id;  // FIFO among same-instant events
     }
   };
+  struct Entry {
+    snapshot::Described desc;
+    Action action;
+  };
+
+  std::uint64_t insert(Ticks at, std::uint64_t id, snapshot::Described desc, Action action);
 
   Ticks now_ = 0;
   std::uint64_t next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet run/cancelled
-  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still queued
+  std::map<Key, Entry> queue_;
+  std::unordered_map<std::uint64_t, Ticks> at_of_;  ///< id -> at, for cancel()
 };
 
 }  // namespace hours::sim

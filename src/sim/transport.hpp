@@ -14,16 +14,30 @@
 // timeout fires, indistinguishable from a crashed peer, which is exactly
 // how a severed link or mid-flight restart looks from the outside.
 //
+// Snapshot integration: with a payload codec installed (set_snapshot_codec)
+// every in-flight message is scheduled in described form — the delivery
+// closure is built by decoding the description, on the live path and the
+// restore path alike, so the two cannot diverge. Ack/timeout callbacks come
+// in two forms: the continuation overload of send_expect_ack() takes
+// snapshot::Described pairs dispatched through the installed continuation
+// runner (serializable), while the legacy closure overload marks its
+// pending entry opaque — it works, but blocks snapshot save while
+// outstanding.
+//
 // Header-only template: the payload type is supplied by the protocol.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/event_kinds.hpp"
+#include "snapshot/json.hpp"
 #include "trace/sink.hpp"
 #include "util/contracts.hpp"
 
@@ -55,6 +69,11 @@ class Transport {
   /// Invoked for every delivered (non-ack) message at the recipient.
   using Handler = std::function<void(Address to, const Envelope&)>;
 
+  /// Payload <-> u64-word bridges enabling described (snapshottable)
+  /// deliveries. encode/decode must round-trip exactly.
+  using Encode = std::function<std::vector<std::uint64_t>(const Payload&)>;
+  using Decode = std::function<Payload(const std::uint64_t* words, std::size_t count)>;
+
   Transport(Simulator& sim, TransportConfig config, std::uint32_t node_count,
             std::uint64_t seed)
       : sim_(sim),
@@ -67,6 +86,19 @@ class Transport {
   }
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Installs the payload codec; from here on every transmission is
+  /// scheduled in described form.
+  void set_snapshot_codec(Encode encode, Decode decode) {
+    encode_ = std::move(encode);
+    decode_ = std::move(decode);
+  }
+
+  /// Installs the dispatcher for continuation-form ack/timeout callbacks
+  /// (the owning protocol's run_continuation).
+  void set_continuation_runner(std::function<void(const snapshot::Described&)> runner) {
+    runner_ = std::move(runner);
+  }
 
   void set_alive(Address node, bool alive) {
     HOURS_EXPECTS(node < alive_.size());
@@ -119,10 +151,152 @@ class Transport {
     transmit(to, std::move(env), /*is_ack=*/false);
   }
 
-  /// Sends and expects a transport-level ack. Exactly one of on_ack /
-  /// on_timeout fires (either may be null).
+  /// Sends and expects a transport-level ack; legacy closure form. Exactly
+  /// one of on_ack / on_timeout fires (either may be null). The pending
+  /// entry is opaque: it blocks snapshot save while outstanding.
   void send_expect_ack(Address from, Address to, Payload payload,
                        std::function<void()> on_ack, std::function<void()> on_timeout) {
+    Pending pending;
+    pending.opaque = true;
+    pending.on_ack_fn = std::move(on_ack);
+    pending.on_timeout_fn = std::move(on_timeout);
+    start_pending(from, to, std::move(payload), std::move(pending));
+  }
+
+  /// Continuation form: callbacks as described continuations dispatched
+  /// through the installed runner (kind 0 = no-op). Fully snapshottable.
+  void send_expect_ack(Address from, Address to, Payload payload, snapshot::Described on_ack,
+                       snapshot::Described on_timeout) {
+    HOURS_EXPECTS(runner_ != nullptr);
+    Pending pending;
+    pending.ack_cont = std::move(on_ack);
+    pending.timeout_cont = std::move(on_timeout);
+    start_pending(from, to, std::move(payload), std::move(pending));
+  }
+
+  // -- snapshot support ---------------------------------------------------------
+  /// Serializes transport state (liveness, incarnations, RNG, counters,
+  /// pending ack table). Fails — filling `error` — while a closure-form
+  /// pending entry is outstanding.
+  [[nodiscard]] snapshot::Json save_state(std::string& error) const {
+    using snapshot::Json;
+    for (const auto& [token, pending] : pending_) {
+      if (pending.opaque) {
+        error = "pending ack token " + std::to_string(token) +
+                " uses closure callbacks (unserializable)";
+        return Json::object();
+      }
+    }
+    Json out = Json::object();
+    out["loss_probability"] = Json(snapshot::bits_from_double(config_.loss_probability));
+    Json alive = Json::array();
+    for (const auto a : alive_) alive.push(Json(static_cast<std::uint64_t>(a)));
+    out["alive"] = std::move(alive);
+    Json incarnation = Json::array();
+    for (const auto i : incarnation_) incarnation.push(Json(static_cast<std::uint64_t>(i)));
+    out["incarnation"] = std::move(incarnation);
+    Json rng = Json::array();
+    for (const auto word : rng_.state()) rng.push(Json(word));
+    out["rng"] = std::move(rng);
+    out["next_token"] = Json(next_token_);
+    out["messages_sent"] = Json(messages_sent_);
+    out["messages_lost"] = Json(messages_lost_);
+    out["messages_link_dropped"] = Json(messages_link_dropped_);
+    Json pendings = Json::array();
+    for (const auto& [token, pending] : pending_) {
+      Json entry = Json::array();
+      entry.push(Json(token));
+      entry.push(Json(pending.timeout_event));
+      entry.push(Json(static_cast<std::uint64_t>(pending.ack_cont.kind)));
+      entry.push(Json(static_cast<std::uint64_t>(pending.ack_cont.args.size())));
+      for (const auto a : pending.ack_cont.args) entry.push(Json(a));
+      entry.push(Json(static_cast<std::uint64_t>(pending.timeout_cont.kind)));
+      for (const auto a : pending.timeout_cont.args) entry.push(Json(a));
+      pendings.push(std::move(entry));
+    }
+    out["pending"] = std::move(pendings);
+    return out;
+  }
+
+  /// Restores state saved by save_state(). Does NOT schedule anything —
+  /// queued deliveries and timeouts are restored through the simulator's
+  /// event list. Returns "" on success.
+  [[nodiscard]] std::string restore_state(const snapshot::Json& state) {
+    const auto* alive = state.find("alive");
+    const auto* incarnation = state.find("incarnation");
+    const auto* rng = state.find("rng");
+    const auto* pending = state.find("pending");
+    const auto* loss = state.find("loss_probability");
+    if (alive == nullptr || !alive->is_array() || alive->items().size() != alive_.size()) {
+      return "transport.alive missing or wrong node count";
+    }
+    if (incarnation == nullptr || !incarnation->is_array() ||
+        incarnation->items().size() != incarnation_.size()) {
+      return "transport.incarnation missing or wrong node count";
+    }
+    if (rng == nullptr || !rng->is_array() || rng->items().size() != 4) {
+      return "transport.rng missing or malformed";
+    }
+    if (pending == nullptr || !pending->is_array()) return "transport.pending missing";
+    if (loss == nullptr || !loss->is_u64()) return "transport.loss_probability missing";
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      alive_[i] = static_cast<std::uint8_t>(alive->items()[i].as_u64());
+      incarnation_[i] = static_cast<std::uint32_t>(incarnation->items()[i].as_u64());
+    }
+    rng::Xoshiro256::State words{};
+    for (std::size_t i = 0; i < 4; ++i) words[i] = rng->items()[i].as_u64();
+    rng_.set_state(words);
+    config_.loss_probability = snapshot::double_from_bits(loss->as_u64());
+    next_token_ = state.find("next_token") != nullptr ? state.find("next_token")->as_u64() : 1;
+    messages_sent_ =
+        state.find("messages_sent") != nullptr ? state.find("messages_sent")->as_u64() : 0;
+    messages_lost_ =
+        state.find("messages_lost") != nullptr ? state.find("messages_lost")->as_u64() : 0;
+    messages_link_dropped_ = state.find("messages_link_dropped") != nullptr
+                                 ? state.find("messages_link_dropped")->as_u64()
+                                 : 0;
+    pending_.clear();
+    for (const auto& raw : pending->items()) {
+      if (!raw.is_array() || raw.items().size() < 5) return "transport.pending entry malformed";
+      const auto& f = raw.items();
+      std::size_t i = 0;
+      const std::uint64_t token = f[i++].as_u64();
+      Pending entry;
+      entry.timeout_event = f[i++].as_u64();
+      entry.ack_cont.kind = static_cast<std::uint32_t>(f[i++].as_u64());
+      const std::uint64_t ack_args = f[i++].as_u64();
+      if (i + ack_args + 1 > f.size()) return "transport.pending entry truncated";
+      for (std::uint64_t a = 0; a < ack_args; ++a) entry.ack_cont.args.push_back(f[i++].as_u64());
+      entry.timeout_cont.kind = static_cast<std::uint32_t>(f[i++].as_u64());
+      for (; i < f.size(); ++i) entry.timeout_cont.args.push_back(f[i].as_u64());
+      pending_.emplace(token, std::move(entry));
+    }
+    return "";
+  }
+
+  /// Rebuilds the closure for a transport-owned described event; null when
+  /// the kind is not the transport's.
+  [[nodiscard]] Simulator::Action rebuild_event(const snapshot::Described& desc) {
+    if (desc.kind == snapshot::kTransportDelivery) return delivery_action(desc);
+    if (desc.kind == snapshot::kTransportAckTimeout) {
+      HOURS_EXPECTS(desc.args.size() == 1);
+      const std::uint64_t token = desc.args[0];
+      return [this, token] { handle_ack_timeout(token); };
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Pending {
+    bool opaque = false;
+    std::function<void()> on_ack_fn;
+    std::function<void()> on_timeout_fn;
+    snapshot::Described ack_cont;
+    snapshot::Described timeout_cont;
+    std::uint64_t timeout_event = 0;
+  };
+
+  void start_pending(Address from, Address to, Payload payload, Pending pending) {
     const std::uint64_t token = next_token_++;
     Envelope env;
     env.from = from;
@@ -130,23 +304,29 @@ class Transport {
     env.payload = std::move(payload);
     transmit(to, std::move(env), /*is_ack=*/false);
 
-    Pending pending;
-    pending.on_ack = std::move(on_ack);
-    pending.timeout_event =
-        sim_.schedule(config_.ack_timeout, [this, token, cb = std::move(on_timeout)] {
-          const auto it = pending_.find(token);
-          if (it == pending_.end()) return;
-          pending_.erase(it);
-          if (cb) cb();
-        });
+    if (pending.opaque) {
+      pending.timeout_event =
+          sim_.schedule(config_.ack_timeout, [this, token] { handle_ack_timeout(token); });
+    } else {
+      pending.timeout_event = sim_.schedule(
+          config_.ack_timeout,
+          snapshot::Described{snapshot::kTransportAckTimeout, {token}},
+          [this, token] { handle_ack_timeout(token); });
+    }
     pending_.emplace(token, std::move(pending));
   }
 
- private:
-  struct Pending {
-    std::function<void()> on_ack;
-    std::uint64_t timeout_event = 0;
-  };
+  void handle_ack_timeout(std::uint64_t token) {
+    const auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    if (pending.opaque) {
+      if (pending.on_timeout_fn) pending.on_timeout_fn();
+    } else if (pending.timeout_cont.kind != snapshot::kOpaque) {
+      runner_(pending.timeout_cont);
+    }
+  }
 
   [[nodiscard]] Ticks draw_latency() {
     return config_.latency_min + rng_.below(config_.latency_max - config_.latency_min + 1);
@@ -160,6 +340,63 @@ class Transport {
                               .value = static_cast<std::uint64_t>(reason)});
   }
 
+  /// Executes one delivery: the common body behind the live closure and the
+  /// snapshot-restored closure.
+  void deliver(Address to, Envelope env, std::uint32_t sent_incarnation, bool is_ack) {
+    if (!alive(to)) {  // shut-down servers receive nothing
+      drop(to, env.from, trace::DropReason::kDeadRecipient);
+      return;
+    }
+    // Recipient died mid-flight (possibly reviving since): suppressed.
+    if (incarnation_[to] != sent_incarnation) {
+      drop(to, env.from, trace::DropReason::kMidFlightDeath);
+      return;
+    }
+    if (!link_passable(env.from, to)) {  // severed link: silence, not loss
+      ++messages_link_dropped_;
+      drop(to, env.from, trace::DropReason::kSeveredLink);
+      return;
+    }
+    if (is_ack) {
+      const auto it = pending_.find(env.token);
+      if (it == pending_.end()) return;  // raced with its own timeout
+      sim_.cancel(it->second.timeout_event);
+      Pending pending = std::move(it->second);
+      pending_.erase(it);
+      if (pending.opaque) {
+        if (pending.on_ack_fn) pending.on_ack_fn();
+      } else if (pending.ack_cont.kind != snapshot::kOpaque) {
+        runner_(pending.ack_cont);
+      }
+      return;
+    }
+    if (env.token != 0) {
+      Envelope ack;
+      ack.from = to;
+      ack.token = env.token;
+      transmit(env.from, std::move(ack), /*is_ack=*/true);
+    }
+    if (handler_) handler_(to, env);
+  }
+
+  /// Decodes a kTransportDelivery description back into its closure. Used
+  /// for live scheduling and snapshot restore alike, so both paths execute
+  /// the identical code.
+  [[nodiscard]] Simulator::Action delivery_action(const snapshot::Described& desc) {
+    HOURS_EXPECTS(decode_ != nullptr);
+    HOURS_EXPECTS(desc.args.size() >= 5);
+    const Address to = static_cast<Address>(desc.args[0]);
+    Envelope env;
+    env.from = static_cast<Address>(desc.args[1]);
+    env.token = desc.args[2];
+    const auto sent_incarnation = static_cast<std::uint32_t>(desc.args[3]);
+    const bool is_ack = desc.args[4] != 0;
+    env.payload = decode_(desc.args.data() + 5, desc.args.size() - 5);
+    return [this, to, env = std::move(env), sent_incarnation, is_ack]() mutable {
+      deliver(to, std::move(env), sent_incarnation, is_ack);
+    };
+  }
+
   void transmit(Address to, Envelope env, bool is_ack) {
     ++messages_sent_;
     if (config_.loss_probability > 0.0 && rng_.bernoulli(config_.loss_probability)) {
@@ -168,37 +405,20 @@ class Transport {
       return;
     }
     const std::uint32_t sent_incarnation = incarnation_[to];
-    sim_.schedule(draw_latency(), [this, to, sent_incarnation, env = std::move(env), is_ack] {
-      if (!alive(to)) {  // shut-down servers receive nothing
-        drop(to, env.from, trace::DropReason::kDeadRecipient);
-        return;
-      }
-      // Recipient died mid-flight (possibly reviving since): suppressed.
-      if (incarnation_[to] != sent_incarnation) {
-        drop(to, env.from, trace::DropReason::kMidFlightDeath);
-        return;
-      }
-      if (!link_passable(env.from, to)) {  // severed link: silence, not loss
-        ++messages_link_dropped_;
-        drop(to, env.from, trace::DropReason::kSeveredLink);
-        return;
-      }
-      if (is_ack) {
-        const auto it = pending_.find(env.token);
-        if (it == pending_.end()) return;  // raced with its own timeout
-        sim_.cancel(it->second.timeout_event);
-        auto on_ack = std::move(it->second.on_ack);
-        pending_.erase(it);
-        if (on_ack) on_ack();
-        return;
-      }
-      if (env.token != 0) {
-        Envelope ack;
-        ack.from = to;
-        ack.token = env.token;
-        transmit(env.from, std::move(ack), /*is_ack=*/true);
-      }
-      if (handler_) handler_(to, env);
+    const Ticks latency = draw_latency();
+    if (encode_) {
+      snapshot::Described desc;
+      desc.kind = snapshot::kTransportDelivery;
+      desc.args = {to, env.from, env.token, sent_incarnation,
+                   static_cast<std::uint64_t>(is_ack ? 1 : 0)};
+      const auto words = encode_(env.payload);
+      desc.args.insert(desc.args.end(), words.begin(), words.end());
+      Simulator::Action action = delivery_action(desc);
+      sim_.schedule(latency, std::move(desc), std::move(action));
+      return;
+    }
+    sim_.schedule(latency, [this, to, sent_incarnation, env = std::move(env), is_ack]() mutable {
+      deliver(to, std::move(env), sent_incarnation, is_ack);
     });
   }
 
@@ -208,6 +428,9 @@ class Transport {
   std::vector<std::uint32_t> incarnation_;  ///< bumped on each alive->dead flip
   rng::Xoshiro256 rng_;
   Handler handler_;
+  Encode encode_;
+  Decode decode_;
+  std::function<void(const snapshot::Described&)> runner_;
   LinkFilter link_filter_;
   trace::Tracer* trace_ = nullptr;
   std::uint64_t next_token_ = 1;

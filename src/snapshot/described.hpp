@@ -1,0 +1,30 @@
+// Described events: the data form of a scheduled continuation.
+//
+// The discrete-event engine historically queued opaque std::function
+// closures, which made the event queue unserializable. Every protocol event
+// is now *described*: a (kind, args) pair from the closed registry in
+// event_kinds.hpp, paired at schedule time with the closure that executes
+// it. Crucially the closure is always derived from the description (the
+// protocols route both the live path and the restored path through one
+// continuation dispatcher), so restoring a snapshot cannot behave
+// differently from never having stopped.
+//
+// kind 0 (kOpaque) marks a legacy closure with no data form — e.g. a test
+// harness callback. Opaque events execute normally but make the simulation
+// unsnapshottable while queued; Snapshotter::save() fails loudly listing
+// them rather than writing a snapshot that silently loses work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hours::snapshot {
+
+struct Described {
+  std::uint32_t kind = 0;
+  std::vector<std::uint64_t> args;
+
+  bool operator==(const Described& other) const = default;
+};
+
+}  // namespace hours::snapshot

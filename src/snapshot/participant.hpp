@@ -1,0 +1,43 @@
+// Snapshot visitor interface: every stateful subsystem registers one.
+//
+// A Participant owns one named section of the snapshot document plus a
+// range of described-event kinds (event_kinds.hpp). Snapshotter (sim layer)
+// drives the protocol: save() collects each participant's section and the
+// simulator's event queue; restore() hands each section back, then asks
+// participants to rebuild the executable closure for every queued event.
+//
+// Error handling is by string: "" means success, anything else is a
+// human-readable reason (surfaced verbatim by save()/restore() callers).
+// Snapshots are a robustness tool — a failed save/restore must explain
+// itself, never crash or half-apply.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "snapshot/described.hpp"
+#include "snapshot/json.hpp"
+
+namespace hours::snapshot {
+
+class Participant {
+ public:
+  virtual ~Participant() = default;
+
+  /// Unique section key in the snapshot document ("ring", "faults", ...).
+  [[nodiscard]] virtual std::string section() const = 0;
+
+  /// Serializes this subsystem's complete state. `error` is filled (and the
+  /// result discarded) when the state is not snapshottable right now.
+  [[nodiscard]] virtual Json save_state(std::string& error) const = 0;
+
+  /// Applies a previously saved section. Returns "" on success.
+  [[nodiscard]] virtual std::string restore_state(const Json& state) = 0;
+
+  /// Rebuilds the closure for a described event this participant owns;
+  /// null when `desc.kind` is outside its range (the Snapshotter then asks
+  /// the next participant).
+  [[nodiscard]] virtual std::function<void()> rebuild_event(const Described& desc) = 0;
+};
+
+}  // namespace hours::snapshot

@@ -1,0 +1,59 @@
+#include "snapshot/registry_io.hpp"
+
+namespace hours::snapshot {
+
+Json registry_to_json(const trace::Registry& registry) {
+  Json out = Json::object();
+  Json counters = Json::object();
+  for (const auto& name : registry.counter_names()) {
+    counters[name] = Json(registry.counter_value(name));
+  }
+  Json histograms = Json::object();
+  for (const auto& name : registry.histogram_names()) {
+    // histogram() is non-const lookup-or-create; names() guarantees existence.
+    const auto& h = const_cast<trace::Registry&>(registry).histogram(name);
+    Json bins = Json::array();
+    for (const auto count : h.bins()) bins.push(Json(count));
+    Json entry = Json::object();
+    entry["bins"] = std::move(bins);
+    entry["total"] = Json(h.total_count());
+    histograms[name] = std::move(entry);
+  }
+  out["counters"] = std::move(counters);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+std::string registry_from_json(trace::Registry& registry, const Json& state) {
+  const Json* counters = state.find("counters");
+  const Json* histograms = state.find("histograms");
+  if (counters == nullptr || !counters->is_object()) return "registry.counters missing";
+  if (histograms == nullptr || !histograms->is_object()) return "registry.histograms missing";
+  registry.reset();
+  for (const auto& [name, value] : counters->fields()) {
+    if (!value.is_u64()) return "registry counter \"" + name + "\" not a u64";
+    registry.set_counter(name, value.as_u64());
+  }
+  for (const auto& [name, entry] : histograms->fields()) {
+    const Json* bins = entry.find("bins");
+    const Json* total = entry.find("total");
+    if (bins == nullptr || !bins->is_array() || total == nullptr || !total->is_u64()) {
+      return "registry histogram \"" + name + "\" malformed";
+    }
+    auto& h = registry.histogram(name);
+    std::uint64_t restored = 0;
+    for (std::size_t value = 0; value < bins->items().size(); ++value) {
+      const Json& count = bins->items()[value];
+      if (!count.is_u64()) return "registry histogram \"" + name + "\" bin not a u64";
+      if (count.as_u64() == 0) continue;
+      h.add(value, count.as_u64());
+      restored += count.as_u64();
+    }
+    if (restored != total->as_u64()) {
+      return "registry histogram \"" + name + "\" bins disagree with total";
+    }
+  }
+  return "";
+}
+
+}  // namespace hours::snapshot

@@ -43,6 +43,11 @@ class RecordStore {
 
   [[nodiscard]] std::size_t total_records() const noexcept { return total_; }
 
+  /// Every (name, records) pair in name order, for snapshot serialization.
+  [[nodiscard]] const std::map<naming::Name, std::vector<Record>>& all() const noexcept {
+    return by_name_;
+  }
+
  private:
   std::map<naming::Name, std::vector<Record>> by_name_;
   std::size_t total_ = 0;

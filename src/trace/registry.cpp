@@ -20,6 +20,15 @@ metrics::Histogram& Registry::histogram(std::string_view name) {
   return it->second;
 }
 
+void Registry::set_counter(std::string_view name, std::uint64_t value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string{name}, value);
+  } else {
+    it->second = value;
+  }
+}
+
 std::uint64_t Registry::counter_value(std::string_view name) const {
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;

@@ -49,6 +49,10 @@ class Registry {
   /// Current value of a counter; 0 when `name` was never registered.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
 
+  /// Overwrites (registering on first use) a counter's value. Snapshot
+  /// restore path; existing handles observe the new value.
+  void set_counter(std::string_view name, std::uint64_t value);
+
   [[nodiscard]] bool has_counter(std::string_view name) const;
   [[nodiscard]] bool has_histogram(std::string_view name) const;
 

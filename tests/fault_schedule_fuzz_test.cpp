@@ -8,9 +8,20 @@
 // partitions and mid-run permanent crashes are covered deterministically in
 // fault_injector_test.cpp), so the ring must converge to a clean fixpoint.
 //
+// Each case additionally runs the snapshot-equivalence oracle on a sampled
+// subset of seeds (every 4th by default): the same case is paused at a
+// seed-derived random instant, saved, restored into a freshly constructed
+// simulation, and continued — the final snapshot must be byte-identical to
+// the uninterrupted run's, and the restored state must re-save to exactly
+// the bytes it was loaded from. Any state a participant forgets to
+// serialize (an RNG stream, a suspicion timer, an in-flight message)
+// surfaces as a divergence here, under arbitrary fault overlap.
+//
 // Seed control:
-//   HOURS_FUZZ_SEEDS=N   sweep seeds 1..N           (default 25; nightly 200)
-//   HOURS_FUZZ_SEED=S    run exactly seed S          (local reproduction)
+//   HOURS_FUZZ_SEEDS=N      sweep seeds 1..N        (default 25; nightly 200)
+//   HOURS_FUZZ_SEED=S       run exactly seed S       (local reproduction)
+//   HOURS_FUZZ_SNAPSHOT=K   oracle every Kth seed    (default 4; 0 disables,
+//                           1 = every seed; pinned seeds always run it)
 // On failure the harness writes fuzz_failures/seed_<S>.txt containing the
 // generated config, the serialized FaultPlan, and the one-line repro command,
 // so a CI failure reproduces locally from the seed alone.
@@ -20,6 +31,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -29,6 +41,8 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/ring_protocol.hpp"
+#include "sim/snapshotter.hpp"
+#include "snapshot/json.hpp"
 #include "trace/event.hpp"
 #include "trace/ring_buffer_sink.hpp"
 #include "trace/sink.hpp"
@@ -209,10 +223,98 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::strtoull(raw, nullptr, 10);
 }
 
+/// Snapshot-equivalence oracle: runs the case twice — once uninterrupted,
+/// once saved at a seed-derived instant, restored into a freshly built
+/// simulation, and continued — and demands byte-identical final snapshots
+/// plus a byte-exact resave immediately after restore. Returns violations.
+std::vector<std::string> run_snapshot_oracle(const FuzzCase& c, std::uint64_t seed) {
+  const Ticks total = kFaultHorizon + kSettlePeriods * c.config.probe_period;
+  // Pause somewhere inside the fault window, where the most state is in
+  // flight; derived from the seed so reproduction is exact.
+  rng::Xoshiro256 g{seed ^ 0x534E4150ULL};  // "SNAP"
+  const Ticks pause = 1 + g.below(kFaultHorizon);
+
+  std::vector<std::string> violations;
+  const auto fail = [&violations](std::string what) {
+    violations.push_back("snapshot oracle: " + std::move(what));
+  };
+
+  // Run A: uninterrupted.
+  std::string final_a;
+  {
+    RingSimulation ring{c.config};
+    ring.start();
+    FaultInjector injector{make_fault_target(ring), c.plan};
+    injector.arm();
+    Snapshotter snap{ring.simulator()};
+    snap.add(ring);
+    snap.add(injector);
+    ring.simulator().run(total);
+    if (const auto e = snap.save_string(final_a); !e.empty()) {
+      fail("continuous run unsaveable at quiescence: " + e);
+      return violations;
+    }
+  }
+
+  // Run B: pause, save, restore into fresh objects, continue.
+  std::string at_pause;
+  {
+    RingSimulation ring{c.config};
+    ring.start();
+    FaultInjector injector{make_fault_target(ring), c.plan};
+    injector.arm();
+    Snapshotter snap{ring.simulator()};
+    snap.add(ring);
+    snap.add(injector);
+    ring.simulator().run(pause);
+    if (const auto e = snap.save_string(at_pause); !e.empty()) {
+      fail("save at t=" + std::to_string(pause) + " failed: " + e);
+      return violations;
+    }
+  }
+  {
+    snapshot::Json doc;
+    std::string error;
+    if (!snapshot::parse_json(at_pause, doc, &error)) {
+      fail("saved document does not re-parse: " + error);
+      return violations;
+    }
+    RingSimulation ring{c.config};  // neither started nor armed: restored instead
+    FaultInjector injector{make_fault_target(ring), c.plan};
+    Snapshotter snap{ring.simulator()};
+    snap.add(ring);
+    snap.add(injector);
+    if (const auto e = snap.restore(doc); !e.empty()) {
+      fail("restore at t=" + std::to_string(pause) + " failed: " + e);
+      return violations;
+    }
+    std::string resaved;
+    if (const auto e = snap.save_string(resaved); !e.empty()) {
+      fail("resave after restore failed: " + e);
+      return violations;
+    }
+    if (resaved != at_pause) {
+      fail("restore -> save is not the identity at t=" + std::to_string(pause));
+    }
+    ring.simulator().run(total - ring.simulator().now());
+    std::string final_b;
+    if (const auto e = snap.save_string(final_b); !e.empty()) {
+      fail("restored run unsaveable at quiescence: " + e);
+      return violations;
+    }
+    if (final_b != final_a) {
+      fail("restored run diverged from continuous run (paused at t=" +
+           std::to_string(pause) + ")");
+    }
+  }
+  return violations;
+}
+
 TEST(FaultScheduleFuzz, RandomFaultPlansConvergeToCleanRings) {
   const std::uint64_t pinned = env_u64("HOURS_FUZZ_SEED", 0);
   const std::uint64_t count = pinned != 0 ? 1 : env_u64("HOURS_FUZZ_SEEDS", 25);
   ASSERT_GT(count, 0U) << "HOURS_FUZZ_SEEDS must be >= 1";
+  const std::uint64_t snapshot_stride = env_u64("HOURS_FUZZ_SNAPSHOT", 4);
 
   std::uint64_t failures = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -222,7 +324,14 @@ TEST(FaultScheduleFuzz, RandomFaultPlansConvergeToCleanRings) {
     // wide enough to catch instrumentation regressions under arbitrary fault
     // overlap, sparse enough not to slow the default sweep.
     const bool traced = pinned != 0 || seed % 5 == 0;
-    const auto violations = run_case(c, traced);
+    auto violations = run_case(c, traced);
+    // Snapshot-equivalence oracle on a sampled subset (the case runs twice
+    // more, so sampling keeps the default sweep fast).
+    if (pinned != 0 || (snapshot_stride != 0 && seed % snapshot_stride == 0)) {
+      auto divergences = run_snapshot_oracle(c, seed);
+      violations.insert(violations.end(), std::make_move_iterator(divergences.begin()),
+                        std::make_move_iterator(divergences.end()));
+    }
     if (violations.empty()) continue;
 
     ++failures;

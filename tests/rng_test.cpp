@@ -157,5 +157,32 @@ TEST(SampleDistinct, UniformCoverage) {
   for (const int c : counts) EXPECT_NEAR(c, 3000, 300);
 }
 
+TEST(Xoshiro, StateRoundTripContinuesSequence) {
+  Xoshiro256 original{0xFEEDULL};
+  for (int i = 0; i < 1000; ++i) (void)original();  // advance into the stream
+  const Xoshiro256::State saved = original.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 256; ++i) expected.push_back(original());
+
+  // A differently seeded generator, once set_state'd, continues the original
+  // sequence bit-for-bit — the property every snapshot RNG field relies on.
+  Xoshiro256 restored{0x0DDULL};
+  restored.set_state(saved);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(restored(), expected[i]) << "diverged at draw " << i;
+  }
+}
+
+TEST(Xoshiro, StateRoundTripPreservesDistributionHelpers) {
+  Xoshiro256 original{42};
+  (void)original.uniform();
+  (void)original.below(17);
+  Xoshiro256 restored{7};
+  restored.set_state(original.state());
+  EXPECT_EQ(restored.uniform(), original.uniform());
+  EXPECT_EQ(restored.below(1000), original.below(1000));
+  EXPECT_EQ(restored.bernoulli(0.5), original.bernoulli(0.5));
+}
+
 }  // namespace
 }  // namespace hours::rng

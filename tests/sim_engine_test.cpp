@@ -152,5 +152,88 @@ TEST(Simulator, MaxEventsGuardsAgainstRunaway) {
   EXPECT_EQ(executed, 1000U);
 }
 
+TEST(Simulator, DescribedEventsAreInspectable) {
+  Simulator sim;
+  sim.schedule(10, snapshot::Described{snapshot::kFaultAction, {7}}, [] {});
+  sim.schedule(5, [] {});  // opaque
+  const auto pending = sim.pending_events();
+  ASSERT_EQ(pending.size(), 2U);
+  EXPECT_EQ(pending[0].at, 5U);
+  EXPECT_EQ(pending[0].desc.kind, snapshot::kOpaque);
+  EXPECT_EQ(pending[1].at, 10U);
+  EXPECT_EQ(pending[1].desc.kind, snapshot::kFaultAction);
+  EXPECT_EQ(pending[1].desc.args, (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(sim.opaque_event_ids(), (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Simulator, RestoreUnderOriginalIdsKeepsFifoOrder) {
+  // Three same-instant events: the FIFO tie-break follows the schedule-time
+  // ids, so a restore that re-instates them under their ORIGINAL ids — in
+  // any insertion order — must replay them in the original order.
+  Simulator original;
+  std::vector<int> order;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    original.schedule(50, snapshot::Described{snapshot::kFaultAction, {i}}, [] {});
+  }
+  const auto saved = original.pending_events();
+  const auto saved_next_id = original.next_id();
+  const auto saved_now = original.now();
+  ASSERT_EQ(saved.size(), 3U);
+
+  Simulator restored;
+  restored.reset(saved_now, saved_next_id);
+  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {  // reversed on purpose
+    const auto tag = static_cast<int>(it->desc.args[0]);
+    restored.restore_event(it->at, it->id, it->desc, [&order, tag] { order.push_back(tag); });
+  }
+  restored.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(restored.now(), 50U);
+  // The id sequence continues where the original left off.
+  EXPECT_EQ(restored.next_id(), saved_next_id);
+}
+
+TEST(Simulator, CancelSurvivesRestore) {
+  Simulator original;
+  const auto keep = original.schedule(10, snapshot::Described{snapshot::kFaultAction, {0}}, [] {});
+  const auto drop = original.schedule(20, snapshot::Described{snapshot::kFaultAction, {1}}, [] {});
+  const auto saved = original.pending_events();
+
+  Simulator restored;
+  restored.reset(original.now(), original.next_id());
+  std::vector<std::uint64_t> ran;
+  for (const auto& event : saved) {
+    const auto tag = event.desc.args[0];
+    restored.restore_event(event.at, event.id, event.desc, [&ran, tag] { ran.push_back(tag); });
+  }
+  restored.cancel(drop);  // cancellation works on restored ids too
+  restored.run();
+  EXPECT_EQ(ran, (std::vector<std::uint64_t>{0}));
+  (void)keep;
+}
+
+TEST(Simulator, ResetDropsQueueAndRewindsClock) {
+  Simulator sim;
+  sim.schedule(10, [] { FAIL() << "dropped by reset"; });
+  sim.run(5);
+  EXPECT_EQ(sim.now(), 5U);
+  sim.reset(1000, 42);
+  EXPECT_EQ(sim.pending(), 0U);
+  EXPECT_EQ(sim.now(), 1000U);
+  EXPECT_EQ(sim.next_id(), 42U);
+  // Fresh scheduling continues from the restored counter.
+  EXPECT_EQ(sim.schedule(1, [] {}), 42U);
+}
+
+TEST(Simulator, PauseAndContinueMatchesUninterruptedRun) {
+  // run(limit) pins now() to the deadline, so run(a) + run(b) lands exactly
+  // at a + b — the property that lets a restored run rejoin the continuous
+  // timeline tick-for-tick.
+  Simulator sim;
+  sim.run(30);
+  sim.run(12);
+  EXPECT_EQ(sim.now(), 42U);
+}
+
 }  // namespace
 }  // namespace hours::sim
