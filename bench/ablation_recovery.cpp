@@ -76,11 +76,13 @@ int main(int argc, char** argv) {
     sim::RingSimulation ring{cfg};
     ring.start();
     ring.simulator().run(2 * cfg.probe_period);
+    HOURS_ASSERT(!ring.simulator().truncated());
     for (std::uint32_t i = 0; i < gap; ++i) ring.kill(20 + i);
 
     std::uint64_t periods = 0;
     for (; periods < 60; ++periods) {
       ring.simulator().run(cfg.probe_period);
+      HOURS_ASSERT(!ring.simulator().truncated());
       if (ring.ring_connected()) break;
     }
     recovery.add_row({TableWriter::fmt(std::uint64_t{gap}),

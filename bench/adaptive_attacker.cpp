@@ -122,6 +122,7 @@ RunResult run_scenario(const Scenario& sc, bool adaptive, const std::string& tra
   };
   sim.schedule(200, issue);
   sim.run(sc.horizon);
+  HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
   tracer.flush();
 
   RunResult result;

@@ -94,6 +94,7 @@ RunResult run_scenario(const Scenario& sc) {
   };
   sim.schedule(200, issue);
   sim.run(sc.horizon);
+  HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
 
   RunResult result;
   metrics::Timeline timeline{sc.window};

@@ -12,6 +12,10 @@
 #include <string>
 #include <string_view>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace hours::bench {
 
 inline bool quick_mode(int argc, char** argv) {
@@ -29,6 +33,23 @@ inline std::uint64_t scaled(std::uint64_t full, std::uint64_t quick, bool is_qui
 
 inline std::string csv_path(std::string_view bench_name) {
   return std::string{bench_name} + ".csv";
+}
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// Scale benches report it next to events/sec so memory regressions are as
+/// loud as throughput regressions.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
 }
 
 /// Prints a finished JSON report to stdout and mirrors it to

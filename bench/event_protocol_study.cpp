@@ -51,8 +51,10 @@ Costs measure(std::uint32_t attacked, double loss, int trials) {
     const auto before_messages = sim.messages_sent();
     const auto t0 = sim.simulator().now();
     const auto first = sim.run_query({target, 3});
+    HOURS_ASSERT(!sim.simulator().truncated());
     const auto t1 = sim.simulator().now();
     const auto second = sim.run_query({target, 3});
+    HOURS_ASSERT(!sim.simulator().truncated());
     const auto t2 = sim.simulator().now();
 
     if (first.delivered) {

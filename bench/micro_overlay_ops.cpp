@@ -1,16 +1,23 @@
 // google-benchmark microbenchmarks for the hot primitives: routing-table
 // generation (jump sampler vs naive O(N) Bernoulli), greedy forwarding,
-// Chord routing, and the trace emission path. The BM_ForwardTraced* group
-// bounds the cost the tracing subsystem adds to a hot protocol op: with no
-// tracer attached the emission site must be within noise (<= 2%) of the
-// untraced BM_ForwardEager loop.
+// Chord routing, the trace emission path, and the timer-wheel event core.
+// The BM_ForwardTraced* group bounds the cost the tracing subsystem adds to
+// a hot protocol op: with no tracer attached the emission site must be
+// within noise (<= 2%) of the untraced BM_ForwardEager loop. The BM_Sim*
+// group reports events/sec through the arena-backed wheel (items/sec in the
+// benchmark output) plus peak RSS, the scale metrics ISSUE-level runs track.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baseline/chord.hpp"
+#include "bench_util.hpp"
 #include "overlay/overlay.hpp"
 #include "overlay/table_builder.hpp"
 #include "rng/pointer_sampler.hpp"
 #include "rng/xoshiro256.hpp"
+#include "sim/hierarchy_protocol.hpp"
+#include "sim/simulator.hpp"
 #include "trace/ring_buffer_sink.hpp"
 #include "trace/sink.hpp"
 
@@ -134,6 +141,64 @@ void BM_TraceEmit(benchmark::State& state) {
   benchmark::DoNotOptimize(sink.total_events());
 }
 BENCHMARK(BM_TraceEmit);
+
+/// Steady-state timer-wheel churn at `n` live events: each iteration
+/// schedules one described event at a random future instant and dispatches
+/// the earliest pending one, so the slab stays at ~n occupancy and the
+/// wheel's insert + find-next + dispatch path dominates. Items/sec in the
+/// report is events/sec through the arena core.
+void BM_SimWheelChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  sim::Simulator sim;
+  std::uint64_t dispatched = 0;
+  sim.set_runner([&dispatched](std::uint16_t, const std::uint64_t*, std::size_t) {
+    ++dispatched;
+  });
+  rng::Xoshiro256 rng{0x5E7'Au};
+  const std::uint64_t arg = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sim.schedule(1 + rng.below(1u << 17), /*kind=*/0x900, &arg, 1);
+  }
+  for (auto _ : state) {
+    sim.schedule(1 + rng.below(1u << 17), /*kind=*/0x900, &arg, 1);
+    sim.run(/*limit=*/0, /*max_events=*/1);
+  }
+  benchmark::DoNotOptimize(dispatched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(hours::bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_SimWheelChurn)->Range(1024, 1 << 20);
+
+/// A full message-level query between random siblings of a single-overlay
+/// hierarchy: transport deliveries, acks and continuations all ride the
+/// wheel. Items/sec is simulator events/sec at protocol granularity.
+void BM_SimHierQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sim::TreeTopology topology;
+  topology.child_counts.assign(n + 1, 0);
+  topology.child_counts[0] = n;
+  sim::HierarchySimConfig config;
+  config.params.design = overlay::Design::kEnhanced;
+  config.params.k = 5;
+  sim::HierarchySimulation sim{config, topology};
+  rng::Xoshiro256 rng{0x5E7'Bu};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto from = static_cast<std::uint32_t>(rng.below(n));
+    auto to = static_cast<std::uint32_t>(rng.below(n));
+    if (to == from) to = (to + 1) % n;
+    const std::uint64_t qid =
+        sim.inject_query(hierarchy::NodePath{to}, hierarchy::NodePath{from});
+    events += sim.simulator().run();
+    HOURS_ASSERT(!sim.simulator().truncated());
+    benchmark::DoNotOptimize(sim.query(qid).delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(hours::bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_SimHierQuery)->Range(1024, 1 << 16);
 
 void BM_ChordRoute(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -82,6 +82,7 @@ RunResult run_scenario(const Scenario& sc) {
   RingSimulation control{cfg};
   control.start();
   control.simulator().run(sc.horizon);
+  HOURS_ASSERT(!control.simulator().truncated());
 
   RingSimulation ring{cfg};
   ring.start();
@@ -128,6 +129,7 @@ RunResult run_scenario(const Scenario& sc) {
   };
   sim.schedule(200, issue);
   sim.run(sc.horizon);
+  HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
 
   RunResult result;
   metrics::Timeline timeline{sc.window};

@@ -1,0 +1,218 @@
+// Scale smoke: builds a >=1M-node hierarchy through the facade, swaps in the
+// message-level EventBackend, runs a short query burst, and reports
+// construction time, events/sec, and peak RSS as a metrics::JsonWriter
+// document (scale_smoke.json).
+//
+// With --enforce the run compares against bench/scale_thresholds.json (an
+// events/sec floor plus RSS and construction-time ceilings) and exits
+// nonzero on regression — the CI scale-smoke job runs exactly that in
+// Release mode. Without --enforce it only reports, so Debug/dev runs stay
+// green. --quick shrinks the tree to ~1k nodes for the bench-smoke ctest
+// label.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hours/hours.hpp"
+#include "metrics/json_writer.hpp"
+#include "rng/xoshiro256.hpp"
+#include "snapshot/json.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Admits the full fanout tree level by level; names are short label chains
+/// ("c3.b17.a4") so admission cost stays dominated by tree walks, not
+/// string work. Returns the leaf names for the query burst.
+std::vector<std::string> admit_tree(hours::HoursSystem& sys,
+                                    const std::vector<std::uint32_t>& fanout) {
+  std::vector<std::string> frontier{""};  // suffix of the parent level ("" = root)
+  std::vector<std::string> next;
+  const char* prefixes = "abcdef";
+  for (std::size_t level = 0; level < fanout.size(); ++level) {
+    next.clear();
+    next.reserve(frontier.size() * fanout[level]);
+    for (const auto& parent : frontier) {
+      for (std::uint32_t i = 0; i < fanout[level]; ++i) {
+        std::string name = prefixes[level % 6] + std::to_string(i);
+        if (!parent.empty()) name += "." + parent;
+        const auto admitted = sys.admit(name);
+        HOURS_ASSERT(admitted.ok());
+        next.push_back(std::move(name));
+      }
+    }
+    frontier.swap(next);
+  }
+  return frontier;  // deepest level
+}
+
+struct Thresholds {
+  std::uint64_t nodes = 0;
+  double events_per_sec_floor = 0.0;
+  double peak_rss_mb_ceiling = 0.0;
+  double construction_seconds_ceiling = 0.0;
+  bool loaded = false;
+};
+
+Thresholds load_thresholds(const std::string& path) {
+  Thresholds t;
+  std::ifstream in{path};
+  if (!in) return t;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  hours::snapshot::Json doc;
+  std::string error;
+  if (!hours::snapshot::parse_json(buffer.str(), doc, &error)) {
+    std::fprintf(stderr, "scale_smoke: cannot parse %s: %s\n", path.c_str(), error.c_str());
+    return t;
+  }
+  // snapshot::Json numbers are u64-only; thresholds are stored as integers.
+  const auto u64_field = [&doc](std::string_view key) -> std::uint64_t {
+    const auto* field = doc.find(key);
+    HOURS_ASSERT(field != nullptr && field->is_u64());
+    return field->as_u64();
+  };
+  t.nodes = u64_field("nodes");
+  t.events_per_sec_floor = static_cast<double>(u64_field("events_per_sec_floor"));
+  t.peak_rss_mb_ceiling = static_cast<double>(u64_field("peak_rss_mb_ceiling"));
+  t.construction_seconds_ceiling = static_cast<double>(u64_field("construction_seconds_ceiling"));
+  t.loaded = true;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hours::metrics::JsonWriter;
+  const bool quick = hours::bench::quick_mode(argc, argv);
+  bool enforce = false;
+  std::string thresholds_path = "scale_thresholds.json";
+  std::vector<std::uint32_t> fanout =
+      quick ? std::vector<std::uint32_t>{10, 10, 10} : std::vector<std::uint32_t>{100, 100, 100};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--enforce") == 0) enforce = true;
+    if (std::strncmp(argv[i], "--thresholds=", 13) == 0) thresholds_path = argv[i] + 13;
+    if (std::strncmp(argv[i], "--fanout=", 9) == 0) {
+      // Comma-separated per-level fanouts, e.g. --fanout=100,100 for the
+      // 10k point of BENCH_scale.json. Overrides the quick/full default.
+      fanout.clear();
+      for (const char* cursor = argv[i] + 9; *cursor != '\0';) {
+        char* end = nullptr;
+        fanout.push_back(static_cast<std::uint32_t>(std::strtoul(cursor, &end, 10)));
+        HOURS_ASSERT(end != cursor && fanout.back() > 0);
+        cursor = *end == ',' ? end + 1 : end;
+      }
+      HOURS_ASSERT(!fanout.empty());
+    }
+  }
+  std::uint64_t nodes = 1;  // the implicit root
+  std::uint64_t level_size = 1;
+  for (const auto f : fanout) {
+    level_size *= f;
+    nodes += level_size;
+  }
+  std::printf("[scale_smoke] admitting %llu nodes (fanout", (unsigned long long)nodes);
+  for (const auto f : fanout) std::printf(" %u", f);
+  std::printf(")...\n");
+
+  const auto t_admit = std::chrono::steady_clock::now();
+  hours::HoursSystem sys;
+  const auto leaves = admit_tree(sys, fanout);
+  const double admit_seconds = seconds_since(t_admit);
+  std::printf("[scale_smoke] admission done in %.2fs\n", admit_seconds);
+
+  // The event backend materializes its topology mirror on first touch;
+  // node_id() forces it so construction cost is measured separately from
+  // the query burst.
+  auto& backend = sys.use_event_backend();
+  const auto t_build = std::chrono::steady_clock::now();
+  HOURS_ASSERT(backend.node_id(leaves.front()).has_value());
+  const double build_seconds = seconds_since(t_build);
+  std::printf("[scale_smoke] event mirror built in %.2fs\n", build_seconds);
+
+  const std::uint64_t queries = quick ? 50 : 500;
+  hours::rng::Xoshiro256 rng{0x5CA1EULL};
+  std::uint64_t delivered = 0;
+  auto& simulator = backend.simulation()->simulator();
+  const std::uint64_t events_before = simulator.executed_total();
+  const auto t_burst = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    const auto& dest = leaves[rng.below(leaves.size())];
+    const auto result = sys.query(dest);
+    // A silent event cap at scale would corrupt the delivery stats.
+    HOURS_ASSERT(!simulator.truncated());
+    if (result.delivered) ++delivered;
+  }
+  const double burst_seconds = seconds_since(t_burst);
+  const std::uint64_t events = simulator.executed_total() - events_before;
+  const double events_per_sec =
+      burst_seconds > 0.0 ? static_cast<double>(events) / burst_seconds : 0.0;
+  const double peak_rss_mb =
+      static_cast<double>(hours::bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+  const double construction_seconds = admit_seconds + build_seconds;
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "scale_smoke");
+  json.field("quick", quick);
+  json.field("nodes", nodes);
+  json.field("admit_seconds", admit_seconds, 2);
+  json.field("build_seconds", build_seconds, 2);
+  json.field("construction_seconds", construction_seconds, 2);
+  json.field("queries", queries);
+  json.field("delivered", delivered);
+  json.field("events", events);
+  json.field("events_per_sec", events_per_sec, 0);
+  json.field("burst_seconds", burst_seconds, 2);
+  json.field("peak_rss_mb", peak_rss_mb, 1);
+  json.end_object();
+  hours::bench::emit_json_report("scale_smoke", json.str());
+
+  HOURS_ASSERT(delivered == queries);  // healthy tree: every query delivers
+
+  if (!enforce) return 0;
+  const auto thresholds = load_thresholds(thresholds_path);
+  if (!thresholds.loaded) {
+    std::fprintf(stderr, "scale_smoke: --enforce set but no thresholds at %s\n",
+                 thresholds_path.c_str());
+    return 2;
+  }
+  if (quick) {
+    std::fprintf(stderr, "scale_smoke: --enforce is meaningless with --quick\n");
+    return 2;
+  }
+  int failures = 0;
+  if (thresholds.nodes != nodes) {
+    std::fprintf(stderr, "FAIL thresholds calibrated for %llu nodes, ran %llu\n",
+                 (unsigned long long)thresholds.nodes, (unsigned long long)nodes);
+    ++failures;
+  }
+  if (events_per_sec < thresholds.events_per_sec_floor) {
+    std::fprintf(stderr, "FAIL events/sec %.0f < floor %.0f\n", events_per_sec,
+                 thresholds.events_per_sec_floor);
+    ++failures;
+  }
+  if (peak_rss_mb > thresholds.peak_rss_mb_ceiling) {
+    std::fprintf(stderr, "FAIL peak RSS %.1f MB > ceiling %.1f MB\n", peak_rss_mb,
+                 thresholds.peak_rss_mb_ceiling);
+    ++failures;
+  }
+  if (construction_seconds > thresholds.construction_seconds_ceiling) {
+    std::fprintf(stderr, "FAIL construction %.2fs > ceiling %.2fs\n", construction_seconds,
+                 thresholds.construction_seconds_ceiling);
+    ++failures;
+  }
+  if (failures == 0) std::printf("[scale_smoke] thresholds OK\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -39,6 +39,7 @@ int write_demo(const std::string& path) {
   snap.add(ring);
   snap.add(injector);
   ring.simulator().run(2'500);  // inside the fault window: nontrivial state
+  HOURS_ASSERT(!ring.simulator().truncated());
   if (const auto error = snap.save_file(path); !error.empty()) {
     std::fprintf(stderr, "validate_snapshot: demo save failed: %s\n", error.c_str());
     return 1;

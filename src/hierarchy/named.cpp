@@ -8,6 +8,16 @@
 
 namespace hours::hierarchy {
 
+namespace {
+
+/// Sibling sets larger than this get lazily regenerated routing tables
+/// (O(1) memory per overlay) instead of eager storage — the same knob
+/// SyntheticSpec::eager_table_limit exposes, so million-child deployments
+/// don't pay O(size * table) memory at admission time.
+constexpr std::uint32_t kEagerTableLimit = 20'000;
+
+}  // namespace
+
 struct NamedHierarchy::TreeNode {
   naming::Name name;
   ids::Identifier id;
@@ -17,9 +27,13 @@ struct NamedHierarchy::TreeNode {
 
   std::vector<std::unique_ptr<TreeNode>> owned;  // primary children
   std::vector<TreeNode*> alias_children;         // mesh children (not owned)
-  std::vector<TreeNode*> members;                // owned + alias, id-sorted when !dirty
+  std::vector<TreeNode*> members;                // owned + alias, id-sorted when !members_dirty
   std::unique_ptr<overlay::Overlay> child_overlay;
-  bool dirty = true;  // membership changed since the overlay was built
+  // Membership changes invalidate both; the member view (cheap: sort) and
+  // the overlay (expensive: routing tables) regenerate independently, so a
+  // topology walk never forces a table build.
+  bool members_dirty = true;
+  bool overlay_dirty = true;
 
   [[nodiscard]] std::uint32_t member_count() const noexcept {
     return static_cast<std::uint32_t>(owned.size() + alias_children.size());
@@ -56,22 +70,27 @@ NamedHierarchy::TreeNode* NamedHierarchy::find_by_name(const naming::Name& name)
 NamedHierarchy::TreeNode* NamedHierarchy::find_by_path(const NodePath& path) {
   TreeNode* node = root_.get();
   for (const auto index : path) {
-    refresh(*node);
+    refresh_members(*node);
     if (index >= node->members.size()) return nullptr;
     node = node->members[index];
   }
   return node;
 }
 
-void NamedHierarchy::refresh(TreeNode& node) {
-  if (!node.dirty) return;
-
+void NamedHierarchy::refresh_members(TreeNode& node) {
+  if (!node.members_dirty) return;
   node.members.clear();
   node.members.reserve(node.member_count());
   for (const auto& c : node.owned) node.members.push_back(c.get());
   for (TreeNode* a : node.alias_children) node.members.push_back(a);
   std::sort(node.members.begin(), node.members.end(),
             [](const TreeNode* a, const TreeNode* b) { return a->id < b->id; });
+  node.members_dirty = false;
+}
+
+void NamedHierarchy::refresh(TreeNode& node) {
+  refresh_members(node);
+  if (!node.overlay_dirty) return;
 
   const auto size = static_cast<std::uint32_t>(node.members.size());
   if (size > 0) {
@@ -83,8 +102,10 @@ void NamedHierarchy::refresh(TreeNode& node) {
       HOURS_EXPECTS(j < raw->members.size());
       return raw->members[j]->member_count();
     };
+    const auto storage = size > kEagerTableLimit ? overlay::TableStorage::kLazy
+                                                 : overlay::TableStorage::kEager;
     node.child_overlay = std::make_unique<overlay::Overlay>(
-        size, params, overlay::TableStorage::kEager, overlay::ChildCountFn{child_count_fn});
+        size, params, storage, overlay::ChildCountFn{child_count_fn});
     // Re-apply liveness: an attacked node stays a (dead) member after a
     // table refresh; only admission changes shift indices.
     for (std::uint32_t j = 0; j < size; ++j) {
@@ -93,11 +114,11 @@ void NamedHierarchy::refresh(TreeNode& node) {
   } else {
     node.child_overlay.reset();
   }
-  node.dirty = false;
+  node.overlay_dirty = false;
 }
 
 std::uint32_t NamedHierarchy::index_of(TreeNode& parent, const TreeNode* child) {
-  refresh(parent);
+  refresh_members(parent);
   const auto it = std::find(parent.members.begin(), parent.members.end(), child);
   HOURS_ASSERT(it != parent.members.end());
   return static_cast<std::uint32_t>(std::distance(parent.members.begin(), it));
@@ -122,7 +143,8 @@ util::Result<naming::Name> NamedHierarchy::admit(const naming::Name& name) {
   node->id = ids::Identifier::from_name(name.to_string());
   node->parent = parent_node;
   parent_node->owned.push_back(std::move(node));
-  parent_node->dirty = true;
+  parent_node->members_dirty = true;
+  parent_node->overlay_dirty = true;
   ++node_count_;
   return name;
 }
@@ -152,7 +174,8 @@ util::Result<naming::Name> NamedHierarchy::admit_secondary(const naming::Name& n
 
   node->secondary_parents.push_back(parent_node);
   parent_node->alias_children.push_back(node);
-  parent_node->dirty = true;
+  parent_node->members_dirty = true;
+  parent_node->overlay_dirty = true;
   return name;
 }
 
@@ -160,7 +183,8 @@ void NamedHierarchy::unlink_aliases_in_subtree(TreeNode& node) {
   // The node may be an alias child elsewhere: detach those memberships.
   for (TreeNode* sp : node.secondary_parents) {
     std::erase(sp->alias_children, &node);
-    sp->dirty = true;
+    sp->members_dirty = true;
+    sp->overlay_dirty = true;
   }
   node.secondary_parents.clear();
   // The node may have alias children from elsewhere: they survive, minus
@@ -196,7 +220,8 @@ util::Result<naming::Name> NamedHierarchy::remove(const naming::Name& name) {
                                [&](const auto& c) { return c.get() == node; });
   HOURS_ASSERT(it != parent_node->owned.end());
   parent_node->owned.erase(it);
-  parent_node->dirty = true;
+  parent_node->members_dirty = true;
+  parent_node->overlay_dirty = true;
   return name;
 }
 
@@ -268,7 +293,7 @@ util::Result<naming::Name> NamedHierarchy::set_alive(const naming::Name& name, b
   parents.insert(parents.end(), node->secondary_parents.begin(),
                  node->secondary_parents.end());
   for (TreeNode* p : parents) {
-    if (p->dirty || !p->child_overlay) continue;
+    if (p->overlay_dirty || !p->child_overlay) continue;
     const auto j = index_of(*p, node);
     if (alive) {
       p->child_overlay->revive(j);
@@ -319,6 +344,21 @@ std::vector<NamedHierarchy::MemberInfo> NamedHierarchy::members() const {
   };
   walk(*root_);
   return out;
+}
+
+NamedHierarchy::TopologySnapshot NamedHierarchy::topology_snapshot() {
+  TopologySnapshot snap;
+  std::vector<TreeNode*> order{root_.get()};
+  order.reserve(node_count_ + 1);
+  snap.child_counts.reserve(node_count_ + 1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    TreeNode* node = order[i];
+    refresh_members(*node);
+    snap.child_counts.push_back(node->member_count());
+    if (!node->alive) snap.dead.push_back(static_cast<std::uint32_t>(i));
+    for (TreeNode* member : node->members) order.push_back(member);
+  }
+  return snap;
 }
 
 bool NamedHierarchy::root_alive() const noexcept { return root_->alive; }

@@ -89,6 +89,18 @@ class NamedHierarchy final : public HierarchyModel {
   /// not admission order.
   [[nodiscard]] std::vector<MemberInfo> members() const;
 
+  /// Flat BFS image of the member tree, in exactly the level order
+  /// sim::HierarchySimulation assigns node ids: child_counts[i] is node i's
+  /// member count, `dead` lists the BFS ids currently marked dead. Mesh
+  /// alias children appear once per parent (each membership is a distinct
+  /// simulation node), matching the path-enumeration the event backend used
+  /// to perform — but without materializing any NodePath or name.
+  struct TopologySnapshot {
+    std::vector<std::uint32_t> child_counts;
+    std::vector<std::uint32_t> dead;
+  };
+  [[nodiscard]] TopologySnapshot topology_snapshot();
+
   // -- HierarchyModel ----------------------------------------------------------
   [[nodiscard]] std::uint32_t child_count(const NodePath& path) override;
   [[nodiscard]] overlay::Overlay& overlay_of(const NodePath& path) override;
@@ -101,8 +113,12 @@ class NamedHierarchy final : public HierarchyModel {
   [[nodiscard]] TreeNode* find_by_name(const naming::Name& name);
   [[nodiscard]] TreeNode* find_by_path(const NodePath& path);
 
-  /// Sorts the member view (owned + alias children) by identifier and
-  /// (re)builds the overlay if dirty.
+  /// Sorts the member view (owned + alias children) by identifier if stale.
+  /// Never builds routing tables, so topology walks stay cheap at scale.
+  void refresh_members(TreeNode& node);
+
+  /// refresh_members plus (re)building the child overlay if stale — the
+  /// expensive step, deferred until graph routing actually visits the node.
   void refresh(TreeNode& node);
 
   /// Ring index of `child` within `parent`'s refreshed member view.

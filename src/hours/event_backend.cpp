@@ -41,18 +41,13 @@ void EventBackend::ensure_built() {
   if (sim_) return;
   auto& hierarchy = system_.hierarchy();
 
-  // BFS in exactly the order HierarchySimulation assigns ids: node i's
-  // children are appended once every node j <= i has placed its own, so
-  // paths[id] is the NodePath of simulator node id.
+  // Flat BFS image in exactly the order HierarchySimulation assigns ids.
+  // No NodePath or name is materialized here — with lazy overlay tables on
+  // both sides, building a million-node mirror costs O(N) integers; names
+  // resolve on demand through resolve_id().
+  auto snapshot = hierarchy.topology_snapshot();
   sim::TreeTopology topology;
-  std::vector<hierarchy::NodePath> paths{hierarchy::NodePath{}};
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    const std::uint32_t count = hierarchy.child_count(paths[i]);
-    topology.child_counts.push_back(count);
-    for (std::uint32_t j = 0; j < count; ++j) {
-      paths.push_back(hierarchy::child(paths[i], j));
-    }
-  }
+  topology.child_counts = std::move(snapshot.child_counts);
 
   sim::HierarchySimConfig sim_config;
   sim_config.params = system_.config().overlay;
@@ -62,32 +57,11 @@ void EventBackend::ensure_built() {
   sim_config.assume_ring_repaired = config_.assume_ring_repaired;
   sim_ = std::make_unique<sim::HierarchySimulation>(sim_config, topology);
 
-  name_by_id_.clear();
-  id_by_name_.clear();
-  name_by_id_.reserve(paths.size());
-  for (std::uint32_t id = 0; id < paths.size(); ++id) {
-    std::string name;
-    if (id == 0) {
-      name = naming::Name{}.to_string();  // "."
-    } else if (auto n = hierarchy.name_of(paths[id]); n.ok()) {
-      name = n.value().to_string();
-    }
-    name_by_id_.push_back(name);
-    // emplace keeps the first (primary-path) id when a mesh alias maps the
-    // same name twice; secondary parents are otherwise unsupported here.
-    if (!name.empty()) id_by_name_.emplace(name, id);
-  }
+  id_cache_.clear();
 
   // Mirror the facade's oracle liveness as the simulation's initial state;
   // from here on, downtime inside the simulation is learned from silence.
-  if (!hierarchy.root_alive()) sim_->kill(hierarchy::NodePath{});
-  for (std::uint32_t id = 1; id < paths.size(); ++id) {
-    if (name_by_id_[id].empty()) continue;
-    auto parsed = naming::Name::parse(name_by_id_[id]);
-    if (!parsed.ok()) continue;
-    auto alive = hierarchy.is_alive(parsed.value());
-    if (alive.ok() && !alive.value()) sim_->kill(paths[id]);
-  }
+  for (const std::uint32_t id : snapshot.dead) sim_->kill_id(id);
 
   client_ = std::make_unique<sim::QueryClient>(sim::make_query_network(*sim_), config_.client);
 
@@ -142,26 +116,44 @@ QueryResult EventBackend::run_client_query(std::uint32_t start_id, std::uint32_t
   return result;
 }
 
+std::int64_t EventBackend::resolve_id(const naming::Name& name) {
+  ensure_built();
+  std::string key = name.to_string();
+  if (const auto it = id_cache_.find(key); it != id_cache_.end()) return it->second;
+  std::int64_t id = -1;
+  // The primary path's id; a mesh alias node also exists under secondary
+  // parents with other ids, but liveness mirroring and query addressing use
+  // the primary membership (docs/PROTOCOL.md §7).
+  if (auto path = system_.hierarchy().resolve(name); path.ok()) {
+    id = sim_->find_id(path.value());
+  }
+  id_cache_.emplace(std::move(key), id);
+  return id;
+}
+
 QueryResult EventBackend::execute(const naming::Name& dest, bool /*record_path*/) {
   ensure_built();
-  const auto it = id_by_name_.find(dest.to_string());
-  if (it == id_by_name_.end()) return failed(util::Error::Code::kNotFound);
-  const std::uint32_t dest_id = it->second;
+  const std::int64_t dest_id = resolve_id(dest);
+  if (dest_id < 0) return failed(util::Error::Code::kNotFound);
 
   // Entry-point selection: the client checks whether its entry answers at
   // all (one RTT) before handing over custody — the root first, then the
   // bootstrap cache (Section 7) when the root is down. Forwarding liveness
   // beyond the entry point stays silence-inferred.
-  if (sim_->alive(hierarchy::NodePath{})) {
-    return run_client_query(/*start_id=*/0, dest_id, dest, /*from_cache=*/false);
+  if (sim_->alive_id(0)) {
+    return run_client_query(/*start_id=*/0, static_cast<std::uint32_t>(dest_id), dest,
+                            /*from_cache=*/false);
   }
 
   cache_bootstrap_queries_.inc();
   for (const auto& cached : system_.bootstrap_cache()) {
-    const auto cached_it = id_by_name_.find(cached);
-    if (cached_it == id_by_name_.end()) continue;
-    if (!sim_->alive(sim_->path_of(cached_it->second))) continue;
-    return run_client_query(cached_it->second, dest_id, dest, /*from_cache=*/true);
+    const auto parsed = naming::Name::parse(cached);
+    if (!parsed.ok()) continue;
+    const std::int64_t cached_id = resolve_id(parsed.value());
+    if (cached_id < 0) continue;
+    if (!sim_->alive_id(static_cast<std::uint32_t>(cached_id))) continue;
+    return run_client_query(static_cast<std::uint32_t>(cached_id),
+                            static_cast<std::uint32_t>(dest_id), dest, /*from_cache=*/true);
   }
   return failed(util::Error::Code::kDead);  // no usable entry point
 }
@@ -169,27 +161,27 @@ QueryResult EventBackend::execute(const naming::Name& dest, bool /*record_path*/
 QueryResult EventBackend::execute_from(const naming::Name& start, const naming::Name& dest,
                                        bool /*record_path*/) {
   ensure_built();
-  const auto start_it = id_by_name_.find(start.to_string());
-  if (start_it == id_by_name_.end()) return failed(util::Error::Code::kNotFound);
-  const auto dest_it = id_by_name_.find(dest.to_string());
-  if (dest_it == id_by_name_.end()) return failed(util::Error::Code::kNotFound);
-  if (!sim_->alive(sim_->path_of(start_it->second))) {
+  const std::int64_t start_id = resolve_id(start);
+  if (start_id < 0) return failed(util::Error::Code::kNotFound);
+  const std::int64_t dest_id = resolve_id(dest);
+  if (dest_id < 0) return failed(util::Error::Code::kNotFound);
+  if (!sim_->alive_id(static_cast<std::uint32_t>(start_id))) {
     return failed(util::Error::Code::kDead);
   }
-  return run_client_query(start_it->second, dest_it->second, dest, /*from_cache=*/false);
+  return run_client_query(static_cast<std::uint32_t>(start_id),
+                          static_cast<std::uint32_t>(dest_id), dest, /*from_cache=*/false);
 }
 
 void EventBackend::on_set_alive(const naming::Name& name, bool alive) {
   // Before the snapshot exists there is nothing to mirror: ensure_built
   // reads the hierarchy's liveness when it materializes.
   if (!sim_) return;
-  const auto it = id_by_name_.find(name.to_string());
-  if (it == id_by_name_.end()) return;
-  const auto& path = sim_->path_of(it->second);
+  const std::int64_t id = resolve_id(name);
+  if (id < 0) return;
   if (alive) {
-    sim_->revive(path);
+    sim_->revive_id(static_cast<std::uint32_t>(id));
   } else {
-    sim_->kill(path);
+    sim_->kill_id(static_cast<std::uint32_t>(id));
   }
 }
 
@@ -201,6 +193,7 @@ void EventBackend::on_membership_change() {
   client_.reset();
   injectors_.clear();
   sim_.reset();
+  id_cache_.clear();
 }
 
 util::Result<std::size_t> EventBackend::schedule_faults(sim::FaultPlan plan) {
@@ -230,9 +223,11 @@ void EventBackend::set_tracer(trace::Tracer* tracer) {
 
 std::optional<std::uint32_t> EventBackend::node_id(std::string_view name) {
   ensure_built();
-  const auto it = id_by_name_.find(name);
-  if (it == id_by_name_.end()) return std::nullopt;
-  return it->second;
+  const auto parsed = naming::Name::parse(name);
+  if (!parsed.ok()) return std::nullopt;
+  const std::int64_t id = resolve_id(parsed.value());
+  if (id < 0) return std::nullopt;
+  return static_cast<std::uint32_t>(id);
 }
 
 sim::FaultInjectorStats EventBackend::fault_stats() const {

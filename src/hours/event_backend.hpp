@@ -93,10 +93,15 @@ class EventBackend final : public QueryBackend {
   [[nodiscard]] const std::vector<sim::FaultPlan>& plans() const noexcept { return plans_; }
 
  private:
-  /// Snapshots the NamedHierarchy into a fresh simulation: BFS topology,
-  /// name<->id mapping, oracle liveness mirrored as initial kills, stored
-  /// fault plans re-armed at the (fresh) simulator's t=0.
+  /// Snapshots the NamedHierarchy into a fresh simulation: flat BFS
+  /// topology (no paths or names materialized), oracle liveness mirrored as
+  /// initial kills, stored fault plans re-armed at the (fresh) simulator's
+  /// t=0. Name->id lookups resolve lazily through resolve_id().
   void ensure_built();
+
+  /// The simulator node id `name` maps to (its primary path), or -1 when
+  /// the name is not admitted. Memoized until the topology rebuilds.
+  [[nodiscard]] std::int64_t resolve_id(const naming::Name& name);
 
   /// Runs the simulator one event at a time until `qid` settles, so events
   /// scheduled past the settlement instant (fault windows, other timers)
@@ -116,8 +121,9 @@ class EventBackend final : public QueryBackend {
   std::unique_ptr<sim::QueryClient> client_;
   std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
   std::vector<sim::FaultPlan> plans_;  ///< everything scheduled, for re-arming
-  std::map<std::string, std::uint32_t, std::less<>> id_by_name_;
-  std::vector<std::string> name_by_id_;
+  /// Lazy name -> simulator-id memo (-1 = unresolvable); cleared whenever
+  /// the topology snapshot rebuilds.
+  std::map<std::string, std::int64_t, std::less<>> id_cache_;
 };
 
 }  // namespace hours

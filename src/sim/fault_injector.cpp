@@ -34,20 +34,16 @@ FaultTarget make_fault_target(HierarchySimulation& hierarchy) {
   FaultTarget target;
   target.sim = &hierarchy.simulator();
   target.node_count = hierarchy.node_count();
-  target.kill = [&hierarchy](std::uint32_t node) { hierarchy.kill(hierarchy.path_of(node)); };
-  target.revive = [&hierarchy](std::uint32_t node) {
-    hierarchy.revive(hierarchy.path_of(node));
-  };
-  target.alive = [&hierarchy](std::uint32_t node) {
-    return hierarchy.alive(hierarchy.path_of(node));
-  };
+  target.kill = [&hierarchy](std::uint32_t node) { hierarchy.kill_id(node); };
+  target.revive = [&hierarchy](std::uint32_t node) { hierarchy.revive_id(node); };
+  target.alive = [&hierarchy](std::uint32_t node) { return hierarchy.alive_id(node); };
   target.set_loss = [&hierarchy](double p) { hierarchy.set_loss_probability(p); };
   target.loss = [&hierarchy] { return hierarchy.loss_probability(); };
   target.set_link_filter = [&hierarchy](LinkFilter filter) {
     hierarchy.set_link_filter(std::move(filter));
   };
   target.set_behavior = [&hierarchy](std::uint32_t node, overlay::NodeBehavior behavior) {
-    hierarchy.set_behavior(hierarchy.path_of(node), behavior);
+    hierarchy.set_behavior_id(node, behavior);
   };
   return target;
 }

@@ -80,103 +80,165 @@ void HierarchySimulation::build(const TreeTopology& topology) {
   HOURS_EXPECTS(topology.consistent());
   config_.params.validate();
 
-  // Breadth-first materialization: `child_counts` is indexed by the very ids
-  // being assigned (children of node i appear after every node j <= i has
-  // placed its children), so a single pass suffices and children of each
-  // node get contiguous ids — a sibling set is the id range
-  // [sibling_base, sibling_base + ring).
-  nodes_.reserve(topology.child_counts.size());
-  nodes_.push_back(Node{});
-  nodes_[0].path = {};
-  nodes_[0].parent = 0;
-  id_by_path_[{}] = 0;
+  // Breadth-first materialization into flat index tables: `child_counts` is
+  // indexed by the very ids being assigned (children of node i appear after
+  // every node j <= i has placed its children), so a single pass suffices
+  // and children of each node get contiguous ids — a sibling set is the id
+  // range [sibling_base, sibling_base + ring_size). Five flat vectors is
+  // the whole topology; no per-node objects, no paths stored.
+  const auto n = static_cast<std::uint32_t>(topology.child_counts.size());
+  parent_.assign(n, 0);
+  first_child_.assign(n, 0);
+  child_count_.assign(n, 0);
+  sibling_base_.assign(n, 0);
+  ring_size_.assign(n, 1);
+  level_.assign(n, 0);
+  behavior_.assign(n, static_cast<std::uint8_t>(overlay::NodeBehavior::kHonest));
 
-  for (std::uint32_t id = 0; id < topology.child_counts.size(); ++id) {
-    HOURS_EXPECTS(id < nodes_.size());  // counts describe a connected tree
+  std::uint32_t cursor = 1;  // next id to hand out
+  for (std::uint32_t id = 0; id < n; ++id) {
+    HOURS_EXPECTS(id < cursor);  // counts describe a connected tree
     const std::uint32_t count = topology.child_counts[id];
     if (count == 0) continue;
-    nodes_[id].first_child = static_cast<std::uint32_t>(nodes_.size());
-    nodes_[id].child_count = count;
+    first_child_[id] = cursor;
+    child_count_[id] = count;
     for (std::uint32_t j = 0; j < count; ++j) {
-      Node child;
-      child.path = hierarchy::child(nodes_[id].path, j);
-      child.parent = id;
-      child.sibling_base = nodes_[id].first_child;
-      child.ring_size = count;
-      id_by_path_[child.path] = static_cast<std::uint32_t>(nodes_.size());
-      nodes_.push_back(std::move(child));
+      const std::uint32_t child = cursor + j;
+      parent_[child] = id;
+      sibling_base_[child] = cursor;
+      ring_size_[child] = count;
+      level_[child] = static_cast<std::uint16_t>(level_[id] + 1);
     }
+    cursor += count;
   }
-  HOURS_EXPECTS(nodes_.size() == topology.child_counts.size());
-
-  // Routing tables: one randomized overlay per sibling set (Algorithm 1).
-  // Nephew pointers are sampled against each sibling's actual child count;
-  // a ring whose members are all leaves skips nephew sampling entirely
-  // (matching the uniform constructor's leaf level).
-  for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
-    Node& node = nodes_[id];
-    bool any_children = false;
-    for (std::uint32_t j = 0; j < node.ring_size; ++j) {
-      if (nodes_[node.sibling_base + j].child_count > 0) {
-        any_children = true;
-        break;
-      }
-    }
-    overlay::OverlayParams params = config_.params;
-    params.seed = overlay_seed(config_.seed, nodes_[node.parent].path);
-    node.table = overlay::build_routing_table(
-        node.ring_size, node.path.back(), params,
-        any_children ? overlay::ChildCountFn{[this, base = node.sibling_base](ids::RingIndex j) {
-          return nodes_[base + j].child_count;
-        }}
-                     : overlay::ChildCountFn{});
-  }
+  HOURS_EXPECTS(cursor == n);
 
   transport_.set_handler([this](std::uint32_t to, const Transport<Message>::Envelope& env) {
     handle(to, env.payload);
   });
   transport_.set_snapshot_codec(
-      [](const Message& msg) { return encode_message(msg); },
+      [](const Message& msg, std::vector<std::uint64_t>& out) { encode_message(msg, out); },
       [](const std::uint64_t* words, std::size_t count) { return decode_message(words, count); });
   transport_.set_continuation_runner(
       [this](const snapshot::Described& cont) { run_continuation(cont); });
+  // Described-only events (deliveries, ack timeouts, protocol continuations)
+  // dispatch through here — the hot path, no closures involved.
+  sim_.set_runner([this](std::uint32_t kind, const std::uint64_t* args, std::size_t count) {
+    if (kind >= 0x100 && kind <= 0x1FF) {
+      transport_.run_described(kind, args, count);
+      return;
+    }
+    run_continuation(kind, args, count);
+  });
+}
+
+const overlay::RoutingTable& HierarchySimulation::table_of(std::uint32_t id) const {
+  const auto it = tables_.find(id);
+  if (it != tables_.end()) return it->second;
+  if (id == 0) {  // the root has no sibling overlay
+    return tables_.emplace(0, overlay::RoutingTable{0, 1}).first->second;
+  }
+  // One randomized overlay per sibling set (Algorithm 1), built on first
+  // touch. Nephew pointers are sampled against each sibling's actual child
+  // count; a ring whose members are all leaves skips nephew sampling
+  // entirely (matching the uniform constructor's leaf level).
+  const std::uint32_t base = sibling_base_[id];
+  const std::uint32_t ring = ring_size_[id];
+  bool any_children = false;
+  for (std::uint32_t j = 0; j < ring; ++j) {
+    if (child_count_[base + j] > 0) {
+      any_children = true;
+      break;
+    }
+  }
+  overlay::OverlayParams params = config_.params;
+  params.seed = overlay_seed(config_.seed, path_of(parent_[id]));
+  auto table = overlay::build_routing_table(
+      ring, id - base, params,
+      any_children ? overlay::ChildCountFn{[this, base](ids::RingIndex j) {
+        return child_count_[base + j];
+      }}
+                   : overlay::ChildCountFn{});
+  return tables_.emplace(id, std::move(table)).first->second;
+}
+
+std::int64_t HierarchySimulation::find_id(const hierarchy::NodePath& path) const {
+  std::uint32_t id = 0;
+  for (const auto index : path) {
+    if (index >= child_count_[id]) return -1;
+    id = first_child_[id] + index;
+  }
+  return id;
 }
 
 std::uint32_t HierarchySimulation::id_of(const hierarchy::NodePath& path) const {
-  const auto it = id_by_path_.find(path);
-  HOURS_EXPECTS(it != id_by_path_.end());
-  return it->second;
+  const std::int64_t id = find_id(path);
+  HOURS_EXPECTS(id >= 0);
+  return static_cast<std::uint32_t>(id);
 }
 
-const hierarchy::NodePath& HierarchySimulation::path_of(std::uint32_t id) const {
-  HOURS_EXPECTS(id < nodes_.size());
-  return nodes_[id].path;
+hierarchy::NodePath HierarchySimulation::path_of(std::uint32_t id) const {
+  HOURS_EXPECTS(id < node_count());
+  hierarchy::NodePath out(level_[id]);
+  std::uint32_t walk = id;
+  for (std::size_t l = level_[id]; l > 0; --l) {
+    out[l - 1] = static_cast<ids::RingIndex>(walk - sibling_base_[walk]);
+    walk = parent_[walk];
+  }
+  return out;
 }
 
-void HierarchySimulation::kill(const hierarchy::NodePath& path) {
-  transport_.set_alive(id_of(path), false);
+bool HierarchySimulation::upward_prefix(std::uint32_t id, std::size_t drop,
+                                        const hierarchy::NodePath& dest) const {
+  const std::size_t level = level_[id];
+  HOURS_EXPECTS(drop <= level);
+  const std::size_t prefix_len = level - drop;
+  if (prefix_len > dest.size()) return false;
+  std::uint32_t walk = id;
+  for (std::size_t l = level; l > 0; --l) {
+    const auto index = static_cast<ids::RingIndex>(walk - sibling_base_[walk]);
+    if (l <= prefix_len && index != dest[l - 1]) return false;
+    walk = parent_[walk];
+  }
+  return true;
 }
 
-void HierarchySimulation::revive(const hierarchy::NodePath& path) {
-  const auto id = id_of(path);
+void HierarchySimulation::kill(const hierarchy::NodePath& path) { kill_id(id_of(path)); }
+void HierarchySimulation::revive(const hierarchy::NodePath& path) { revive_id(id_of(path)); }
+bool HierarchySimulation::alive(const hierarchy::NodePath& path) const {
+  return alive_id(id_of(path));
+}
+
+void HierarchySimulation::kill_id(std::uint32_t id) { transport_.set_alive(id, false); }
+
+void HierarchySimulation::revive_id(std::uint32_t id) {
   transport_.set_alive(id, true);
   // Peers would un-suspect a revived node after its next probe round; the
   // query engine has no probes, so model that refresh directly.
-  for (auto& node : nodes_) node.suspected.erase(id);
+  for (auto it = suspected_.begin(); it != suspected_.end();) {
+    if (static_cast<std::uint32_t>(it->first) == id) {
+      it = suspected_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
-bool HierarchySimulation::alive(const hierarchy::NodePath& path) const {
-  return transport_.alive(id_of(path));
-}
+bool HierarchySimulation::alive_id(std::uint32_t id) const { return transport_.alive(id); }
 
 void HierarchySimulation::set_behavior(const hierarchy::NodePath& path,
                                        overlay::NodeBehavior behavior) {
-  nodes_[id_of(path)].behavior = behavior;
+  set_behavior_id(id_of(path), behavior);
+}
+
+void HierarchySimulation::set_behavior_id(std::uint32_t id, overlay::NodeBehavior behavior) {
+  HOURS_EXPECTS(id < node_count());
+  behavior_[id] = static_cast<std::uint8_t>(behavior);
 }
 
 std::uint64_t HierarchySimulation::inject_query(const hierarchy::NodePath& dest,
                                                 const hierarchy::NodePath& start) {
-  HOURS_EXPECTS(id_by_path_.count(dest) == 1);
+  HOURS_EXPECTS(find_id(dest) >= 0);
   const auto start_id = id_of(start);
   HOURS_EXPECTS(transport_.alive(start_id));
 
@@ -192,9 +254,8 @@ std::uint64_t HierarchySimulation::inject_query(const hierarchy::NodePath& dest,
   msg.qid = qid;
   msg.dest = dest;
   snapshot::Described submit{snapshot::kHierQueryStart, {start_id}};
-  const auto words = encode_message(msg);
-  submit.args.insert(submit.args.end(), words.begin(), words.end());
-  sim_.schedule(0, submit, [this, submit] { run_continuation(submit); });
+  encode_message(msg, submit.args);
+  sim_.schedule(0, submit);  // described-only: dispatched through the runner
   return qid;
 }
 
@@ -238,33 +299,32 @@ void HierarchySimulation::finish(std::uint64_t qid, bool delivered, std::uint32_
                             .value = hops});
 }
 
-bool HierarchySimulation::is_suspected(const Node& node, std::uint32_t id) const {
-  const auto it = node.suspected.find(id);
-  if (it == node.suspected.end()) return false;
+bool HierarchySimulation::is_suspected(std::uint32_t at, std::uint32_t id) const {
+  const auto it = suspected_.find(suspicion_key(at, id));
+  if (it == suspected_.end()) return false;
   if (config_.suspicion_ttl != 0 && it->second <= sim_.now()) return false;  // expired
   return true;
 }
 
 void HierarchySimulation::suspect(std::uint32_t at, std::uint32_t peer) {
-  Node& node = nodes_[at];
   const Ticks expiry = config_.suspicion_ttl == 0
                            ? ~Ticks{0}
                            : sim_.now() + config_.suspicion_ttl;
-  node.suspected[peer] = expiry;
+  suspected_[suspicion_key(at, peer)] = expiry;
   HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
                             .type = trace::EventType::kSuspect,
                             .node = at,
                             .peer = peer,
-                            .level = static_cast<std::int32_t>(node.path.size())});
+                            .level = static_cast<std::int32_t>(level_[at])});
 }
 
-std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
+std::vector<std::uint32_t> HierarchySimulation::candidates_at(std::uint32_t at,
                                                               Message& msg) const {
   std::vector<std::uint32_t> out;
   const auto& dest = msg.dest;
-  const std::size_t level = node.path.size();
+  const std::size_t level = level_[at];
   auto push = [&](std::uint32_t id) {
-    if (!is_suspected(node, id) &&
+    if (!is_suspected(at, id) &&
         std::find(out.begin(), out.end(), id) == out.end()) {
       out.push_back(id);
       return true;
@@ -272,59 +332,59 @@ std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
     return false;
   };
 
-  if (hierarchy::is_prefix(node.path, dest) && node.path.size() < dest.size()) {
+  if (level < dest.size() && upward_prefix(at, 0, dest)) {
     // Algorithm 2 at an ancestor: the on-path child first; on its silence,
     // alive children nearest counter-clockwise of it serve as overlay
     // entrances (footnote 4 / line 6).
     const ids::RingIndex next_index = dest[level];
-    HOURS_EXPECTS(next_index < node.child_count);
-    push(node.first_child + next_index);
-    for (std::uint32_t step = 1; step < node.child_count; ++step) {
-      push(node.first_child +
-           ids::counter_clockwise_step(next_index, step, node.child_count));
+    HOURS_EXPECTS(next_index < child_count_[at]);
+    push(first_child_[at] + next_index);
+    for (std::uint32_t step = 1; step < child_count_[at]; ++step) {
+      push(first_child_[at] +
+           ids::counter_clockwise_step(next_index, step, child_count_[at]));
     }
     return out;
   }
 
-  if (level == 0 || !hierarchy::is_prefix(hierarchy::parent(node.path), dest) ||
-      level > dest.size()) {
+  if (level == 0 || level > dest.size() || !upward_prefix(at, 1, dest)) {
     // Unrelated position (bootstrap start below/aside): climb.
-    if (level > 0) push(node.parent);
+    if (level > 0) push(parent_[at]);
     return out;
   }
 
   // Algorithm 3: overlay forwarding toward OD = dest[level-1] among
   // siblings.
-  const ids::RingIndex self_index = node.path.back();
+  const auto self_index = static_cast<ids::RingIndex>(at - sibling_base_[at]);
+  const std::uint32_t ring = ring_size_[at];
   const ids::RingIndex od = dest[level - 1];
-  const std::uint32_t d_od = ids::clockwise_distance(self_index, od, node.ring_size);
+  const std::uint32_t d_od = ids::clockwise_distance(self_index, od, ring);
+  const overlay::RoutingTable& table = table_of(at);
 
   // Rule 1: OD in the routing table — try it, then its nephews (children of
   // the OD, i.e. the next-level overlay), closest to the next-level OD
   // first.
-  if (const overlay::TableEntry* entry = node.table.find(od)) {
-    push(sibling_id(node, od));
+  if (const overlay::TableEntry* entry = table.find(od)) {
+    push(sibling_id(at, od));
     if (level < dest.size() && !entry->nephews.empty()) {
-      const auto od_node_id = sibling_id(node, od);
-      const Node& od_node = nodes_[od_node_id];
+      const auto od_id = sibling_id(at, od);
       std::vector<ids::RingIndex> ordered = entry->nephews;
       const ids::RingIndex next_od = dest[level];
       std::sort(ordered.begin(), ordered.end(), [&](ids::RingIndex a, ids::RingIndex b) {
-        return ids::clockwise_distance(a, next_od, od_node.child_count) <
-               ids::clockwise_distance(b, next_od, od_node.child_count);
+        return ids::clockwise_distance(a, next_od, child_count_[od_id]) <
+               ids::clockwise_distance(b, next_od, child_count_[od_id]);
       });
-      for (const auto n : ordered) push(od_node.first_child + n);
+      for (const auto nephew : ordered) push(first_child_[od_id] + nephew);
     }
   }
 
   if (!msg.backward) {
     // Rule 2: greedy — alive-looking entries strictly closer to the OD,
     // closest first.
-    const std::size_t start_pos = node.table.last_before_distance(d_od);
+    const std::size_t start_pos = table.last_before_distance(d_od);
     bool any_greedy = false;
-    for (std::size_t pos = start_pos; pos < node.table.entries().size(); --pos) {
-      const auto sibling = node.table.entries()[pos].sibling;
-      if (sibling != od && push(sibling_id(node, sibling))) {
+    for (std::size_t pos = start_pos; pos < table.entries().size(); --pos) {
+      const auto sibling = table.entries()[pos].sibling;
+      if (sibling != od && push(sibling_id(at, sibling))) {
         any_greedy = true;  // an un-suspected candidate actually exists
       }
       if (pos == 0) break;
@@ -338,31 +398,29 @@ std::vector<std::uint32_t> HierarchySimulation::candidates_at(const Node& node,
     // Rule 3: counter-clockwise steps. With a repaired ring the node's CCW
     // pointer reaches the nearest alive sibling (tried here in order);
     // without repair only the immediate neighbor is known.
-    const std::uint32_t reach = config_.assume_ring_repaired ? node.ring_size - 1 : 1;
+    const std::uint32_t reach = config_.assume_ring_repaired ? ring - 1 : 1;
     for (std::uint32_t step = 1; step <= reach; ++step) {
-      push(sibling_id(node,
-                      ids::counter_clockwise_step(self_index, step, node.ring_size)));
+      push(sibling_id(at, ids::counter_clockwise_step(self_index, step, ring)));
     }
   }
   return out;
 }
 
-trace::EventType HierarchySimulation::hop_kind(const Node& node, std::uint32_t next,
+trace::EventType HierarchySimulation::hop_kind(std::uint32_t at, std::uint32_t next,
                                                const Message& msg) const {
   // Parent climb and on-path descent are plain hierarchical hops; an
   // off-path child is an overlay entrance chosen to detour around a dead
   // on-path child (Algorithm 2 footnote 4). Sibling steps are overlay
   // forwarding (ring, or backward once greedy progress is exhausted), and
   // anything else is a nephew pointer exiting into the next-level overlay.
-  if (next == node.parent) return trace::EventType::kHierHop;
-  if (next >= node.first_child && next < node.first_child + node.child_count) {
-    const std::size_t level = node.path.size();
-    const bool on_path = hierarchy::is_prefix(node.path, msg.dest) &&
-                         level < msg.dest.size() &&
-                         next == node.first_child + msg.dest[level];
+  if (next == parent_[at]) return trace::EventType::kHierHop;
+  if (next >= first_child_[at] && next < first_child_[at] + child_count_[at]) {
+    const std::size_t level = level_[at];
+    const bool on_path = level < msg.dest.size() && upward_prefix(at, 0, msg.dest) &&
+                         next == first_child_[at] + msg.dest[level];
     return on_path ? trace::EventType::kHierHop : trace::EventType::kDetourEnter;
   }
-  if (next >= node.sibling_base && next < node.sibling_base + node.ring_size) {
+  if (next >= sibling_base_[at] && next < sibling_base_[at] + ring_size_[at]) {
     return msg.backward ? trace::EventType::kBackwardHop : trace::EventType::kRingHop;
   }
   return trace::EventType::kNephewExit;
@@ -370,11 +428,11 @@ trace::EventType HierarchySimulation::hop_kind(const Node& node, std::uint32_t n
 
 std::vector<std::uint32_t> HierarchySimulation::route_candidates(
     std::uint32_t at, const hierarchy::NodePath& dest, bool& backward) const {
-  HOURS_EXPECTS(at < nodes_.size());
+  HOURS_EXPECTS(at < node_count());
   Message probe;
   probe.dest = dest;
   probe.backward = backward;
-  auto out = candidates_at(nodes_[at], probe);
+  auto out = candidates_at(at, probe);
   backward = probe.backward;
   return out;
 }
@@ -382,7 +440,7 @@ std::vector<std::uint32_t> HierarchySimulation::route_candidates(
 void HierarchySimulation::client_attempt(std::uint32_t at, std::uint32_t to,
                                          std::function<void()> on_ack,
                                          std::function<void()> on_timeout) {
-  HOURS_EXPECTS(at < nodes_.size() && to < nodes_.size());
+  HOURS_EXPECTS(at < node_count() && to < node_count());
   Message hop;
   hop.client_hop = true;
   transport_.send_expect_ack(at, to, hop, std::move(on_ack), std::move(on_timeout));
@@ -394,27 +452,28 @@ void HierarchySimulation::handle(std::uint32_t at, const Message& msg) {
   auto& outcome = queries_[msg.qid];
   if (outcome.done && outcome.delivered) return;  // already answered
 
-  const Node& node = nodes_[at];
-  if (node.path == msg.dest) {
+  if (level_[at] == msg.dest.size() && upward_prefix(at, 0, msg.dest)) {
     finish(msg.qid, true, msg.hops);
     return;
   }
 
   // Insiders (Section 5.3). The transport already acked, so the upstream
   // sender believes this hop succeeded.
-  if (node.behavior == overlay::NodeBehavior::kDropper) {
+  const auto behavior = static_cast<overlay::NodeBehavior>(behavior_[at]);
+  if (behavior == overlay::NodeBehavior::kDropper) {
     return;  // silently swallowed; the query never settles
   }
-  if (node.behavior == overlay::NodeBehavior::kMisrouter) {
+  if (behavior == overlay::NodeBehavior::kMisrouter) {
     // Forward to a uniformly random table entry, ignoring the algorithm;
     // honest downstream nodes resume greedy forwarding.
-    if (!node.table.entries().empty()) {
-      const auto& entries = node.table.entries();
+    const overlay::RoutingTable& table = table_of(at);
+    if (!table.entries().empty()) {
+      const auto& entries = table.entries();
       const auto pick = entries[misroute_rng_.below(entries.size())].sibling;
       Message forwarded = msg;
       forwarded.hops += 1;
       if (forwarded.hops <= 4 * node_count() + 64) {
-        transport_.send_expect_ack(at, sibling_id(node, pick), forwarded,
+        transport_.send_expect_ack(at, sibling_id(at, pick), forwarded,
                                    snapshot::Described{}, snapshot::Described{});
         return;
       }
@@ -427,7 +486,7 @@ void HierarchySimulation::handle(std::uint32_t at, const Message& msg) {
     finish(m.qid, false, m.hops);
     return;
   }
-  auto candidates = candidates_at(node, m);
+  auto candidates = candidates_at(at, m);
   if (candidates.empty()) {
     finish(m.qid, false, m.hops);
     return;
@@ -451,18 +510,17 @@ void HierarchySimulation::try_candidates(std::uint32_t at, Message msg,
   Message forwarded = msg;
   forwarded.hops += 1;
   HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
-                            .type = hop_kind(nodes_[at], next, msg),
+                            .type = hop_kind(at, next, msg),
                             .node = at,
                             .peer = next,
-                            .level = static_cast<std::int32_t>(nodes_[at].path.size()),
+                            .level = static_cast<std::int32_t>(level_[at]),
                             .causal = msg.qid,
                             .value = forwarded.hops});
   // The timeout continuation carries the PRE-hop message: the retry
   // re-decides from the state the failed attempt saw, plus the enriched
   // suspicion set.
   snapshot::Described timeout{snapshot::kHierAttemptTimeout, {at, next}};
-  const auto words = encode_message(msg);
-  timeout.args.insert(timeout.args.end(), words.begin(), words.end());
+  encode_message(msg, timeout.args);
   for (const auto candidate : candidates) timeout.args.push_back(candidate);
   transport_.send_expect_ack(at, next, forwarded, /*on_ack=*/snapshot::Described{},
                              /*on_timeout=*/std::move(timeout));
@@ -481,15 +539,13 @@ void HierarchySimulation::attempt_timeout(std::uint32_t at, std::uint32_t next, 
   try_candidates(at, std::move(msg), std::move(remaining));
 }
 
-std::vector<std::uint64_t> HierarchySimulation::encode_message(const Message& msg) {
-  std::vector<std::uint64_t> words;
-  words.reserve(4 + msg.dest.size());
-  words.push_back(msg.qid);
-  words.push_back((msg.backward ? 1ULL : 0ULL) | (msg.client_hop ? 2ULL : 0ULL));
-  words.push_back(msg.hops);
-  words.push_back(msg.dest.size());
-  for (const auto index : msg.dest) words.push_back(index);
-  return words;
+void HierarchySimulation::encode_message(const Message& msg, std::vector<std::uint64_t>& out) {
+  out.reserve(out.size() + 4 + msg.dest.size());
+  out.push_back(msg.qid);
+  out.push_back((msg.backward ? 1ULL : 0ULL) | (msg.client_hop ? 2ULL : 0ULL));
+  out.push_back(msg.hops);
+  out.push_back(msg.dest.size());
+  for (const auto index : msg.dest) out.push_back(index);
 }
 
 HierarchySimulation::Message HierarchySimulation::decode_message(const std::uint64_t* words,
@@ -507,25 +563,24 @@ HierarchySimulation::Message HierarchySimulation::decode_message(const std::uint
   return msg;
 }
 
-void HierarchySimulation::run_continuation(const snapshot::Described& cont) {
-  const auto& args = cont.args;
-  switch (cont.kind) {
+void HierarchySimulation::run_continuation(std::uint32_t kind, const std::uint64_t* args,
+                                           std::size_t count) {
+  switch (kind) {
     case snapshot::kHierQueryStart: {
-      HOURS_EXPECTS(args.size() >= 5);
-      handle(static_cast<std::uint32_t>(args[0]),
-             decode_message(args.data() + 1, args.size() - 1));
+      HOURS_EXPECTS(count >= 5);
+      handle(static_cast<std::uint32_t>(args[0]), decode_message(args + 1, count - 1));
       return;
     }
     case snapshot::kHierAttemptTimeout: {
-      HOURS_EXPECTS(args.size() >= 6);  // at, tried, then a >= 4-word message
+      HOURS_EXPECTS(count >= 6);  // at, tried, then a >= 4-word message
       const auto at = static_cast<std::uint32_t>(args[0]);
       const auto next = static_cast<std::uint32_t>(args[1]);
       const std::size_t msg_words = 4 + static_cast<std::size_t>(args[2 + 3]);
-      HOURS_EXPECTS(args.size() >= 2 + msg_words);
-      Message msg = decode_message(args.data() + 2, msg_words);
+      HOURS_EXPECTS(count >= 2 + msg_words);
+      Message msg = decode_message(args + 2, msg_words);
       std::vector<std::uint32_t> remaining;
-      remaining.reserve(args.size() - 2 - msg_words);
-      for (std::size_t i = 2 + msg_words; i < args.size(); ++i) {
+      remaining.reserve(count - 2 - msg_words);
+      for (std::size_t i = 2 + msg_words; i < count; ++i) {
         remaining.push_back(static_cast<std::uint32_t>(args[i]));
       }
       attempt_timeout(at, next, std::move(msg), std::move(remaining));
@@ -540,8 +595,8 @@ snapshot::Json HierarchySimulation::config_json() const {
   using snapshot::Json;
   Json config = Json::object();
   Json counts = Json::array();
-  for (const auto& node : nodes_) {
-    counts.push(Json(static_cast<std::uint64_t>(node.child_count)));
+  for (const auto count : child_count_) {
+    counts.push(Json(static_cast<std::uint64_t>(count)));
   }
   config["child_counts"] = std::move(counts);
   config["design"] = Json(static_cast<std::uint64_t>(config_.params.design));
@@ -565,24 +620,25 @@ snapshot::Json HierarchySimulation::save_state(std::string& error) const {
   out["next_qid"] = Json(next_qid_);
 
   // Sparse per-node state: honest behavior and an empty suspicion set are
-  // the overwhelmingly common case in thousands-of-nodes trees.
+  // the overwhelmingly common case. The global suspicion map is keyed
+  // (node << 32 | peer), so rows come out node-ascending then
+  // peer-ascending — the same order the per-node maps used to produce.
   Json behaviors = Json::array();  // rows [id, behavior]
-  Json suspected = Json::array();  // rows [node, peer, expiry]
-  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
-    const Node& node = nodes_[id];
-    if (node.behavior != overlay::NodeBehavior::kHonest) {
+  for (std::uint32_t id = 0; id < node_count(); ++id) {
+    if (behavior_[id] != static_cast<std::uint8_t>(overlay::NodeBehavior::kHonest)) {
       Json row = Json::array();
       row.push(Json(static_cast<std::uint64_t>(id)));
-      row.push(Json(static_cast<std::uint64_t>(node.behavior)));
+      row.push(Json(static_cast<std::uint64_t>(behavior_[id])));
       behaviors.push(std::move(row));
     }
-    for (const auto& [peer, expiry] : node.suspected) {
-      Json row = Json::array();
-      row.push(Json(static_cast<std::uint64_t>(id)));
-      row.push(Json(static_cast<std::uint64_t>(peer)));
-      row.push(Json(expiry));
-      suspected.push(std::move(row));
-    }
+  }
+  Json suspected = Json::array();  // rows [node, peer, expiry]
+  for (const auto& [key, expiry] : suspected_) {
+    Json row = Json::array();
+    row.push(Json(key >> 32));
+    row.push(Json(key & 0xFFFFFFFFULL));
+    row.push(Json(expiry));
+    suspected.push(std::move(row));
   }
   out["behaviors"] = std::move(behaviors);
   out["suspected"] = std::move(suspected);
@@ -633,27 +689,27 @@ std::string HierarchySimulation::restore_state(const snapshot::Json& state) {
     return true;
   };
 
-  for (auto& node : nodes_) {
-    node.behavior = overlay::NodeBehavior::kHonest;
-    node.suspected.clear();
-  }
+  std::fill(behavior_.begin(), behavior_.end(),
+            static_cast<std::uint8_t>(overlay::NodeBehavior::kHonest));
+  suspected_.clear();
   for (const auto& raw : behaviors->items()) {
     if (!u64_row(raw, 2)) return "hier.behaviors entry malformed";
     const auto id = raw.items()[0].as_u64();
     const auto value = raw.items()[1].as_u64();
-    if (id >= nodes_.size() || value > static_cast<std::uint64_t>(overlay::NodeBehavior::kMisrouter)) {
+    if (id >= node_count() || value > static_cast<std::uint64_t>(overlay::NodeBehavior::kMisrouter)) {
       return "hier.behaviors entry out of range";
     }
-    nodes_[id].behavior = static_cast<overlay::NodeBehavior>(value);
+    behavior_[id] = static_cast<std::uint8_t>(value);
   }
   for (const auto& raw : suspected->items()) {
     if (!u64_row(raw, 3)) return "hier.suspected entry malformed";
     const auto id = raw.items()[0].as_u64();
     const auto peer = raw.items()[1].as_u64();
-    if (id >= nodes_.size() || peer >= nodes_.size()) {
+    if (id >= node_count() || peer >= node_count()) {
       return "hier.suspected entry out of range";
     }
-    nodes_[id].suspected[static_cast<std::uint32_t>(peer)] = raw.items()[2].as_u64();
+    suspected_[suspicion_key(static_cast<std::uint32_t>(id),
+                             static_cast<std::uint32_t>(peer))] = raw.items()[2].as_u64();
   }
 
   for (const auto& field : rng->items()) {

@@ -9,15 +9,18 @@
 // sender walks its candidate list on each timeout. This demonstrates the
 // protocol end to end under realistic asynchrony, including message loss.
 //
-// Scale note: this engine targets protocol fidelity, not the 2M-node
-// figures (those use the graph engine); hierarchies here are thousands of
-// nodes.
+// Scale note: node state is struct-of-arrays — flat u32 index tables for
+// the topology (parent/first-child/sibling-ring), one byte per node of
+// behavior, a single global suspicion map, and routing tables materialized
+// lazily on first touch (a pure function of the configuration, so lazy and
+// eager construction are bitwise identical). Constructing a million-node
+// hierarchy costs five flat vectors; overlays are paid for only where
+// traffic actually lands.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "hierarchy/node_path.hpp"
@@ -82,17 +85,28 @@ class HierarchySimulation : public snapshot::Participant {
   [[nodiscard]] const HierarchySimConfig& config() const noexcept { return config_; }
 
   [[nodiscard]] std::uint32_t node_count() const noexcept {
-    return static_cast<std::uint32_t>(nodes_.size());
+    return static_cast<std::uint32_t>(parent_.size());
   }
 
   // -- topology ------------------------------------------------------------------
   [[nodiscard]] std::uint32_t id_of(const hierarchy::NodePath& path) const;
-  [[nodiscard]] const hierarchy::NodePath& path_of(std::uint32_t id) const;
+  /// Reconstructs the path by walking the flat parent table upward.
+  [[nodiscard]] hierarchy::NodePath path_of(std::uint32_t id) const;
+  /// id_of without the existence precondition: -1 when `path` leaves the
+  /// tree's bounds.
+  [[nodiscard]] std::int64_t find_id(const hierarchy::NodePath& path) const;
 
   // -- liveness ------------------------------------------------------------------
   void kill(const hierarchy::NodePath& path);
   void revive(const hierarchy::NodePath& path);
   [[nodiscard]] bool alive(const hierarchy::NodePath& path) const;
+  /// Id-addressed forms (no path materialization; the hot path for
+  /// fault-injection and facade mirroring at scale). Named distinctly from
+  /// the path forms so single-element braced paths like `kill({2})` keep
+  /// resolving to the NodePath overload.
+  void kill_id(std::uint32_t id);
+  void revive_id(std::uint32_t id);
+  [[nodiscard]] bool alive_id(std::uint32_t id) const;
 
   /// Adjusts the transport loss rate mid-run (lossy-link fault episodes).
   void set_loss_probability(double p) { transport_.set_loss_probability(p); }
@@ -122,6 +136,7 @@ class HierarchySimulation : public snapshot::Participant {
   /// upstream nodes learn nothing from timeouts and the query simply
   /// vanishes (the client-side outcome stays done = false).
   void set_behavior(const hierarchy::NodePath& path, overlay::NodeBehavior behavior);
+  void set_behavior_id(std::uint32_t id, overlay::NodeBehavior behavior);
 
   // -- queries -------------------------------------------------------------------
   struct QueryOutcome {
@@ -186,22 +201,23 @@ class HierarchySimulation : public snapshot::Participant {
     std::uint32_t hops = 0;
   };
 
-  struct Node {
-    hierarchy::NodePath path;
-    std::uint32_t parent = 0;          ///< id; self for the root
-    std::uint32_t first_child = 0;     ///< id of child ring index 0
-    std::uint32_t child_count = 0;
-    std::uint32_t sibling_base = 0;    ///< id of sibling ring index 0
-    std::uint32_t ring_size = 1;       ///< sibling overlay size
-    overlay::RoutingTable table{0, 1};
-    overlay::NodeBehavior behavior = overlay::NodeBehavior::kHonest;
-    std::map<std::uint32_t, Ticks> suspected;  ///< id -> suspicion expiry
-  };
-
-  /// Shared constructor body: BFS materialization + routing tables.
+  /// Shared constructor body: one BFS pass filling the flat index tables.
   void build(const TreeTopology& topology);
 
-  [[nodiscard]] bool is_suspected(const Node& node, std::uint32_t id) const;
+  /// The node's routing table, materialized on first touch (tables are pure
+  /// functions of the configuration; lazy == eager bitwise).
+  [[nodiscard]] const overlay::RoutingTable& table_of(std::uint32_t id) const;
+
+  /// True when the node's path, with `drop` trailing indices removed, is a
+  /// prefix of `dest` — computed by walking the parent table upward, no
+  /// path materialization.
+  [[nodiscard]] bool upward_prefix(std::uint32_t id, std::size_t drop,
+                                   const hierarchy::NodePath& dest) const;
+
+  [[nodiscard]] static std::uint64_t suspicion_key(std::uint32_t node, std::uint32_t peer) {
+    return (static_cast<std::uint64_t>(node) << 32) | peer;
+  }
+  [[nodiscard]] bool is_suspected(std::uint32_t at, std::uint32_t id) const;
   void suspect(std::uint32_t at, std::uint32_t peer);
 
   void handle(std::uint32_t at, const Message& msg);
@@ -210,12 +226,17 @@ class HierarchySimulation : public snapshot::Participant {
 
   /// Message <-> u64 words, self-delimiting ([qid, flags, hops, |dest|,
   /// dest...]) so a description can carry a message followed by more args.
-  static std::vector<std::uint64_t> encode_message(const Message& msg);
+  /// encode appends to `out`.
+  static void encode_message(const Message& msg, std::vector<std::uint64_t>& out);
   static Message decode_message(const std::uint64_t* words, std::size_t count);
 
   /// Dispatches a described continuation (kHier* kinds) — the single decode
-  /// path shared by live scheduling and snapshot restore.
-  void run_continuation(const snapshot::Described& cont);
+  /// path shared by live scheduling (the simulator runner) and snapshot
+  /// restore.
+  void run_continuation(std::uint32_t kind, const std::uint64_t* args, std::size_t count);
+  void run_continuation(const snapshot::Described& cont) {
+    run_continuation(cont.kind, cont.args.data(), cont.args.size());
+  }
 
   /// The configuration echo stored in a snapshot and verified by
   /// restore_state() (a snapshot only restores into an identically
@@ -229,21 +250,37 @@ class HierarchySimulation : public snapshot::Participant {
 
   /// Algorithm 2+3 decision at node `at`: ordered candidate ids for the
   /// next hop, or empty when the query must fail here.
-  [[nodiscard]] std::vector<std::uint32_t> candidates_at(const Node& node, Message& msg) const;
+  [[nodiscard]] std::vector<std::uint32_t> candidates_at(std::uint32_t at, Message& msg) const;
 
   /// Classifies the hop `at` -> `next` for the trace taxonomy (Algorithm 2
   /// descent, overlay detour entrance, ring/backward step, or nephew exit).
-  [[nodiscard]] trace::EventType hop_kind(const Node& node, std::uint32_t next,
+  [[nodiscard]] trace::EventType hop_kind(std::uint32_t at, std::uint32_t next,
                                           const Message& msg) const;
 
-  [[nodiscard]] std::uint32_t sibling_id(const Node& node, ids::RingIndex index) const {
-    return node.sibling_base + index;
+  [[nodiscard]] std::uint32_t sibling_id(std::uint32_t at, ids::RingIndex index) const {
+    return sibling_base_[at] + index;
   }
 
   HierarchySimConfig config_;
   Simulator sim_;
-  std::vector<Node> nodes_;
-  std::map<hierarchy::NodePath, std::uint32_t> id_by_path_;
+  // Struct-of-arrays node state, indexed by node id (BFS order, root = 0).
+  // A sibling set is the contiguous id range [sibling_base, sibling_base +
+  // ring_size); a node's ring index is id - sibling_base.
+  std::vector<std::uint32_t> parent_;        ///< self for the root
+  std::vector<std::uint32_t> first_child_;   ///< id of child ring index 0
+  std::vector<std::uint32_t> child_count_;
+  std::vector<std::uint32_t> sibling_base_;  ///< id of sibling ring index 0
+  std::vector<std::uint32_t> ring_size_;     ///< sibling overlay size
+  std::vector<std::uint16_t> level_;         ///< depth (0 = root)
+  std::vector<std::uint8_t> behavior_;       ///< overlay::NodeBehavior
+  /// Routing tables materialized on first touch by table_of(). Iteration
+  /// order never observed — only keyed lookups — so the unordered map does
+  /// not threaten determinism.
+  mutable std::unordered_map<std::uint32_t, overlay::RoutingTable> tables_;
+  /// (node << 32 | peer) -> suspicion expiry; ordered so snapshot rows come
+  /// out node-ascending then peer-ascending, exactly as the per-node maps
+  /// used to serialize.
+  std::map<std::uint64_t, Ticks> suspected_;
   Transport<Message> transport_;
 
   rng::Xoshiro256 misroute_rng_{0x5E3ULL};

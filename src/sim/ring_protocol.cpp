@@ -48,12 +48,18 @@ RingSimulation::RingSimulation(RingSimConfig config)
   // With codec + runner installed, every in-flight message and every protocol
   // callback is a described event: the whole run is snapshottable.
   transport_.set_snapshot_codec(
-      [](const Message& msg) { return encode_message(msg); },
+      [](const Message& msg, std::vector<std::uint64_t>& out) { encode_message(msg, out); },
       [](const std::uint64_t* words, std::size_t count) {
         return decode_message(words, count);
       });
   transport_.set_continuation_runner(
       [this](const snapshot::Described& cont) { run_continuation(cont); });
+  // Deliveries and codec-path ack timeouts are described-only events on the
+  // simulator's hot path; route their kinds back to the transport.
+  sim_.set_runner([this](std::uint32_t kind, const std::uint64_t* args, std::size_t count) {
+    HOURS_EXPECTS(kind >= 0x100 && kind <= 0x1FF);
+    transport_.run_described(kind, args, count);
+  });
 }
 
 void RingSimulation::start() {
@@ -122,13 +128,13 @@ bool RingSimulation::ring_connected() const {
 
 // -- continuations -----------------------------------------------------------------
 
-std::vector<std::uint64_t> RingSimulation::encode_message(const Message& msg) {
-  return {static_cast<std::uint64_t>(msg.type),
-          msg.origin,
-          msg.qid,
-          msg.od,
-          static_cast<std::uint64_t>(msg.backward ? 1 : 0),
-          msg.hops};
+void RingSimulation::encode_message(const Message& msg, std::vector<std::uint64_t>& out) {
+  out.push_back(static_cast<std::uint64_t>(msg.type));
+  out.push_back(msg.origin);
+  out.push_back(msg.qid);
+  out.push_back(msg.od);
+  out.push_back(static_cast<std::uint64_t>(msg.backward ? 1 : 0));
+  out.push_back(msg.hops);
 }
 
 RingSimulation::Message RingSimulation::decode_message(const std::uint64_t* words,
@@ -640,8 +646,7 @@ std::uint64_t RingSimulation::inject_query(ids::RingIndex from, ids::RingIndex o
   query.qid = qid;
   query.od = od;
   snapshot::Described start{snapshot::kRingQueryStart, {from}};
-  const auto words = encode_message(query);
-  start.args.insert(start.args.end(), words.begin(), words.end());
+  encode_message(query, start.args);
   sim_.schedule(0, start, [this, start] { run_continuation(start); });
   return qid;
 }
@@ -744,8 +749,7 @@ void RingSimulation::try_query_candidates(ids::RingIndex at, Message msg,
   // The timeout carries the PRE-hop message: the retry re-decides from the
   // state the failed attempt saw.
   snapshot::Described timeout{snapshot::kRingQueryHopTimeout, {at, next}};
-  const auto words = encode_message(msg);
-  timeout.args.insert(timeout.args.end(), words.begin(), words.end());
+  encode_message(msg, timeout.args);
   timeout.args.insert(timeout.args.end(), candidates.begin(), candidates.end());
   send_expect_ack(at, next, forwarded, snapshot::Described{}, std::move(timeout));
 }

@@ -197,8 +197,8 @@ class RingSimulation : public snapshot::Participant {
     ids::RingIndex refresh_cursor = 0;   ///< round-robin position in `suspected`
   };
 
-  // Message <-> u64 words (transport snapshot codec).
-  static std::vector<std::uint64_t> encode_message(const Message& msg);
+  // Message <-> u64 words (transport snapshot codec; encode appends).
+  static void encode_message(const Message& msg, std::vector<std::uint64_t>& out);
   static Message decode_message(const std::uint64_t* words, std::size_t count);
 
   /// Executes one described continuation — the single dispatch point for

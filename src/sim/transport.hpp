@@ -15,10 +15,13 @@
 // how a severed link or mid-flight restart looks from the outside.
 //
 // Snapshot integration: with a payload codec installed (set_snapshot_codec)
-// every in-flight message is scheduled in described form — the delivery
-// closure is built by decoding the description, on the live path and the
-// restore path alike, so the two cannot diverge. Ack/timeout callbacks come
-// in two forms: the continuation overload of send_expect_ack() takes
+// every in-flight message is scheduled in described-ONLY form — (kind,
+// words) copied into a reused slab slot, no per-message allocation — and
+// dispatched through run_described(), which decodes at execution time. The
+// owning simulation's runner must route transport kinds (0x100 range) back
+// to run_described(); snapshot restore rebuilds the same call, so the live
+// and restored paths execute identical code. Ack/timeout callbacks come in
+// two forms: the continuation overload of send_expect_ack() takes
 // snapshot::Described pairs dispatched through the installed continuation
 // runner (serializable), while the legacy closure overload marks its
 // pending entry opaque — it works, but blocks snapshot save while
@@ -70,8 +73,10 @@ class Transport {
   using Handler = std::function<void(Address to, const Envelope&)>;
 
   /// Payload <-> u64-word bridges enabling described (snapshottable)
-  /// deliveries. encode/decode must round-trip exactly.
-  using Encode = std::function<std::vector<std::uint64_t>(const Payload&)>;
+  /// deliveries. encode appends the payload's words to `out` (append form,
+  /// so the transport can reuse one scratch buffer across transmissions);
+  /// decode must invert exactly what encode appended.
+  using Encode = std::function<void(const Payload&, std::vector<std::uint64_t>& out)>;
   using Decode = std::function<Payload(const std::uint64_t* words, std::size_t count)>;
 
   Transport(Simulator& sim, TransportConfig config, std::uint32_t node_count,
@@ -274,16 +279,37 @@ class Transport {
     return "";
   }
 
+  /// Executes one transport-owned described event: decodes a delivery at
+  /// execution time or fires an ack timeout. This is the hot-path
+  /// dispatcher — the owning simulation's runner routes transport kinds
+  /// here, and snapshot-restored events call it through rebuild_event().
+  void run_described(std::uint32_t kind, const std::uint64_t* args, std::size_t count) {
+    if (kind == snapshot::kTransportAckTimeout) {
+      HOURS_EXPECTS(count == 1);
+      handle_ack_timeout(args[0]);
+      return;
+    }
+    HOURS_EXPECTS(kind == snapshot::kTransportDelivery);
+    HOURS_EXPECTS(decode_ != nullptr);
+    HOURS_EXPECTS(count >= 5);
+    const Address to = static_cast<Address>(args[0]);
+    Envelope env;
+    env.from = static_cast<Address>(args[1]);
+    env.token = args[2];
+    const auto sent_incarnation = static_cast<std::uint32_t>(args[3]);
+    const bool is_ack = args[4] != 0;
+    env.payload = decode_(args + 5, count - 5);
+    deliver(to, std::move(env), sent_incarnation, is_ack);
+  }
+
   /// Rebuilds the closure for a transport-owned described event; null when
   /// the kind is not the transport's.
   [[nodiscard]] Simulator::Action rebuild_event(const snapshot::Described& desc) {
-    if (desc.kind == snapshot::kTransportDelivery) return delivery_action(desc);
-    if (desc.kind == snapshot::kTransportAckTimeout) {
-      HOURS_EXPECTS(desc.args.size() == 1);
-      const std::uint64_t token = desc.args[0];
-      return [this, token] { handle_ack_timeout(token); };
+    if (desc.kind != snapshot::kTransportDelivery &&
+        desc.kind != snapshot::kTransportAckTimeout) {
+      return nullptr;
     }
-    return nullptr;
+    return [this, desc] { run_described(desc.kind, desc.args.data(), desc.args.size()); };
   }
 
  private:
@@ -307,6 +333,11 @@ class Transport {
     if (pending.opaque) {
       pending.timeout_event =
           sim_.schedule(config_.ack_timeout, [this, token] { handle_ack_timeout(token); });
+    } else if (encode_) {
+      // Codec installed implies the owning sim routes transport kinds to
+      // run_described(): the timeout rides the described-only hot path.
+      pending.timeout_event =
+          sim_.schedule(config_.ack_timeout, snapshot::kTransportAckTimeout, &token, 1);
     } else {
       pending.timeout_event = sim_.schedule(
           config_.ack_timeout,
@@ -379,24 +410,6 @@ class Transport {
     if (handler_) handler_(to, env);
   }
 
-  /// Decodes a kTransportDelivery description back into its closure. Used
-  /// for live scheduling and snapshot restore alike, so both paths execute
-  /// the identical code.
-  [[nodiscard]] Simulator::Action delivery_action(const snapshot::Described& desc) {
-    HOURS_EXPECTS(decode_ != nullptr);
-    HOURS_EXPECTS(desc.args.size() >= 5);
-    const Address to = static_cast<Address>(desc.args[0]);
-    Envelope env;
-    env.from = static_cast<Address>(desc.args[1]);
-    env.token = desc.args[2];
-    const auto sent_incarnation = static_cast<std::uint32_t>(desc.args[3]);
-    const bool is_ack = desc.args[4] != 0;
-    env.payload = decode_(desc.args.data() + 5, desc.args.size() - 5);
-    return [this, to, env = std::move(env), sent_incarnation, is_ack]() mutable {
-      deliver(to, std::move(env), sent_incarnation, is_ack);
-    };
-  }
-
   void transmit(Address to, Envelope env, bool is_ack) {
     ++messages_sent_;
     if (config_.loss_probability > 0.0 && rng_.bernoulli(config_.loss_probability)) {
@@ -407,14 +420,18 @@ class Transport {
     const std::uint32_t sent_incarnation = incarnation_[to];
     const Ticks latency = draw_latency();
     if (encode_) {
-      snapshot::Described desc;
-      desc.kind = snapshot::kTransportDelivery;
-      desc.args = {to, env.from, env.token, sent_incarnation,
-                   static_cast<std::uint64_t>(is_ack ? 1 : 0)};
-      const auto words = encode_(env.payload);
-      desc.args.insert(desc.args.end(), words.begin(), words.end());
-      Simulator::Action action = delivery_action(desc);
-      sim_.schedule(latency, std::move(desc), std::move(action));
+      // Described-only hot path: header + payload words into the reused
+      // scratch buffer, copied by the simulator into a reused slab slot.
+      // Decode happens at execution time in run_described().
+      scratch_args_.clear();
+      scratch_args_.push_back(to);
+      scratch_args_.push_back(env.from);
+      scratch_args_.push_back(env.token);
+      scratch_args_.push_back(sent_incarnation);
+      scratch_args_.push_back(is_ack ? 1 : 0);
+      encode_(env.payload, scratch_args_);
+      sim_.schedule(latency, snapshot::kTransportDelivery, scratch_args_.data(),
+                    scratch_args_.size());
       return;
     }
     sim_.schedule(latency, [this, to, sent_incarnation, env = std::move(env), is_ack]() mutable {
@@ -434,6 +451,7 @@ class Transport {
   LinkFilter link_filter_;
   trace::Tracer* trace_ = nullptr;
   std::uint64_t next_token_ = 1;
+  std::vector<std::uint64_t> scratch_args_;  ///< reused per-transmit encode buffer
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_lost_ = 0;

@@ -1,0 +1,90 @@
+// Chunked slab arena: index-addressed object pool with stable addresses.
+//
+// Storage grows in fixed-size chunks that are never moved or freed until
+// clear(), so a T* obtained from operator[] stays valid across further
+// allocations — the property the simulator's dispatch loop relies on when
+// an executing event schedules new ones. Released slots go on a free list
+// and are handed out again with their T intact (not destroyed), so a slot
+// whose T owns buffers (e.g. a std::vector) keeps its capacity across
+// reuse: steady-state allocation cost is zero.
+//
+// Indices are dense u32 handles: every index ever returned is < high_water()
+// and chunks are allocated lazily, which makes "iterate all slots" a flat
+// loop for the cold inspection paths (the caller tags liveness in T).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace hours::util {
+
+template <typename T>
+class Slab {
+ public:
+  /// `chunk_size` slots per chunk; must be a power of two.
+  explicit Slab(std::uint32_t chunk_size = 4096) : chunk_size_(chunk_size) {
+    HOURS_EXPECTS(chunk_size_ > 0 && (chunk_size_ & (chunk_size_ - 1)) == 0);
+    shift_ = 0;
+    while ((1U << shift_) != chunk_size_) ++shift_;
+  }
+
+  /// Returns a slot index: a recycled one (T as the releaser left it) when
+  /// available, otherwise a fresh default-constructed slot.
+  std::uint32_t allocate() {
+    if (!free_.empty()) {
+      const std::uint32_t index = free_.back();
+      free_.pop_back();
+      ++live_;
+      return index;
+    }
+    const std::uint32_t index = high_water_++;
+    if ((index >> shift_) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<T[]>(chunk_size_));
+    }
+    ++live_;
+    return index;
+  }
+
+  /// Returns `index` to the free list. The T is NOT destroyed or reset —
+  /// the caller clears what must not leak into the next user.
+  void release(std::uint32_t index) {
+    HOURS_EXPECTS(index < high_water_);
+    free_.push_back(index);
+    --live_;
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t index) {
+    HOURS_EXPECTS(index < high_water_);
+    return chunks_[index >> shift_][index & (chunk_size_ - 1)];
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t index) const {
+    HOURS_EXPECTS(index < high_water_);
+    return chunks_[index >> shift_][index & (chunk_size_ - 1)];
+  }
+
+  /// Every index ever allocated is < high_water() — the bound for flat
+  /// inspection scans.
+  [[nodiscard]] std::uint32_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+
+  /// Drops every chunk (and all slot contents).
+  void clear() {
+    chunks_.clear();
+    free_.clear();
+    high_water_ = 0;
+    live_ = 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t chunk_size_;
+  std::uint32_t shift_ = 0;
+  std::uint32_t high_water_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace hours::util
