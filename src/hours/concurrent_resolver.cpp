@@ -1,0 +1,213 @@
+#include "hours/concurrent_resolver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace hours {
+
+namespace {
+
+/// FNV-1a — stable across platforms, so shard assignment (and therefore
+/// shard-local eviction behavior) is reproducible.
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ConcurrentResolver::ConcurrentResolver(HoursSystem& system, std::size_t capacity,
+                                       unsigned shard_count)
+    : system_(system) {
+  HOURS_EXPECTS(capacity > 0);
+  HOURS_EXPECTS(shard_count > 0);
+  shard_capacity_ = (capacity + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (unsigned i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->live.store(new Table{}, std::memory_order_release);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ConcurrentResolver::~ConcurrentResolver() {
+  // No concurrent readers may remain; the RCU domain frees retired tables,
+  // the live ones are freed here.
+  for (auto& shard : shards_) {
+    delete shard->live.load(std::memory_order_relaxed);
+  }
+}
+
+ConcurrentResolver::Shard& ConcurrentResolver::shard_of(std::string_view name) const {
+  return *shards_[fnv1a(name) % shards_.size()];
+}
+
+bool ConcurrentResolver::probe(const Shard& shard, std::string_view name, std::uint64_t now,
+                               std::vector<store::Record>* out) const {
+  jobs::RcuDomain::ReadGuard guard{rcu_};
+  const Table* table = shard.live.load(std::memory_order_seq_cst);
+  const auto it = table->find(name);
+  if (it == table->end() || it->second.expires_at <= now) return false;
+  if (out != nullptr) *out = it->second.records;  // copy while the guard pins the table
+  return true;
+}
+
+void ConcurrentResolver::publish(Shard& shard, std::string_view name, Entry entry,
+                                 std::uint64_t now) {
+  std::lock_guard<std::mutex> lock{shard.writer};
+  const Table* old = shard.live.load(std::memory_order_relaxed);
+  auto next = std::make_unique<Table>(*old);
+  // Mirror Resolver::evict_expired_or_oldest per shard: an overwrite never
+  // evicts; a fresh name over capacity drops everything expired, else the
+  // entry closest to expiry.
+  if (next->find(name) == next->end() && next->size() >= shard_capacity_) {
+    bool dropped = false;
+    for (auto it = next->begin(); it != next->end();) {
+      if (it->second.expires_at <= now) {
+        it = next->erase(it);
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+        dropped = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!dropped && !next->empty()) {
+      const auto victim = std::min_element(next->begin(), next->end(),
+                                           [](const auto& a, const auto& b) {
+                                             return a.second.expires_at < b.second.expires_at;
+                                           });
+      next->erase(victim);
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  (*next)[std::string{name}] = std::move(entry);
+  const Table* fresh = next.release();
+  shard.live.store(fresh, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> rcu_lock{rcu_writer_mutex_};
+    rcu_.retire([old] { delete old; });
+    rcu_.advance_and_reclaim();
+  }
+}
+
+ResolveResult ConcurrentResolver::resolve(std::string_view name, std::uint64_t now) {
+  ResolveResult result;
+  Shard& shard = shard_of(name);
+  if (probe(shard, name, now, &result.records)) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    result.answered = true;
+    result.from_cache = true;
+    return result;
+  }
+
+  std::lock_guard<std::mutex> lock{system_mutex_};
+  // Double-check: a concurrent miss on the same name may have answered and
+  // published while we waited for the authority mutex.
+  if (probe(shard, name, now, &result.records)) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    result.answered = true;
+    result.from_cache = true;
+    return result;
+  }
+  const auto looked_up = system_.lookup(name);
+  result.hops = looked_up.query.hops;
+  if (!looked_up.query.delivered) {
+    shard.failures.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  result.answered = true;
+  result.records = looked_up.records;
+  publish(shard, name, Entry{now + answer_min_ttl(result.records), result.records}, now);
+  return result;
+}
+
+std::vector<ResolveResult> ConcurrentResolver::resolve_batch(
+    const std::vector<std::string>& names, std::uint64_t now) {
+  std::vector<ResolveResult> results(names.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Shard& shard = shard_of(names[i]);
+    if (probe(shard, names[i], now, &results[i].records)) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      results[i].answered = true;
+      results[i].from_cache = true;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) return results;
+
+  std::lock_guard<std::mutex> lock{system_mutex_};
+  std::vector<std::string> forwarded;
+  std::vector<std::size_t> forwarded_index;
+  forwarded.reserve(missing.size());
+  for (const auto i : missing) {
+    Shard& shard = shard_of(names[i]);
+    // Same double-check as resolve(): the batch ahead of us may have
+    // already answered some of these names.
+    if (probe(shard, names[i], now, &results[i].records)) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      results[i].answered = true;
+      results[i].from_cache = true;
+      continue;
+    }
+    forwarded.push_back(names[i]);
+    forwarded_index.push_back(i);
+  }
+  const auto answers = system_.lookup_batch(forwarded);
+  for (std::size_t j = 0; j < answers.size(); ++j) {
+    const std::size_t i = forwarded_index[j];
+    Shard& shard = shard_of(names[i]);
+    results[i].hops = answers[j].query.hops;
+    if (!answers[j].query.delivered) {
+      shard.failures.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    results[i].answered = true;
+    results[i].records = answers[j].records;
+    publish(shard, names[i], Entry{now + answer_min_ttl(results[i].records), results[i].records},
+            now);
+  }
+  return results;
+}
+
+bool ConcurrentResolver::peek(std::string_view name, std::uint64_t now,
+                              std::vector<store::Record>* out) const {
+  return probe(shard_of(name), name, now, out);
+}
+
+void ConcurrentResolver::insert(std::string_view name, std::uint64_t now,
+                                std::vector<store::Record> records) {
+  const std::uint64_t ttl = answer_min_ttl(records);
+  publish(shard_of(name), name, Entry{now + ttl, std::move(records)}, now);
+}
+
+ResolverStats ConcurrentResolver::stats() const {
+  ResolverStats total;
+  for (const auto& shard : shards_) {
+    total.cache_hits += shard->hits.load(std::memory_order_relaxed);
+    total.cache_misses += shard->misses.load(std::memory_order_relaxed);
+    total.failures += shard->failures.load(std::memory_order_relaxed);
+    total.evictions += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t ConcurrentResolver::cached_names() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    jobs::RcuDomain::ReadGuard guard{rcu_};
+    total += shard->live.load(std::memory_order_seq_cst)->size();
+  }
+  return total;
+}
+
+}  // namespace hours

@@ -1,0 +1,119 @@
+// Concurrent serving front-end: a sharded, RCU-published TTL answer cache
+// in front of HoursSystem — the first step from "simulator" to "service
+// under heavy traffic" (ROADMAP; cf. the Random Query String DoS paper's
+// concern with resolver caches under high-rate query mixes).
+//
+// Design:
+//   * The name space is split across `shard_count` shards by FNV-1a hash.
+//   * Each shard publishes an immutable std::map snapshot through an
+//     atomic pointer. The read path (cache hit) takes NO lock: a
+//     jobs::RcuDomain read guard (two atomic stores) pins the snapshot,
+//     the probe copies the records out, and the guard drops. Writers
+//     copy-on-write the shard map under a per-shard mutex, swap the
+//     pointer, and retire the old snapshot to the RCU domain.
+//   * The miss path funnels into the single-threaded HoursSystem under one
+//     authority mutex — concurrency lives in front of the hierarchy, never
+//     inside one query. resolve_batch() amortizes that mutex: probe all
+//     names lock-free first, then forward the misses in one batched
+//     HoursSystem::lookup_batch call.
+//
+// Semantics match Resolver exactly (same answer_min_ttl aging, same
+// evict-expired-else-earliest-expiry policy applied per shard), so a
+// single-threaded trace driven through both produces identical hit/miss/
+// failure counts whenever capacity never binds — the oracle property in
+// tests/concurrent_resolver_test.cpp. Under eviction pressure the shard-
+// local (vs. global) victim choice may differ; the bound
+// cached_names() <= shard_count * ceil(capacity / shard_count) always holds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hours/hours.hpp"
+#include "hours/resolver.hpp"
+#include "jobs/rcu.hpp"
+#include "store/record_store.hpp"
+
+namespace hours {
+
+class ConcurrentResolver {
+ public:
+  /// `capacity` bounds the total cached names (split evenly across shards);
+  /// `shard_count` trades write contention against eviction locality. The
+  /// system reference must outlive the resolver.
+  explicit ConcurrentResolver(HoursSystem& system, std::size_t capacity = 1024,
+                              unsigned shard_count = 8);
+  ~ConcurrentResolver();
+
+  ConcurrentResolver(const ConcurrentResolver&) = delete;
+  ConcurrentResolver& operator=(const ConcurrentResolver&) = delete;
+
+  /// Thread-safe resolve at client time `now`. Cache hits are lock-free;
+  /// misses serialize on the authority mutex in front of HoursSystem.
+  /// `now` is caller-supplied (not read from the backend) because the
+  /// backend clock is not safe to touch concurrently with lookups.
+  [[nodiscard]] ResolveResult resolve(std::string_view name, std::uint64_t now);
+
+  /// Batched submission: lock-free probes first, then one authority-mutex
+  /// acquisition forwarding all misses via HoursSystem::lookup_batch.
+  /// Results are positionally aligned with `names`.
+  [[nodiscard]] std::vector<ResolveResult> resolve_batch(const std::vector<std::string>& names,
+                                                         std::uint64_t now);
+
+  /// Lock-free cache-only probe; copies the records into `*out` (the
+  /// snapshot cannot be referenced after return). Does not update stats.
+  [[nodiscard]] bool peek(std::string_view name, std::uint64_t now,
+                          std::vector<store::Record>* out) const;
+
+  /// Installs an answer obtained out of band. Thread-safe.
+  void insert(std::string_view name, std::uint64_t now, std::vector<store::Record> records);
+
+  /// Aggregated across shards. Individual counters are exact; a snapshot
+  /// taken while writers are active is a consistent-enough sum, not an
+  /// atomic cross-shard cut.
+  [[nodiscard]] ResolverStats stats() const;
+
+  [[nodiscard]] std::size_t cached_names() const;
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t expires_at = 0;
+    std::vector<store::Record> records;
+  };
+  /// Immutable once published; replaced wholesale on every write.
+  using Table = std::map<std::string, Entry, std::less<>>;
+
+  struct Shard {
+    std::mutex writer;               ///< serializes copy-on-write updates
+    std::atomic<const Table*> live;  ///< readers load under an RCU guard
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  [[nodiscard]] Shard& shard_of(std::string_view name) const;
+  [[nodiscard]] bool probe(const Shard& shard, std::string_view name, std::uint64_t now,
+                           std::vector<store::Record>* out) const;
+  /// Copy-on-write insert mirroring Resolver's eviction policy, then an
+  /// RCU publish + reclaim pass.
+  void publish(Shard& shard, std::string_view name, Entry entry, std::uint64_t now);
+
+  HoursSystem& system_;
+  std::mutex system_mutex_;  ///< the single-consumer authority path
+  std::size_t shard_capacity_;
+  mutable jobs::RcuDomain rcu_;
+  std::mutex rcu_writer_mutex_;  ///< serializes retire/advance across shards
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hours

@@ -4,19 +4,11 @@
 
 namespace hours {
 
-namespace {
-
-/// Minimum TTL over the answer's records; answers without records get a
-/// short negative-style TTL (60s) so existence checks still benefit. No
-/// sentinel: a record whose TTL *is* 60 participates in the minimum like
-/// any other value.
-std::uint64_t min_ttl(const std::vector<store::Record>& records) {
+std::uint64_t answer_min_ttl(const std::vector<store::Record>& records) noexcept {
   std::uint64_t ttl = ~std::uint64_t{0};
   for (const auto& r : records) ttl = std::min<std::uint64_t>(ttl, r.ttl);
   return records.empty() ? 60 : ttl;
 }
-
-}  // namespace
 
 ResolveResult Resolver::resolve(std::string_view name) { return resolve(name, system_.now()); }
 
@@ -55,7 +47,7 @@ ResolveResult Resolver::resolve(std::string_view name, std::uint64_t now) {
   result.records = looked_up.records;
 
   if (cache_.size() >= capacity_) evict_expired_or_oldest(now);
-  cache_[key] = Entry{now + min_ttl(result.records), result.records};
+  cache_[key] = Entry{now + answer_min_ttl(result.records), result.records};
   return result;
 }
 
@@ -68,7 +60,7 @@ const std::vector<store::Record>* Resolver::peek(std::string_view name,
 
 void Resolver::insert(std::string_view name, std::uint64_t now,
                       std::vector<store::Record> records) {
-  const std::uint64_t ttl = min_ttl(records);
+  const std::uint64_t ttl = answer_min_ttl(records);
   if (cache_.size() >= capacity_) evict_expired_or_oldest(now);
   cache_[std::string{name}] = Entry{now + ttl, std::move(records)};
 }

@@ -19,6 +19,13 @@
 
 namespace hours {
 
+/// Minimum TTL over an answer's records; answers without records get a
+/// short negative-style TTL (60s) so existence checks still benefit. No
+/// sentinel: a record whose TTL *is* 60 participates in the minimum like
+/// any other value. Shared by Resolver and ConcurrentResolver so both
+/// caches age answers identically (the hit-rate oracle depends on it).
+[[nodiscard]] std::uint64_t answer_min_ttl(const std::vector<store::Record>& records) noexcept;
+
 struct ResolverStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;    ///< forwarded to the hierarchy, answered

@@ -1,0 +1,145 @@
+#include "jobs/executor.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace hours::jobs {
+
+namespace {
+
+thread_local Executor* tls_executor = nullptr;
+thread_local unsigned tls_worker = 0;  // meaningful only when tls_executor != nullptr
+// Tasks currently executing on this thread's call stack (helping nests).
+// wait_idle() from inside a task must not wait for the caller itself.
+thread_local std::uint64_t tls_depth = 0;
+
+}  // namespace
+
+Executor* Executor::current() noexcept { return tls_executor; }
+
+unsigned Executor::current_worker_index() noexcept { return tls_worker; }
+
+Executor::Executor(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>();
+    // Distinct victim-selection streams; determinism is not required here
+    // (task results never depend on who ran them), distribution is.
+    worker->steal_state = 0x9E3779B97F4A7C15ULL * (i + 1);
+    workers_.push_back(std::move(worker));
+  }
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() {
+  wait_idle();  // drain: shutdown-while-busy never drops submitted work
+  {
+    std::lock_guard<std::mutex> lock{sleep_mutex_};
+    stopping_.store(true, std::memory_order_release);
+    wake_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void Executor::enqueue(detail::Job* job) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_executor == this) {
+    workers_[tls_worker]->deque.push(job);
+  } else {
+    std::lock_guard<std::mutex> lock{inject_mutex_};
+    inject_.push_back(job);
+  }
+  {
+    // The epoch bump happens under the sleep mutex so a worker that just
+    // scanned empty and is about to wait cannot miss it.
+    std::lock_guard<std::mutex> lock{sleep_mutex_};
+    wake_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  sleep_cv_.notify_one();
+}
+
+detail::Job* Executor::find_work(unsigned self) {
+  // 1. Own deque (LIFO end — cache-warm, and the owner always drains what
+  //    it spawned even if every thief sleeps).
+  if (detail::Job* job = workers_[self]->deque.pop()) return job;
+  // 2. Global injection queue.
+  {
+    std::lock_guard<std::mutex> lock{inject_mutex_};
+    if (!inject_.empty()) {
+      detail::Job* job = inject_.front();
+      inject_.pop_front();
+      return job;
+    }
+  }
+  // 3. Steal. Two passes over randomly rotated victims: steal() fails
+  //    spuriously on a lost race, and a second look is cheaper than an
+  //    early sleep.
+  const auto n = static_cast<unsigned>(workers_.size());
+  if (n <= 1) return nullptr;  // nobody to steal from
+  std::uint64_t& rng_state = workers_[self]->steal_state;
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto start = static_cast<unsigned>(rng::splitmix64_next(rng_state) % n);
+    for (unsigned k = 0; k < n; ++k) {
+      const unsigned victim = (start + k) % n;
+      if (victim == self) continue;
+      if (detail::Job* job = workers_[victim]->deque.steal()) return job;
+    }
+  }
+  return nullptr;
+}
+
+void Executor::execute(detail::Job* job) {
+  ++tls_depth;
+  job->run();  // never throws: the submit() wrapper captures into the future
+  --tls_depth;
+  delete job;
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock{idle_mutex_};
+    idle_cv_.notify_all();
+  }
+}
+
+void Executor::wait_idle() {
+  if (current() == this) {
+    // The tasks on this thread's own call stack cannot finish until this
+    // call returns, so "idle" here means nothing outstanding beyond them.
+    help_until(
+        [this] { return outstanding_.load(std::memory_order_acquire) <= tls_depth; });
+    return;
+  }
+  std::unique_lock<std::mutex> lock{idle_mutex_};
+  idle_cv_.wait(lock, [this] { return outstanding_.load(std::memory_order_acquire) == 0; });
+}
+
+void Executor::worker_loop(unsigned index) {
+  tls_executor = this;
+  tls_worker = index;
+  for (;;) {
+    // Capture the epoch *before* scanning: an enqueue that lands mid-scan
+    // changes the epoch and turns the wait below into a no-op.
+    const std::uint64_t epoch = wake_epoch_.load(std::memory_order_acquire);
+    if (detail::Job* job = find_work(index)) {
+      execute(job);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock{sleep_mutex_};
+    if (stopping_.load(std::memory_order_acquire)) break;
+    sleep_cv_.wait(lock, [this, epoch] {
+      return wake_epoch_.load(std::memory_order_acquire) != epoch ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    // The destructor only stops after wait_idle(), so stopping_ implies no
+    // submitted work remains; loop back to re-check either way.
+  }
+  tls_executor = nullptr;
+}
+
+}  // namespace hours::jobs

@@ -1,0 +1,222 @@
+// Work-stealing thread-pool executor (ROADMAP "parallel experiment fleet +
+// concurrent serving front-end").
+//
+// One Executor owns N worker threads. Each worker keeps a Chase-Lev deque
+// (work_deque.hpp): tasks spawned *from* a worker go to that worker's own
+// deque (LIFO for locality, stolen FIFO), tasks submitted from outside land
+// in a mutex-protected global injection queue. Idle workers drain their own
+// deque, then the injection queue, then steal from random victims, and
+// finally sleep on a condition variable; every enqueue bumps a wake epoch
+// so no submission is missed.
+//
+// submit() returns a Future<T>. get() on a worker thread of the same
+// executor does not block: it *helps*, running queued tasks until the
+// result is ready — recursive fork/join from inside tasks therefore cannot
+// deadlock the pool. get() on any other thread blocks on a condition
+// variable. Exceptions thrown by a task are captured and rethrown from
+// get().
+//
+// Shutdown semantics: the destructor first waits for every submitted task
+// (including tasks spawned by tasks) to finish, then stops and joins the
+// workers — "shutdown while busy" drains, it never drops work. Submitting
+// from outside the pool concurrently with destruction is a contract
+// violation.
+//
+// Determinism contract (see jobs/sweep.hpp): the executor itself makes no
+// ordering promises — parallel sweeps are thread-count-invariant because
+// each task derives its RNG from (sweep_seed, task_index) and results merge
+// in task-index order, never because of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "jobs/work_deque.hpp"
+#include "util/contracts.hpp"
+
+namespace hours::jobs {
+
+class Executor;
+
+namespace detail {
+
+struct Job {
+  std::function<void()> run;
+};
+
+struct SharedStateBase {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> ready{false};
+  std::exception_ptr error;
+
+  void mark_ready() {
+    {
+      std::lock_guard<std::mutex> lock{mutex};
+      ready.store(true, std::memory_order_release);
+    }
+    cv.notify_all();
+  }
+
+  void wait_blocking() {
+    std::unique_lock<std::mutex> lock{mutex};
+    cv.wait(lock, [this] { return ready.load(std::memory_order_acquire); });
+  }
+
+  [[nodiscard]] bool is_ready() const noexcept {
+    return ready.load(std::memory_order_acquire);
+  }
+};
+
+template <typename T>
+struct SharedState : SharedStateBase {
+  std::optional<T> value;
+};
+
+template <>
+struct SharedState<void> : SharedStateBase {};
+
+}  // namespace detail
+
+/// Handle to a task's eventual result. Movable and copyable (shared state);
+/// get() may be called once per value (it moves non-void results out).
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  /// Blocks until the task finished; rethrows the task's exception if it
+  /// threw. On a worker thread of the owning executor this helps (runs
+  /// other queued tasks) instead of blocking.
+  T get();
+
+  [[nodiscard]] bool ready() const noexcept { return state_ && state_->is_ready(); }
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class Executor;
+  Future(Executor* exec, std::shared_ptr<detail::SharedState<T>> state)
+      : exec_(exec), state_(std::move(state)) {}
+
+  Executor* exec_ = nullptr;
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+class Executor {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (at least 1).
+  explicit Executor(unsigned threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Schedules `fn` (must be copy-constructible; invoked exactly once) and
+  /// returns a future for its result. Safe to call from worker threads
+  /// (spawn-from-task) and from any external thread.
+  template <typename F>
+  auto submit(F&& fn) -> Future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    auto state = std::make_shared<detail::SharedState<R>>();
+    auto* job = new detail::Job;
+    job->run = [state, task = std::forward<F>(fn)]() mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          task();
+        } else {
+          state->value.emplace(task());
+        }
+      } catch (...) {
+        state->error = std::current_exception();
+      }
+      state->mark_ready();
+    };
+    enqueue(job);
+    return Future<R>{this, std::move(state)};
+  }
+
+  /// Runs queued tasks on the calling worker thread until `pred()` holds.
+  /// Must be called from a worker thread of this executor.
+  template <typename Pred>
+  void help_until(Pred&& pred) {
+    HOURS_EXPECTS(current() == this);
+    while (!pred()) {
+      if (detail::Job* job = find_work(current_worker_index())) {
+        execute(job);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Blocks until every submitted task (including spawned children) has
+  /// finished. From a worker thread it helps instead of blocking, and the
+  /// tasks on the calling thread's own stack are excluded — "idle" there
+  /// means nothing outstanding beyond the caller itself.
+  void wait_idle();
+
+  /// The executor owning the calling worker thread, or nullptr.
+  [[nodiscard]] static Executor* current() noexcept;
+
+ private:
+  template <typename T>
+  friend class Future;
+
+  struct Worker {
+    WorkDeque<detail::Job> deque;
+    std::uint64_t steal_state = 0;  ///< per-worker victim-selection RNG
+  };
+
+  [[nodiscard]] static unsigned current_worker_index() noexcept;
+
+  void enqueue(detail::Job* job);
+  detail::Job* find_work(unsigned self);
+  void execute(detail::Job* job);
+  void worker_loop(unsigned index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mutex_;
+  std::deque<detail::Job*> inject_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint64_t> wake_epoch_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+template <typename T>
+T Future<T>::get() {
+  HOURS_EXPECTS(state_ != nullptr);
+  if (exec_ != nullptr && Executor::current() == exec_) {
+    exec_->help_until([s = state_.get()] { return s->is_ready(); });
+  } else {
+    state_->wait_blocking();
+  }
+  if (state_->error) std::rethrow_exception(state_->error);
+  if constexpr (!std::is_void_v<T>) {
+    return std::move(*state_->value);
+  }
+}
+
+}  // namespace hours::jobs

@@ -1,0 +1,63 @@
+// Deterministic parallel sweeps over the work-stealing executor.
+//
+// The determinism contract that makes the fuzz/bench fleet thread-count
+// invariant:
+//   1. every task's randomness comes from task_rng(sweep_seed, task_index)
+//      — a pure function of the sweep seed and the task's position, never
+//      of the worker that ran it or of wall-clock time;
+//   2. tasks share no mutable state (each writes only its own result slot);
+//   3. results merge in task-index order.
+// Under those three rules the merged output of sweep() is byte-identical
+// at 1, 2, or N worker threads — proven by tests/sweep_determinism_test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "jobs/executor.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace hours::jobs {
+
+/// Independent, reproducible per-task generator: the same
+/// (sweep_seed, task_index) always yields the same stream.
+[[nodiscard]] inline rng::Xoshiro256 task_rng(std::uint64_t sweep_seed,
+                                              std::uint64_t task_index) noexcept {
+  return rng::Xoshiro256{rng::mix64(sweep_seed, task_index)};
+}
+
+/// Fans `count` independent tasks across `exec` and returns their results
+/// in task-index order. `fn(index, rng)` must be invocable concurrently
+/// from any worker thread and returns R (default-constructible). The first
+/// task exception (lowest index) propagates to the caller after all tasks
+/// finished.
+template <typename R, typename Fn>
+std::vector<R> sweep(Executor& exec, std::uint64_t sweep_seed, std::size_t count, Fn&& fn) {
+  std::vector<R> results(count);
+  std::vector<Future<void>> pending;
+  pending.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pending.push_back(exec.submit([&results, &fn, sweep_seed, i] {
+      rng::Xoshiro256 rng = task_rng(sweep_seed, i);
+      results[i] = fn(i, rng);
+    }));
+  }
+  // Wait for *every* task before propagating anything: tasks reference
+  // `results` and `fn`, so unwinding while stragglers still run would leave
+  // them with dangling captures. The lowest failing index wins.
+  std::exception_ptr first_error;
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace hours::jobs

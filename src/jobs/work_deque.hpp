@@ -1,0 +1,145 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05) with the C11
+// memory-ordering discipline of Lê, Pop, Cohen & Zappa Nardelli, "Correct
+// and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13), with one
+// deliberate deviation: every bottom_ store a thief may act on is a
+// *release store* rather than the paper's release-fence + relaxed store.
+// The two are equivalently correct here (each publishes the payload writes
+// that precede it to the acquire load in steal()), but ThreadSanitizer does
+// not model std::atomic_thread_fence, so the fence formulation reports
+// false-positive races on stolen payloads — and the TSan CI job runs every
+// unit test over this deque.
+//
+// One owner thread pushes and pops at the bottom; any number of thieves
+// steal from the top. The deque stores raw pointers and never owns them:
+// every successfully pushed pointer is returned by exactly one pop() or
+// steal() (the executor relies on this exactly-once guarantee for task
+// accounting). pop() and steal() may return nullptr spuriously when a race
+// for the last element is lost — callers treat that as "look elsewhere",
+// not "empty forever".
+//
+// Growth keeps the retired buffers alive until the deque is destroyed: a
+// thief may still be reading an old buffer after the owner swapped in a
+// bigger one, and the handful of superseded arrays is cheaper than a
+// reclamation protocol.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace hours::jobs {
+
+template <typename T>
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::size_t capacity_hint = 64)
+      : array_(new Array(round_up_pow2(capacity_hint < 8 ? 8 : capacity_hint))) {}
+
+  ~WorkDeque() { delete array_.load(std::memory_order_relaxed); }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only. Publishes `item` at the bottom; grows the buffer when full.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) a = grow(a, b, t);
+    a->put(b, item);
+    bottom_.store(b + 1, std::memory_order_release);  // publishes the payload
+  }
+
+  /// Owner only. Takes the most recently pushed item; nullptr when empty or
+  /// when a thief won the race for the last element.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = a->get(b);
+      if (t == b) {
+        // Single element left: race thieves for it via top.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief got there first
+        }
+        bottom_.store(b + 1, std::memory_order_release);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_release);
+    }
+    return item;
+  }
+
+  /// Any thread. Takes the oldest item; nullptr when empty or on a lost
+  /// race (another thief or the owner claimed it).
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Array* a = array_.load(std::memory_order_acquire);
+    T* item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate (racy) — only good for "probably worth visiting" hints.
+  [[nodiscard]] bool looks_empty() const noexcept {
+    return top_.load(std::memory_order_relaxed) >= bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(static_cast<std::size_t>(cap))) {}
+
+    [[nodiscard]] T* get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i & mask)].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* v) noexcept {
+      slots[static_cast<std::size_t>(i & mask)].store(v, std::memory_order_relaxed);
+    }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  static std::int64_t round_up_pow2(std::size_t n) noexcept {
+    std::int64_t p = 1;
+    while (p < static_cast<std::int64_t>(n)) p <<= 1;
+    return p;
+  }
+
+  /// Owner only (from push). The old buffer is retired, not freed: a
+  /// concurrent thief may still hold its pointer.
+  Array* grow(Array* old, std::int64_t b, std::int64_t t) {
+    auto grown = std::make_unique<Array>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) grown->put(i, old->get(i));
+    Array* raw = grown.release();
+    array_.store(raw, std::memory_order_release);
+    retired_.emplace_back(old);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_;
+  std::vector<std::unique_ptr<Array>> retired_;  // owner-only; freed at destruction
+};
+
+}  // namespace hours::jobs

@@ -1,5 +1,6 @@
-// Reusable ring-invariant assertions for the partition-healing and
-// fault-schedule fuzz tests.
+// Reusable ring-invariant assertions for the partition-healing test, the
+// fault-schedule fuzz harness, and the parallel sweep orchestrator
+// (sim/fuzz_cases.hpp) that fans fuzz seeds across the job system.
 //
 // After every fault window lifts and the protocol quiesces, a RingSimulation
 // must sit at its no-fault fixpoint restricted to alive nodes:

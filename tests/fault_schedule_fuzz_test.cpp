@@ -1,27 +1,25 @@
 // Property-based fault-schedule fuzzing: generate a random FaultPlan per
 // seed — crashes, flaps, partitions, link cuts, and loss episodes in
 // arbitrary overlap — run the ring well past the last fault window, and
-// assert the structural invariants from ring_invariant_checker.hpp plus
+// assert the structural invariants from sim/ring_invariants.hpp plus
 // sampled query delivery.
 //
-// Every fault that severs connectivity lifts by the fault horizon (permanent
-// partitions and mid-run permanent crashes are covered deterministically in
-// fault_injector_test.cpp), so the ring must converge to a clean fixpoint.
-//
-// Each case additionally runs the snapshot-equivalence oracle on a sampled
-// subset of seeds (every 4th by default): the same case is paused at a
-// seed-derived random instant, saved, restored into a freshly constructed
-// simulation, and continued — the final snapshot must be byte-identical to
-// the uninterrupted run's, and the restored state must re-save to exactly
-// the bytes it was loaded from. Any state a participant forgets to
-// serialize (an RNG stream, a suspicion timer, an in-flight message)
-// surfaces as a divergence here, under arbitrary fault overlap.
+// The per-seed pipeline (case generation, quiescence run, traced-stream
+// schema check, snapshot-equivalence oracle) lives in sim/fuzz_cases.hpp so
+// this harness, bench/sweep_runner, and the sweep-determinism oracle all
+// run byte-identical cases. This file owns what a *test* owns: seed-sweep
+// control, failure artifacts, and gtest assertions.
 //
 // Seed control:
 //   HOURS_FUZZ_SEEDS=N      sweep seeds 1..N        (default 25; nightly 200)
 //   HOURS_FUZZ_SEED=S       run exactly seed S       (local reproduction)
 //   HOURS_FUZZ_SNAPSHOT=K   oracle every Kth seed    (default 4; 0 disables,
 //                           1 = every seed; pinned seeds always run it)
+//   HOURS_FUZZ_THREADS=T    fan seeds across a T-worker work-stealing
+//                           executor (default 1 = serial; 0 = hardware
+//                           concurrency). Results and artifacts are
+//                           identical at any T — the sweep's determinism
+//                           contract (jobs/sweep.hpp).
 // On failure the harness writes fuzz_failures/seed_<S>.txt containing the
 // generated config, the serialized FaultPlan, and the one-line repro command,
 // so a CI failure reproduces locally from the seed alone.
@@ -31,190 +29,31 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <iterator>
 #include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "ring_invariant_checker.hpp"
-#include "rng/xoshiro256.hpp"
-#include "sim/fault_injector.hpp"
-#include "sim/ring_protocol.hpp"
-#include "sim/snapshotter.hpp"
-#include "snapshot/json.hpp"
-#include "trace/event.hpp"
-#include "trace/ring_buffer_sink.hpp"
-#include "trace/sink.hpp"
+#include "jobs/executor.hpp"
+#include "jobs/sweep.hpp"
+#include "sim/fuzz_cases.hpp"
 
 namespace hours::sim {
 namespace {
 
-constexpr Ticks kFaultHorizon = 24'000;  ///< every generated window lifts by here
-constexpr Ticks kSettlePeriods = 80;     ///< probe periods granted to re-converge
-
-Ticks ticks_between(rng::Xoshiro256& g, Ticks lo, Ticks hi) {
-  HOURS_EXPECTS(hi > lo);
-  return lo + g.below(hi - lo);
-}
-
-struct FuzzCase {
-  RingSimConfig config;
-  FaultPlan plan;
-};
-
-/// Derives a ring config and a FaultPlan from one seed. Every randomized
-/// choice flows through a single Xoshiro256 stream, so the case is a pure
-/// function of the seed.
-FuzzCase generate(std::uint64_t seed) {
-  rng::Xoshiro256 g{seed};
-  FuzzCase c;
-
-  const auto n = static_cast<std::uint32_t>(10 + g.below(7));  // 10..16 nodes
-  c.config.size = n;
-  c.config.params.design = overlay::Design::kEnhanced;
-  c.config.params.k = static_cast<std::uint32_t>(2 + g.below(2));
-  c.config.params.q = 2;
-  c.config.params.seed = seed * 0x9E3779B97F4A7C15ULL + 1;
-  c.config.seed = seed;
-  // Loss episodes and flapping produce spurious single misses; require two
-  // consecutive misses before declaring a neighbor dead.
-  c.config.probe_failure_threshold = 2;
-
-  // Crashes: 0..2, all recovering before the horizon.
-  const auto crashes = g.below(3);
-  for (std::uint64_t i = 0; i < crashes; ++i) {
-    const Ticks at = ticks_between(g, 1'000, kFaultHorizon - 9'000);
-    c.plan.crash(static_cast<std::uint32_t>(g.below(n)), at,
-                 at + ticks_between(g, 2'000, 8'000));
-  }
-
-  // Flapping node: up to 3 down/up cycles, finished before the horizon.
-  if (g.bernoulli(0.4)) {
-    const auto cycles = static_cast<std::uint32_t>(1 + g.below(3));
-    const Ticks down = ticks_between(g, 500, 2'000);
-    const Ticks up = ticks_between(g, 1'500, 3'500);
-    const Ticks span = cycles * (down + up);
-    c.plan.flap(static_cast<std::uint32_t>(g.below(n)),
-                ticks_between(g, 1'000, kFaultHorizon - span), down, up, cycles);
-  }
-
-  // Partitions: 0..2 windows, biased toward contiguous arc splits (the
-  // hierarchy-realistic shape); always healing.
-  const auto partitions = g.below(3);
-  for (std::uint64_t i = 0; i < partitions; ++i) {
-    std::vector<std::uint32_t> a;
-    std::vector<std::uint32_t> b;
-    if (g.bernoulli(0.75)) {
-      // Contiguous arc [start, start+len) vs the rest.
-      const auto start = g.below(n);
-      const auto len = 2 + g.below(n - 3);
-      for (std::uint32_t j = 0; j < n; ++j) {
-        const bool in_arc = ((j + n - start) % n) < len;
-        (in_arc ? a : b).push_back(j);
-      }
-    } else {
-      // Arbitrary membership split (interleaved halves and worse).
-      for (std::uint32_t j = 0; j < n; ++j) (g.bernoulli(0.5) ? a : b).push_back(j);
-      if (a.empty()) a.push_back(b.back()), b.pop_back();
-      if (b.empty()) b.push_back(a.back()), a.pop_back();
-    }
-    const Ticks at = ticks_between(g, 1'000, kFaultHorizon - 12'000);
-    c.plan.partition({std::move(a), std::move(b)}, at,
-                     at + ticks_between(g, 3'000, 11'000));
-  }
-
-  // Individual link cuts: 0..3, always healing.
-  const auto cuts = g.below(4);
-  for (std::uint64_t i = 0; i < cuts; ++i) {
-    const auto x = static_cast<std::uint32_t>(g.below(n));
-    auto y = static_cast<std::uint32_t>(g.below(n));
-    if (y == x) y = (y + 1) % n;
-    const Ticks at = ticks_between(g, 500, kFaultHorizon - 8'000);
-    c.plan.cut_link(x, y, at, at + ticks_between(g, 1'000, 7'000));
-  }
-
-  // A lossy-link episode overlapping whatever else is in flight.
-  if (g.bernoulli(0.35)) {
-    const Ticks from = ticks_between(g, 1'000, kFaultHorizon - 9'000);
-    c.plan.loss_episode(0.05 + g.uniform() * 0.15, from,
-                        from + ticks_between(g, 2'000, 8'000));
-  }
-
-  return c;
-}
-
-std::string describe_config(const RingSimConfig& cfg) {
-  std::ostringstream os;
-  os << "size=" << cfg.size << " k=" << cfg.params.k << " q=" << cfg.params.q
-     << " table_seed=" << cfg.params.seed << " sim_seed=" << cfg.seed
-     << " probe_failure_threshold=" << cfg.probe_failure_threshold;
-  return os.str();
-}
-
 /// Serializes everything needed to replay a failing seed by hand and drops
 /// it where CI picks artifacts up (fuzz_failures/ under the test's cwd).
-void write_failure_artifact(std::uint64_t seed, const FuzzCase& c,
+void write_failure_artifact(std::uint64_t seed, const fuzz::FuzzCase& c,
                             const std::vector<std::string>& violations) {
   std::filesystem::create_directories("fuzz_failures");
   std::ofstream out("fuzz_failures/seed_" + std::to_string(seed) + ".txt");
   out << "fault-schedule fuzz failure\n"
       << "seed: " << seed << "\n"
-      << "config: " << describe_config(c.config) << "\n"
+      << "config: " << fuzz::describe_config(c.config) << "\n"
       << "fault plan:\n"
       << c.plan.describe() << "violations:\n";
   for (const auto& v : violations) out << "  " << v << "\n";
   out << "\nreproduce with:\n  HOURS_FUZZ_SEED=" << seed
       << " ./tests/fault_schedule_fuzz_test\n";
-}
-
-/// Runs one generated case to quiescence; returns all invariant violations.
-/// With `traced`, the run carries a full tracing pipeline (bounded ring
-/// buffer, so memory stays flat) and the emitted stream itself becomes a
-/// checked property: every event must serialize to a schema-valid JSON line.
-std::vector<std::string> run_case(const FuzzCase& c, bool traced) {
-  RingSimulation ring{c.config};
-  trace::Tracer tracer;
-  trace::RingBufferSink events{2048};
-  if (traced) {
-    ring.set_tracer(&tracer);
-    tracer.add_sink(&events);
-  }
-  ring.start();
-  FaultInjector injector{make_fault_target(ring), c.plan};
-  if (traced) injector.set_tracer(&tracer);
-  injector.arm();
-  ring.simulator().run(kFaultHorizon + kSettlePeriods * c.config.probe_period);
-
-  auto violations = invariants::ring_invariant_violations(ring);
-  if (traced) {
-    // Probing alone guarantees traffic, so a silent stream means the
-    // instrumentation came unhooked.
-    if (tracer.events_emitted() == 0) {
-      violations.push_back("traced run emitted no events");
-    }
-    std::string error;
-    for (const auto& event : events.events()) {
-      if (!trace::validate_event_line(trace::to_json_line(event), &error)) {
-        violations.push_back("schema-invalid event: " + trace::to_json_line(event) + " (" +
-                             error + ")");
-        break;
-      }
-    }
-  }
-  if (!violations.empty()) return violations;  // queries would only add noise
-
-  // Sample random query pairs over the survivors (permanent faults are never
-  // generated here, so "survivors" is everyone — but stay defensive).
-  rng::Xoshiro256 g{c.config.seed ^ 0xC0FFEEULL};
-  std::vector<std::pair<ids::RingIndex, ids::RingIndex>> pairs;
-  for (int i = 0; i < 6; ++i) {
-    const auto from = static_cast<ids::RingIndex>(g.below(c.config.size));
-    auto to = static_cast<ids::RingIndex>(g.below(c.config.size));
-    if (to == from) to = (to + 1) % c.config.size;
-    pairs.emplace_back(from, to);
-  }
-  return invariants::query_delivery_violations(ring, pairs);
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
@@ -223,124 +62,49 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::strtoull(raw, nullptr, 10);
 }
 
-/// Snapshot-equivalence oracle: runs the case twice — once uninterrupted,
-/// once saved at a seed-derived instant, restored into a freshly built
-/// simulation, and continued — and demands byte-identical final snapshots
-/// plus a byte-exact resave immediately after restore. Returns violations.
-std::vector<std::string> run_snapshot_oracle(const FuzzCase& c, std::uint64_t seed) {
-  const Ticks total = kFaultHorizon + kSettlePeriods * c.config.probe_period;
-  // Pause somewhere inside the fault window, where the most state is in
-  // flight; derived from the seed so reproduction is exact.
-  rng::Xoshiro256 g{seed ^ 0x534E4150ULL};  // "SNAP"
-  const Ticks pause = 1 + g.below(kFaultHorizon);
-
-  std::vector<std::string> violations;
-  const auto fail = [&violations](std::string what) {
-    violations.push_back("snapshot oracle: " + std::move(what));
-  };
-
-  // Run A: uninterrupted.
-  std::string final_a;
-  {
-    RingSimulation ring{c.config};
-    ring.start();
-    FaultInjector injector{make_fault_target(ring), c.plan};
-    injector.arm();
-    Snapshotter snap{ring.simulator()};
-    snap.add(ring);
-    snap.add(injector);
-    ring.simulator().run(total);
-    if (const auto e = snap.save_string(final_a); !e.empty()) {
-      fail("continuous run unsaveable at quiescence: " + e);
-      return violations;
-    }
-  }
-
-  // Run B: pause, save, restore into fresh objects, continue.
-  std::string at_pause;
-  {
-    RingSimulation ring{c.config};
-    ring.start();
-    FaultInjector injector{make_fault_target(ring), c.plan};
-    injector.arm();
-    Snapshotter snap{ring.simulator()};
-    snap.add(ring);
-    snap.add(injector);
-    ring.simulator().run(pause);
-    if (const auto e = snap.save_string(at_pause); !e.empty()) {
-      fail("save at t=" + std::to_string(pause) + " failed: " + e);
-      return violations;
-    }
-  }
-  {
-    snapshot::Json doc;
-    std::string error;
-    if (!snapshot::parse_json(at_pause, doc, &error)) {
-      fail("saved document does not re-parse: " + error);
-      return violations;
-    }
-    RingSimulation ring{c.config};  // neither started nor armed: restored instead
-    FaultInjector injector{make_fault_target(ring), c.plan};
-    Snapshotter snap{ring.simulator()};
-    snap.add(ring);
-    snap.add(injector);
-    if (const auto e = snap.restore(doc); !e.empty()) {
-      fail("restore at t=" + std::to_string(pause) + " failed: " + e);
-      return violations;
-    }
-    std::string resaved;
-    if (const auto e = snap.save_string(resaved); !e.empty()) {
-      fail("resave after restore failed: " + e);
-      return violations;
-    }
-    if (resaved != at_pause) {
-      fail("restore -> save is not the identity at t=" + std::to_string(pause));
-    }
-    ring.simulator().run(total - ring.simulator().now());
-    std::string final_b;
-    if (const auto e = snap.save_string(final_b); !e.empty()) {
-      fail("restored run unsaveable at quiescence: " + e);
-      return violations;
-    }
-    if (final_b != final_a) {
-      fail("restored run diverged from continuous run (paused at t=" +
-           std::to_string(pause) + ")");
-    }
-  }
-  return violations;
-}
-
 TEST(FaultScheduleFuzz, RandomFaultPlansConvergeToCleanRings) {
   const std::uint64_t pinned = env_u64("HOURS_FUZZ_SEED", 0);
   const std::uint64_t count = pinned != 0 ? 1 : env_u64("HOURS_FUZZ_SEEDS", 25);
   ASSERT_GT(count, 0U) << "HOURS_FUZZ_SEEDS must be >= 1";
-  const std::uint64_t snapshot_stride = env_u64("HOURS_FUZZ_SNAPSHOT", 4);
+
+  fuzz::SeedOptions options;
+  options.snapshot_stride = env_u64("HOURS_FUZZ_SNAPSHOT", 4);
+  options.force_traced = pinned != 0;
+  options.force_snapshot = pinned != 0;
+
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) seeds.push_back(pinned != 0 ? pinned : i + 1);
+
+  // Serial by default; HOURS_FUZZ_THREADS fans the same seeds across the
+  // work-stealing executor. Each seed is an independent single-threaded
+  // simulation, so the verdicts are identical either way.
+  const auto threads = static_cast<unsigned>(env_u64("HOURS_FUZZ_THREADS", 1));
+  std::vector<fuzz::SeedResult> results;
+  if (threads == 1) {
+    results.reserve(seeds.size());
+    for (const auto seed : seeds) results.push_back(fuzz::run_seed(seed, options));
+  } else {
+    jobs::Executor executor{threads};
+    results = jobs::sweep<fuzz::SeedResult>(
+        executor, /*sweep_seed=*/0, seeds.size(),
+        [&seeds, &options](std::size_t index, rng::Xoshiro256&) {
+          return fuzz::run_seed(seeds[index], options);
+        });
+  }
 
   std::uint64_t failures = 0;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t seed = pinned != 0 ? pinned : i + 1;
-    const FuzzCase c = generate(seed);
-    // Every fifth seed (and any pinned repro) runs with tracing attached:
-    // wide enough to catch instrumentation regressions under arbitrary fault
-    // overlap, sparse enough not to slow the default sweep.
-    const bool traced = pinned != 0 || seed % 5 == 0;
-    auto violations = run_case(c, traced);
-    // Snapshot-equivalence oracle on a sampled subset (the case runs twice
-    // more, so sampling keeps the default sweep fast).
-    if (pinned != 0 || (snapshot_stride != 0 && seed % snapshot_stride == 0)) {
-      auto divergences = run_snapshot_oracle(c, seed);
-      violations.insert(violations.end(), std::make_move_iterator(divergences.begin()),
-                        std::make_move_iterator(divergences.end()));
-    }
-    if (violations.empty()) continue;
-
+  for (const auto& result : results) {
+    if (result.violations.empty()) continue;
     ++failures;
-    write_failure_artifact(seed, c, violations);
+    const fuzz::FuzzCase c = fuzz::generate_case(result.seed);
+    write_failure_artifact(result.seed, c, result.violations);
     std::ostringstream os;
-    os << "seed " << seed << " (" << describe_config(c.config) << ")\nfault plan:\n"
+    os << "seed " << result.seed << " (" << fuzz::describe_config(c.config)
+       << ")\nfault plan:\n"
        << c.plan.describe();
-    for (const auto& v : violations) os << "  violation: " << v << "\n";
-    os << "reproduce: HOURS_FUZZ_SEED=" << seed << " ./tests/fault_schedule_fuzz_test";
+    for (const auto& v : result.violations) os << "  violation: " << v << "\n";
+    os << "reproduce: HOURS_FUZZ_SEED=" << result.seed << " ./tests/fault_schedule_fuzz_test";
     ADD_FAILURE() << os.str();
   }
   if (failures == 0 && std::filesystem::exists("fuzz_failures")) {
@@ -351,13 +115,13 @@ TEST(FaultScheduleFuzz, RandomFaultPlansConvergeToCleanRings) {
 
 /// The same seed must generate the same plan — reproduction depends on it.
 TEST(FaultScheduleFuzz, GeneratorIsDeterministicPerSeed) {
-  const FuzzCase a = generate(7);
-  const FuzzCase b = generate(7);
+  const fuzz::FuzzCase a = fuzz::generate_case(7);
+  const fuzz::FuzzCase b = fuzz::generate_case(7);
   EXPECT_EQ(a.plan.describe(), b.plan.describe());
-  EXPECT_EQ(describe_config(a.config), describe_config(b.config));
-  const FuzzCase other = generate(8);
-  EXPECT_NE(a.plan.describe() + describe_config(a.config),
-            other.plan.describe() + describe_config(other.config));
+  EXPECT_EQ(fuzz::describe_config(a.config), fuzz::describe_config(b.config));
+  const fuzz::FuzzCase other = fuzz::generate_case(8);
+  EXPECT_NE(a.plan.describe() + fuzz::describe_config(a.config),
+            other.plan.describe() + fuzz::describe_config(other.config));
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 
 #include <vector>
 
-#include "ring_invariant_checker.hpp"
+#include "sim/ring_invariants.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/ring_protocol.hpp"
 
