@@ -1,188 +1,48 @@
-// Availability-under-churn timeline: a deadline-bounded query client keeps
-// issuing queries while the fault injector drives a correlated ccw-neighbor
-// outage (the Section 6.2 neighbor attack, re-striking once after repair), a
-// flapping node, and a lossy-link episode against the message-level ring.
-//
-// Output: a windowed delivery/latency timeline as JSON (stdout and
-// availability_under_churn.json) plus a phase summary showing the delivery
-// ratio dipping during the attack and returning to the pre-attack level
-// after recovery. The whole scenario is run twice and the two JSON blobs are
-// compared byte-for-byte to demonstrate bit-reproducibility.
+// Availability-under-churn timeline, now a thin wrapper over the scenario
+// DSL: the whole experiment — ring shape, workload, the re-striking
+// correlated outage + flap + lossy episode, phase windows, and the
+// dip/recovery expectations — lives in scenarios/availability_under_churn.json
+// and runs through scenario::run(). This binary only keeps the CLI contract
+// (--quick, exit status, availability_under_churn.json report) and the
+// run-twice byte-reproducibility check.
 #include <cstdio>
-#include <functional>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "metrics/json_writer.hpp"
-#include "metrics/table_writer.hpp"
-#include "metrics/timeline.hpp"
-#include "rng/xoshiro256.hpp"
-#include "sim/fault_injector.hpp"
-#include "sim/query_client.hpp"
-#include "sim/ring_protocol.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 
-namespace {
-
-using namespace hours;
-using namespace hours::sim;
-
-struct Scenario {
-  Ticks horizon = 130'000;
-  Ticks query_interval = 450;
-  Ticks window = 2'000;
-  // Attack timeline: strike the target's ccw neighborhood at 30k for 20k,
-  // repair, strike again at 65k; flap and a lossy episode ride along.
-  Ticks attack_start = 30'000;
-  Ticks attack_end = 85'000;
-  Ticks post_start = 95'000;  ///< 10k settle after the last repair
-};
-
-struct RunResult {
-  std::string json;
-  double pre = 0.0;
-  double during = 0.0;
-  double post = 0.0;
-  std::uint64_t queries = 0;
-  std::uint64_t unsettled = 0;
-  QueryClientStats client;
-  FaultInjectorStats faults;
-};
-
-RunResult run_scenario(const Scenario& sc) {
-  RingSimConfig cfg;
-  cfg.size = 24;
-  cfg.probe_period = 1'000;
-  cfg.probe_failure_threshold = 2;  // lossy episode must not churn the ring
-  RingSimulation ring{cfg};
-  ring.start();
-
-  // The attack: take out the ccw-side neighborhood {5, 4, 3} of target 6 so
-  // queries must route around the gap, twice; node 18 flaps independently
-  // and the links degrade mid-attack.
-  FaultInjector injector{make_fault_target(ring),
-                         FaultPlan{}
-                             .correlated_outage({5, 4, 3}, sc.attack_start,
-                                                /*duration=*/20'000, /*strikes=*/2,
-                                                /*strike_gap=*/15'000)
-                             .flap(18, 35'000, /*down=*/3'000, /*up=*/5'000, /*cycles=*/4)
-                             .loss_episode(0.10, 40'000, 60'000)};
-  injector.arm();
-
-  QueryClientConfig ccfg;
-  ccfg.deadline = 8'000;  // every query settles well inside the horizon
-  QueryClient client{make_query_network(ring), ccfg};
-
-  // Seeded periodic workload: sources drawn among currently-alive nodes,
-  // destinations anywhere (including struck nodes — their unavailability is
-  // part of the measured dip).
-  auto& sim = ring.simulator();
-  auto workload_rng = std::make_shared<rng::Xoshiro256>(0xBEEFULL);
-  auto qids = std::make_shared<std::vector<std::uint64_t>>();
-  const Ticks issue_until = sc.horizon - ccfg.deadline - 2'000;
-  std::function<void()> issue = [&, workload_rng, qids]() {
-    auto src = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    for (std::uint32_t tries = 0; !ring.alive(src) && tries < cfg.size; ++tries) {
-      src = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    }
-    const auto dest = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    qids->push_back(client.submit(src, dest));
-    if (sim.now() + sc.query_interval <= issue_until) {
-      sim.schedule(sc.query_interval, issue);
-    }
-  };
-  sim.schedule(200, issue);
-  sim.run(sc.horizon);
-  HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
-
-  RunResult result;
-  metrics::Timeline timeline{sc.window};
-  for (const auto qid : *qids) {
-    const auto& out = client.outcome(qid);
-    if (out.status == QueryStatus::kPending) {
-      ++result.unsettled;
-      continue;
-    }
-    timeline.record(out.issued_at, out.status == QueryStatus::kDelivered, out.latency());
-  }
-
-  result.pre = timeline.delivery_ratio(0, sc.attack_start);
-  result.during = timeline.delivery_ratio(sc.attack_start, sc.attack_end);
-  result.post = timeline.delivery_ratio(sc.post_start, sc.horizon);
-  result.queries = qids->size();
-  result.client = client.stats();
-  result.faults = injector.stats();
-
-  // One structured report: scenario constants, the windowed timeline, phase
-  // summaries, and the client/fault aggregates the stdout lines print.
-  metrics::JsonWriter json;
-  json.begin_object();
-  json.field("bench", "availability_under_churn");
-  json.field("ring_size", cfg.size);
-  json.field("horizon", sc.horizon);
-  json.field("attack_start", sc.attack_start);
-  json.field("attack_end", sc.attack_end);
-  json.field("post_start", sc.post_start);
-  json.key("timeline").raw(timeline.to_json());
-  json.key("phases").begin_object();
-  json.field("pre", result.pre, 4);
-  json.field("during", result.during, 4);
-  json.field("post", result.post, 4);
-  json.end_object();
-  json.key("client").begin_object();
-  json.field("submitted", result.client.submitted);
-  json.field("delivered", result.client.delivered);
-  json.field("deadline_exceeded", result.client.deadline_exceeded);
-  json.field("no_route", result.client.no_route);
-  json.field("retransmissions", result.client.retransmissions);
-  json.field("failovers", result.client.failovers);
-  json.end_object();
-  json.key("faults").begin_object();
-  json.field("kills", result.faults.kills);
-  json.field("revivals", result.faults.revivals);
-  json.field("loss_changes", result.faults.loss_changes);
-  json.end_object();
-  json.field("unsettled", result.unsettled);
-  json.end_object();
-  result.json = json.str();
-  return result;
-}
-
-}  // namespace
+#ifndef HOURS_SCENARIO_DIR
+#define HOURS_SCENARIO_DIR "scenarios"
+#endif
 
 int main(int argc, char** argv) {
-  const bool quick = bench::quick_mode(argc, argv);
-  Scenario sc;
-  if (quick) sc.query_interval = 900;
+  using namespace hours;
 
-  const RunResult first = run_scenario(sc);
-  const RunResult second = run_scenario(sc);
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::string path = std::string{HOURS_SCENARIO_DIR} + "/availability_under_churn.json";
+
+  scenario::Scenario sc;
+  if (const auto error = scenario::load_file(path, sc); !error.empty()) {
+    std::fprintf(stderr, "availability_under_churn: %s\n", error.c_str());
+    return 1;
+  }
+
+  scenario::RunOptions options;
+  if (quick) options.interval_scale = 2;  // 450 -> 900 ticks, the legacy quick size
+
+  const auto first = scenario::run(sc, options);
+  const auto second = scenario::run(sc, options);
   const bool reproducible = first.json == second.json;
 
-  metrics::TableWriter table{{"phase", "window", "delivery_ratio"}};
-  table.add_row({"pre-attack", "[0, 30000)", metrics::TableWriter::fmt(first.pre, 4)});
-  table.add_row({"under attack", "[30000, 85000)", metrics::TableWriter::fmt(first.during, 4)});
-  table.add_row({"recovered", "[95000, 130000)", metrics::TableWriter::fmt(first.post, 4)});
-  table.print("availability under churn (ring n=24, correlated outage x2 + flap + loss)");
-  table.write_csv(bench::csv_path("availability_under_churn"));
-
-  std::printf("queries: %llu  delivered: %llu  deadline-exceeded: %llu  no-route: %llu\n",
-              static_cast<unsigned long long>(first.queries),
-              static_cast<unsigned long long>(first.client.delivered),
-              static_cast<unsigned long long>(first.client.deadline_exceeded),
-              static_cast<unsigned long long>(first.client.no_route));
-  std::printf("retransmissions: %llu  failovers: %llu  kills: %llu  revivals: %llu\n",
-              static_cast<unsigned long long>(first.client.retransmissions),
-              static_cast<unsigned long long>(first.client.failovers),
-              static_cast<unsigned long long>(first.faults.kills),
-              static_cast<unsigned long long>(first.faults.revivals));
-  std::printf("unsettled: %llu\n", static_cast<unsigned long long>(first.unsettled));
-  std::printf("dip observed: %s  recovered to pre-attack: %s  reproducible: %s\n",
-              first.during < first.pre ? "yes" : "no",
-              first.post >= first.pre ? "yes" : "no", reproducible ? "yes" : "no");
+  for (const auto& check : first.failed) {
+    std::fprintf(stderr, "availability_under_churn: FAIL %s\n", check.c_str());
+  }
+  std::printf("scenario: %s (%s)\n", sc.name.c_str(), path.c_str());
+  std::printf("expectations met: %s  reproducible: %s\n",
+              first.expectations_met ? "yes" : "no", reproducible ? "yes" : "no");
 
   bench::emit_json_report("availability_under_churn", first.json);
 
-  return reproducible && first.during < first.pre && first.post >= first.pre ? 0 : 1;
+  return first.expectations_met && reproducible ? 0 : 1;
 }

@@ -1,238 +1,48 @@
-// Partition-healing timeline: the ring is split into two halves that are
-// both alive yet mutually unreachable, a deadline-bounded query client keeps
-// issuing queries throughout, and Section 4.3 active recovery re-merges the
-// halves after the cut lifts.
-//
-// Output: a windowed JSON timeline (stdout and partition_healing.json) of
-// delivery ratio plus repair traffic — Repair and NeighborClaim messages and
-// link-filter drops per window, and whether the cw pointers form a single
-// cycle at the window boundary. The run ends with a fingerprint comparison
-// against a never-partitioned control ring: the healed pointer tables must
-// be byte-identical to the no-fault fixpoint. The scenario runs twice and
-// the JSON blobs are compared byte-for-byte for bit-reproducibility.
+// Partition-healing timeline, now a thin wrapper over the scenario DSL: the
+// half-ring cut, heal, repair-traffic windows, the no-fault fixpoint control
+// run, and the split/remerge/fixpoint expectations all live in
+// scenarios/partition_healing.json and run through scenario::run(). This
+// binary only keeps the CLI contract (--quick, exit status,
+// partition_healing.json report) and the run-twice byte-reproducibility
+// check.
 #include <cstdio>
-#include <functional>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "metrics/json_writer.hpp"
-#include "metrics/table_writer.hpp"
-#include "metrics/timeline.hpp"
-#include "rng/xoshiro256.hpp"
-#include "sim/fault_injector.hpp"
-#include "sim/query_client.hpp"
-#include "sim/ring_protocol.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 
-namespace {
-
-using namespace hours;
-using namespace hours::sim;
-
-struct Scenario {
-  std::uint32_t size = 24;
-  Ticks partition_at = 20'000;
-  Ticks heal_at = 60'000;
-  Ticks horizon = 110'000;
-  Ticks post_start = 70'000;  ///< 10k settle after the heal
-  Ticks window = 2'000;
-  Ticks query_interval = 450;
-};
-
-RingSimConfig ring_config(const Scenario& sc) {
-  RingSimConfig cfg;
-  cfg.size = sc.size;
-  cfg.params.design = overlay::Design::kEnhanced;
-  cfg.params.k = 3;
-  cfg.params.q = 2;
-  cfg.probe_period = 1'000;
-  cfg.probe_failure_threshold = 2;
-  return cfg;
-}
-
-/// Counter snapshot taken at each window boundary.
-struct TrafficSample {
-  Ticks at = 0;
-  std::uint64_t repairs = 0;
-  std::uint64_t claims = 0;
-  std::uint64_t link_dropped = 0;
-  bool connected = true;
-};
-
-struct RunResult {
-  std::string json;
-  double pre = 0.0;
-  double during = 0.0;
-  double post = 0.0;
-  std::uint64_t queries = 0;
-  std::uint64_t link_dropped = 0;
-  bool split_observed = false;   ///< ring was two cycles at some boundary
-  bool remerged = false;         ///< single cycle again at the horizon
-  bool fixpoint_matches = false; ///< healed tables == never-partitioned run
-  QueryClientStats client;
-};
-
-RunResult run_scenario(const Scenario& sc) {
-  // Control: identical ring, no faults, no workload — its pointer tables at
-  // the horizon are the no-fault fixpoint the healed ring must match.
-  const RingSimConfig cfg = ring_config(sc);
-  RingSimulation control{cfg};
-  control.start();
-  control.simulator().run(sc.horizon);
-  HOURS_ASSERT(!control.simulator().truncated());
-
-  RingSimulation ring{cfg};
-  ring.start();
-
-  std::vector<std::uint32_t> low;
-  std::vector<std::uint32_t> high;
-  for (std::uint32_t i = 0; i < sc.size; ++i) (i < sc.size / 2 ? low : high).push_back(i);
-  FaultInjector injector{make_fault_target(ring),
-                         FaultPlan{}.partition({low, high}, sc.partition_at, sc.heal_at)};
-  injector.arm();
-
-  QueryClientConfig ccfg;
-  ccfg.deadline = 8'000;
-  QueryClient client{make_query_network(ring), ccfg};
-
-  auto& sim = ring.simulator();
-
-  // Sample repair traffic and ring connectivity at every window boundary.
-  auto samples = std::make_shared<std::vector<TrafficSample>>();
-  std::function<void()> sample = [&, samples]() {
-    TrafficSample s;
-    s.at = sim.now();
-    s.repairs = ring.repairs_sent();
-    s.claims = ring.claims_sent();
-    s.link_dropped = ring.messages_link_dropped();
-    s.connected = ring.ring_connected();
-    samples->push_back(s);
-    if (sim.now() + sc.window <= sc.horizon) sim.schedule(sc.window, sample);
-  };
-  sim.schedule(0, sample);
-
-  // Seeded periodic workload; destinations uniform, so during the cut about
-  // half the queries must cross the severed boundary and fail.
-  auto workload_rng = std::make_shared<rng::Xoshiro256>(0x5EA1ULL);
-  auto qids = std::make_shared<std::vector<std::uint64_t>>();
-  const Ticks issue_until = sc.horizon - ccfg.deadline - 2'000;
-  std::function<void()> issue = [&, workload_rng, qids]() {
-    const auto src = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    const auto dest = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    qids->push_back(client.submit(src, dest));
-    if (sim.now() + sc.query_interval <= issue_until) {
-      sim.schedule(sc.query_interval, issue);
-    }
-  };
-  sim.schedule(200, issue);
-  sim.run(sc.horizon);
-  HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
-
-  RunResult result;
-  metrics::Timeline timeline{sc.window};
-  for (const auto qid : *qids) {
-    const auto& out = client.outcome(qid);
-    if (out.status == QueryStatus::kPending) continue;
-    timeline.record(out.issued_at, out.status == QueryStatus::kDelivered, out.latency());
-  }
-
-  // Merge the delivery windows with the traffic samples into one JSON report.
-  // Sample i covers [sample[i].at, sample[i+1].at) — deltas, not totals.
-  // Samples and timeline buckets share width and alignment, so the window
-  // starting at a.at is the one whose queries were issued in that span.
-  std::map<std::uint64_t, metrics::Timeline::Window> delivery;
-  for (const auto& w : timeline.windows()) delivery[w.start] = w;
-  metrics::JsonWriter json;
-  json.begin_object();
-  json.field("size", sc.size);
-  json.field("partition_at", sc.partition_at);
-  json.field("heal_at", sc.heal_at);
-  json.field("window_width", sc.window);
-  json.key("windows").begin_array();
-  for (std::size_t i = 0; i + 1 < samples->size(); ++i) {
-    const TrafficSample& a = (*samples)[i];
-    const TrafficSample& b = (*samples)[i + 1];
-    const metrics::Timeline::Window w = delivery.count(a.at) != 0 ? delivery[a.at]
-                                                                  : metrics::Timeline::Window{};
-    json.begin_object();
-    json.field("start", a.at);
-    json.field("attempts", w.attempts);
-    json.field("delivered", w.delivered);
-    json.field("delivery_ratio", w.delivery_ratio(), 4);
-    json.field("repairs", b.repairs - a.repairs);
-    json.field("claims", b.claims - a.claims);
-    json.field("link_dropped", b.link_dropped - a.link_dropped);
-    json.field("ring_connected", b.connected);
-    json.end_object();
-    if (!b.connected) result.split_observed = true;
-  }
-  json.end_array();
-  // Full counter/histogram snapshot from the ring's registry — the windowed
-  // repair/claim series above is carved out of the same counters.
-  json.key("counters").raw(ring.registry().to_json());
-  json.end_object();
-
-  result.json = json.str();
-  result.pre = timeline.delivery_ratio(0, sc.partition_at);
-  result.during = timeline.delivery_ratio(sc.partition_at, sc.heal_at);
-  result.post = timeline.delivery_ratio(sc.post_start, sc.horizon);
-  result.queries = qids->size();
-  result.link_dropped = ring.messages_link_dropped();
-  result.remerged = ring.ring_connected();
-  result.client = client.stats();
-
-  // Byte-identical pointer tables: healed == never partitioned.
-  std::ostringstream healed;
-  std::ostringstream never;
-  for (ids::RingIndex i = 0; i < cfg.size; ++i) {
-    healed << i << "->" << ring.cw_successor(i) << "/" << ring.ccw_neighbor(i) << ";";
-    never << i << "->" << control.cw_successor(i) << "/" << control.ccw_neighbor(i) << ";";
-  }
-  result.fixpoint_matches = healed.str() == never.str();
-  return result;
-}
-
-}  // namespace
+#ifndef HOURS_SCENARIO_DIR
+#define HOURS_SCENARIO_DIR "scenarios"
+#endif
 
 int main(int argc, char** argv) {
-  const bool quick = bench::quick_mode(argc, argv);
-  Scenario sc;
-  if (quick) sc.query_interval = 900;
+  using namespace hours;
 
-  const RunResult first = run_scenario(sc);
-  const RunResult second = run_scenario(sc);
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::string path = std::string{HOURS_SCENARIO_DIR} + "/partition_healing.json";
+
+  scenario::Scenario sc;
+  if (const auto error = scenario::load_file(path, sc); !error.empty()) {
+    std::fprintf(stderr, "partition_healing: %s\n", error.c_str());
+    return 1;
+  }
+
+  scenario::RunOptions options;
+  if (quick) options.interval_scale = 2;  // 450 -> 900 ticks, the legacy quick size
+
+  const auto first = scenario::run(sc, options);
+  const auto second = scenario::run(sc, options);
   const bool reproducible = first.json == second.json;
 
-  metrics::TableWriter table{{"phase", "window", "delivery_ratio"}};
-  table.add_row({"pre-partition", "[0, 20000)", metrics::TableWriter::fmt(first.pre, 4)});
-  table.add_row({"partitioned", "[20000, 60000)", metrics::TableWriter::fmt(first.during, 4)});
-  table.add_row({"re-merged", "[70000, 110000)", metrics::TableWriter::fmt(first.post, 4)});
-  table.print("partition healing (ring n=24, halves cut at 20k, healed at 60k)");
-  table.write_csv(bench::csv_path("partition_healing"));
-
-  std::printf("queries: %llu  delivered: %llu  deadline-exceeded: %llu  no-route: %llu\n",
-              static_cast<unsigned long long>(first.queries),
-              static_cast<unsigned long long>(first.client.delivered),
-              static_cast<unsigned long long>(first.client.deadline_exceeded),
-              static_cast<unsigned long long>(first.client.no_route));
-  std::printf("link-dropped messages: %llu  retransmissions: %llu  failovers: %llu\n",
-              static_cast<unsigned long long>(first.link_dropped),
-              static_cast<unsigned long long>(first.client.retransmissions),
-              static_cast<unsigned long long>(first.client.failovers));
-  std::printf("split observed: %s  re-merged: %s  fixpoint matches control: %s\n",
-              first.split_observed ? "yes" : "no", first.remerged ? "yes" : "no",
-              first.fixpoint_matches ? "yes" : "no");
-  std::printf("dip observed: %s  recovered to pre-partition: %s  reproducible: %s\n",
-              first.during < first.pre ? "yes" : "no", first.post >= first.pre ? "yes" : "no",
-              reproducible ? "yes" : "no");
+  for (const auto& check : first.failed) {
+    std::fprintf(stderr, "partition_healing: FAIL %s\n", check.c_str());
+  }
+  std::printf("scenario: %s (%s)\n", sc.name.c_str(), path.c_str());
+  std::printf("expectations met: %s  reproducible: %s\n",
+              first.expectations_met ? "yes" : "no", reproducible ? "yes" : "no");
 
   bench::emit_json_report("partition_healing", first.json);
 
-  const bool ok = reproducible && first.split_observed && first.remerged &&
-                  first.fixpoint_matches && first.during < first.pre && first.post >= first.pre &&
-                  first.link_dropped > 0;
-  return ok ? 0 : 1;
+  return first.expectations_met && reproducible ? 0 : 1;
 }

@@ -1,0 +1,45 @@
+// Executes validated Scenario documents and renders deterministic reports.
+//
+// run() assembles the system a document describes — RingSimulation +
+// QueryClient for "ring" scenarios, HoursSystem + Resolver for "hierarchy"
+// ones — arms its fault plan and attacker, drives the phased workload to
+// the horizon, and renders one metrics::JsonWriter report whose bytes are a
+// pure function of the document (plus RunOptions). run_matrix() fans a
+// scenario list across jobs::sweep; because each run is deterministic and
+// results merge in task-index order, the matrix output is byte-identical at
+// any worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jobs/executor.hpp"
+#include "scenario/scenario.hpp"
+
+namespace hours::scenario {
+
+/// Quick-mode scaling knobs (the scenario files always describe the full
+/// experiment; CI shrinks the workload, never the schedule).
+struct RunOptions {
+  std::uint64_t interval_scale = 1;  ///< ring: multiply phase intervals
+  std::uint64_t rate_divisor = 1;    ///< hierarchy: divide phase rates (min 1)
+};
+
+struct RunOutcome {
+  std::string json;                 ///< the full deterministic report
+  bool expectations_met = true;     ///< every declared expectation held
+  std::vector<std::string> failed;  ///< describe() of each failed expectation
+};
+
+/// Runs one scenario to its horizon. The scenario must have come out of
+/// parse()/load_file() — run() trusts its invariants.
+[[nodiscard]] RunOutcome run(const Scenario& scenario, const RunOptions& options = {});
+
+/// Runs every scenario as one jobs::sweep task; outcomes return in input
+/// order regardless of worker count or scheduling.
+[[nodiscard]] std::vector<RunOutcome> run_matrix(const std::vector<Scenario>& scenarios,
+                                                 jobs::Executor& executor,
+                                                 const RunOptions& options = {});
+
+}  // namespace hours::scenario

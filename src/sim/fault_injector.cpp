@@ -288,9 +288,18 @@ struct Cursor {
 
 std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* error) {
   FaultPlan plan;
-  const auto fail = [error](std::size_t line_no, const char* what) -> std::optional<FaultPlan> {
+  // Errors carry the failure position: the cursor stops just past the last
+  // token it consumed, so "col" points at (1-based) the first character that
+  // did not parse and "near" quotes what the parser was looking at.
+  const auto fail = [error](std::size_t line_no, const Cursor& c,
+                            const std::string& what) -> std::optional<FaultPlan> {
     if (error != nullptr) {
-      *error = "line " + std::to_string(line_no) + ": " + what;
+      const std::size_t col = std::min(c.pos, c.s.size());
+      const std::string_view rest = c.s.substr(col);
+      std::string near{rest.substr(0, 24)};
+      if (rest.size() > 24) near += "...";
+      *error = "line " + std::to_string(line_no) + ", col " + std::to_string(col + 1) + ": " +
+               what + (near.empty() ? " at end of line" : " near \"" + near + "\"");
     }
     return std::nullopt;
   };
@@ -313,7 +322,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       Ticks recover_at = 0;
       if (!(c.u32(node) && c.eat(',') && c.u64(at) && c.eat(',') && c.u64(recover_at) &&
             c.eat(')') && c.done())) {
-        return fail(line_no, "malformed crash()");
+        return fail(line_no, c, "malformed crash()");
       }
       plan.crash(node, at, recover_at);
     } else if (c.eat_word("flap(")) {
@@ -324,7 +333,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       Ticks up = 0;
       if (!(c.u32(node) && c.eat(',') && c.u64(begin) && c.eat(',') && c.u64(down) &&
             c.eat(',') && c.u64(up) && c.eat(',') && c.u32(cycles) && c.eat(')') && c.done())) {
-        return fail(line_no, "malformed flap()");
+        return fail(line_no, c, "malformed flap()");
       }
       plan.flap(node, begin, down, up, cycles);
     } else if (c.eat_word("correlated_outage(")) {
@@ -336,7 +345,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       if (!(c.list(nodes) && c.eat(',') && c.u64(at) && c.eat(',') && c.u64(duration) &&
             c.eat(',') && c.u32(strikes) && c.eat(',') && c.u64(gap) && c.eat(')') &&
             c.done())) {
-        return fail(line_no, "malformed correlated_outage()");
+        return fail(line_no, c, "malformed correlated_outage()");
       }
       plan.correlated_outage(std::move(nodes), at, duration, strikes, gap);
     } else if (c.eat_word("partition(")) {
@@ -345,7 +354,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       Ticks heal_at = 0;
       if (!(c.group_list(groups) && c.eat(',') && c.u64(at) && c.eat(',') && c.u64(heal_at) &&
             c.eat(')') && c.done())) {
-        return fail(line_no, "malformed partition()");
+        return fail(line_no, c, "malformed partition()");
       }
       plan.partition(std::move(groups), at, heal_at);
     } else if (c.eat_word("cut_link(")) {
@@ -355,7 +364,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       Ticks heal_at = 0;
       if (!(c.u32(a) && c.eat(',') && c.u32(b) && c.eat(',') && c.u64(at) && c.eat(',') &&
             c.u64(heal_at) && c.eat(')') && c.done())) {
-        return fail(line_no, "malformed cut_link()");
+        return fail(line_no, c, "malformed cut_link()");
       }
       plan.cut_link(a, b, at, heal_at);
     } else if (c.eat_word("loss_episode(")) {
@@ -364,7 +373,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       Ticks until = 0;
       if (!(c.dbl(probability) && c.eat(',') && c.u64(from) && c.eat(',') && c.u64(until) &&
             c.eat(')') && c.done())) {
-        return fail(line_no, "malformed loss_episode()");
+        return fail(line_no, c, "malformed loss_episode()");
       }
       plan.loss_episode(probability, from, until);
     } else if (c.eat_word("byzantine(")) {
@@ -373,7 +382,7 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       Ticks at = 0;
       if (!(c.u32(node) && c.eat(',') && c.eat_word("NodeBehavior(") && c.i32(behavior) &&
             c.eat(')') && c.eat(',') && c.u64(at) && c.eat(')') && c.done())) {
-        return fail(line_no, "malformed byzantine()");
+        return fail(line_no, c, "malformed byzantine()");
       }
       plan.byzantine(node, static_cast<overlay::NodeBehavior>(behavior), at);
     } else if (c.eat_word("random_churn(")) {
@@ -386,11 +395,18 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text, std::string* er
       if (!(c.u32(events) && c.eat(',') && c.u64(from) && c.eat(',') && c.u64(until) &&
             c.eat(',') && c.u64(mean_downtime) && c.eat(',') && c.u64(seed) && c.eat(',') &&
             c.list(spare) && c.eat(')') && c.done())) {
-        return fail(line_no, "malformed random_churn()");
+        return fail(line_no, c, "malformed random_churn()");
       }
       plan.random_churn(events, from, until, mean_downtime, seed, std::move(spare));
     } else {
-      return fail(line_no, "unknown builder call");
+      c.skip_ws();
+      std::size_t end = c.pos;
+      while (end < line.size() && line[end] != '(' && line[end] != ' ' && line[end] != '\t') {
+        ++end;
+      }
+      return fail(line_no, c,
+                  "unknown builder call \"" + std::string(line.substr(c.pos, end - c.pos)) +
+                      "\"");
     }
   }
   return plan;
