@@ -1,238 +1,130 @@
-// Adaptive vs. static attacker on the message-level ring, equal firepower.
+// Adaptive trace-following attacker contrast, now a thin wrapper over the
+// scenario DSL: the blind three-strike schedule lives in
+// scenarios/adaptive_static.json and the trace-subscribed adaptive chase in
+// scenarios/adaptive_restrike.json — system shape, workload, fault plans,
+// attacker tuning, phase windows, and the dip/recovery expectations are all
+// document-side. This binary only keeps the CLI contract (--quick,
+// --trace <path>, exit status, adaptive_attacker.{json,csv} reports), runs
+// each document twice for the byte-reproducibility check, and contrasts the
+// attack-phase delivery ratios of the two runs.
 //
-// Both scenarios spend exactly `strikes` x `neighborhood` x `duration` of
-// node-downtime budget against the same seeded ring and query workload. The
-// static attacker (FaultPlan::correlated_outage) re-strikes the original
-// neighborhood on a timer, blind to the repair; the adaptive attacker
-// (sim::AdaptiveAttacker, a TraceSink) watches recovery_adopt events and
-// re-strikes wherever the repair actually landed. The report contrasts the
-// delivery ratio under each attack; the adaptive form should hurt more (or
-// at least never less) because it chases the healed neighborhood instead of
-// hammering servers the ring already routed around.
-//
-// Output: adaptive_attacker.json (via metrics::JsonWriter, deterministic),
-// a summary table, and optionally --trace <path> to dump the adaptive run's
-// full event stream as JSONL. Each scenario runs twice and the JSON report
-// is compared byte for byte to demonstrate bit-reproducibility.
+// The first adaptive run carries the requested trace while its repeat does
+// not — so the byte-compare also re-checks the invariant that tracing never
+// changes a run's decisions.
 #include <cstdio>
-#include <functional>
-#include <memory>
+#include <cstdlib>
+#include <fstream>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "bench_util.hpp"
 #include "metrics/json_writer.hpp"
-#include "metrics/table_writer.hpp"
-#include "metrics/timeline.hpp"
-#include "rng/xoshiro256.hpp"
-#include "sim/adaptive_attacker.hpp"
-#include "sim/fault_injector.hpp"
-#include "sim/query_client.hpp"
-#include "sim/ring_protocol.hpp"
-#include "trace/jsonl_sink.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef HOURS_SCENARIO_DIR
+#define HOURS_SCENARIO_DIR "scenarios"
+#endif
 
 namespace {
 
-using namespace hours;
-using namespace hours::sim;
-
-struct Scenario {
-  std::uint32_t size = 32;
-  Ticks horizon = 140'000;
-  Ticks query_interval = 450;
-  Ticks window = 2'000;
-  // First strike: a 6-node run (> k = 5), the ccw neighborhood of node 9 —
-  // wide enough that conventional table-walk recovery cannot bridge it and
-  // Section 4.3 active recovery (with its adoption events) must run.
-  std::vector<std::uint32_t> first_strike{8, 7, 6, 5, 4, 3};
-  Ticks attack_start = 25'000;
-  Ticks strike_duration = 15'000;
-  std::uint32_t total_strikes = 3;
-  Ticks strike_gap = 10'000;  ///< static attacker's calm between strikes
-  Ticks post_start = 105'000;
-};
-
-struct RunResult {
-  double pre = 0.0;
-  double during = 0.0;
-  double post = 0.0;
-  std::uint64_t submitted = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t kills = 0;
-  std::uint64_t events_emitted = 0;
-  std::uint64_t adoptions_seen = 0;
-  std::uint32_t adaptive_strikes = 0;
-  std::vector<std::vector<std::uint32_t>> strike_sets;
-  std::string timeline_json;
-};
-
-RunResult run_scenario(const Scenario& sc, bool adaptive, const std::string& trace_path) {
-  RingSimConfig cfg;
-  cfg.size = sc.size;
-  cfg.probe_period = 1'000;
-  RingSimulation ring{cfg};
-
-  trace::Tracer tracer;
-  ring.set_tracer(&tracer);
-  std::unique_ptr<trace::JsonLinesSink> jsonl;
-  if (!trace_path.empty()) {
-    jsonl = std::make_unique<trace::JsonLinesSink>(trace_path);
-    tracer.add_sink(jsonl.get());
-  }
-
-  // Equal budget split: the static plan fires all strikes on its timer; the
-  // adaptive plan fires the first strike identically, then hands the
-  // remaining budget to the trace-driven attacker.
-  AdaptiveAttackerConfig acfg;
-  acfg.neighborhood = static_cast<std::uint32_t>(sc.first_strike.size());
-  acfg.strike_duration = sc.strike_duration;
-  acfg.max_strikes = sc.total_strikes - 1;
-  acfg.cooldown = sc.strike_gap;  // same calm the static plan gets between strikes
-  AdaptiveAttacker attacker{ring, acfg};
-  if (adaptive) tracer.add_sink(&attacker);
-
-  FaultInjector injector{
-      make_fault_target(ring),
-      FaultPlan{}.correlated_outage(sc.first_strike, sc.attack_start, sc.strike_duration,
-                                    /*strikes=*/adaptive ? 1 : sc.total_strikes,
-                                    sc.strike_gap)};
-  injector.set_tracer(&tracer);
-  injector.arm();
-  ring.start();
-
-  QueryClientConfig ccfg;
-  ccfg.deadline = 8'000;
-  QueryClient client{make_query_network(ring), ccfg};
-  client.set_tracer(&tracer);
-
-  auto& sim = ring.simulator();
-  auto workload_rng = std::make_shared<rng::Xoshiro256>(0xADA7ULL);
-  auto qids = std::make_shared<std::vector<std::uint64_t>>();
-  const Ticks issue_until = sc.horizon - ccfg.deadline - 2'000;
-  std::function<void()> issue = [&, workload_rng, qids]() {
-    auto src = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    for (std::uint32_t tries = 0; !ring.alive(src) && tries < cfg.size; ++tries) {
-      src = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    }
-    const auto dest = static_cast<ids::RingIndex>(workload_rng->below(cfg.size));
-    qids->push_back(client.submit(src, dest));
-    if (sim.now() + sc.query_interval <= issue_until) {
-      sim.schedule(sc.query_interval, issue);
-    }
-  };
-  sim.schedule(200, issue);
-  sim.run(sc.horizon);
-  HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
-  tracer.flush();
-
-  RunResult result;
-  metrics::Timeline timeline{sc.window};
-  for (const auto qid : *qids) {
-    const auto& out = client.outcome(qid);
-    if (out.status == QueryStatus::kPending) continue;
-    timeline.record(out.issued_at, out.status == QueryStatus::kDelivered, out.latency());
-  }
-  result.pre = timeline.delivery_ratio(0, sc.attack_start);
-  result.during = timeline.delivery_ratio(sc.attack_start, sc.post_start);
-  result.post = timeline.delivery_ratio(sc.post_start, sc.horizon);
-  result.submitted = client.stats().submitted;
-  result.delivered = client.stats().delivered;
-  result.kills = injector.stats().kills + (adaptive ? attacker.strike_sets().size() : 0);
-  result.events_emitted = tracer.events_emitted();
-  result.adoptions_seen = attacker.adoptions_seen();
-  result.adaptive_strikes = attacker.strikes_launched();
-  result.strike_sets = attacker.strike_sets();
-  result.timeline_json = timeline.to_json();
-  return result;
+// The scenario reports are rendered JSON and snapshot::parse_json has no
+// float support, so the contrast pulls values out by substring against the
+// writer's deterministic formatting.
+double during_delivery(const std::string& json) {
+  constexpr std::string_view needle = "\"during\":{\"delivery_ratio\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
 }
 
-void write_run(metrics::JsonWriter& w, const RunResult& r, bool adaptive) {
-  w.begin_object();
-  w.field("pre", r.pre, 4);
-  w.field("during", r.during, 4);
-  w.field("post", r.post, 4);
-  w.field("submitted", r.submitted);
-  w.field("delivered", r.delivered);
-  w.field("events_emitted", r.events_emitted);
-  if (adaptive) {
-    w.field("adoptions_seen", r.adoptions_seen);
-    w.field("strikes_launched", static_cast<std::uint64_t>(r.adaptive_strikes));
-    w.key("strike_sets").begin_array();
-    for (const auto& set : r.strike_sets) {
-      w.begin_array();
-      for (const auto n : set) w.value(static_cast<std::uint64_t>(n));
-      w.end_array();
-    }
-    w.end_array();
-  }
-  w.key("timeline").raw(r.timeline_json);
-  w.end_object();
+std::uint64_t strikes_launched(const std::string& json) {
+  constexpr std::string_view needle = "\"strikes_launched\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
 }
 
-std::string report(const Scenario& sc, const RunResult& stat, const RunResult& adap) {
-  metrics::JsonWriter out;
-  out.begin_object();
-  out.field("bench", "adaptive_attacker");
-  out.key("config").begin_object();
-  out.field("size", static_cast<std::uint64_t>(sc.size));
-  out.field("horizon", sc.horizon);
-  out.field("strike_duration", sc.strike_duration);
-  out.field("total_strikes", static_cast<std::uint64_t>(sc.total_strikes));
-  out.field("neighborhood", static_cast<std::uint64_t>(sc.first_strike.size()));
-  out.end_object();
-  out.key("static");
-  write_run(out, stat, /*adaptive=*/false);
-  out.key("adaptive");
-  write_run(out, adap, /*adaptive=*/true);
-  out.key("contrast").begin_object();
-  out.field("during_static", stat.during, 4);
-  out.field("during_adaptive", adap.during, 4);
-  out.field("during_delta", stat.during - adap.during, 4);
-  out.field("adaptive_hurts_more", adap.during <= stat.during);
-  out.end_object();
-  out.end_object();
-  return out.str();
+bool load(const char* name, hours::scenario::Scenario& sc) {
+  const std::string path = std::string{HOURS_SCENARIO_DIR} + "/" + name;
+  if (const auto error = hours::scenario::load_file(path, sc); !error.empty()) {
+    std::fprintf(stderr, "adaptive_attacker: %s\n", error.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace hours;
+
   const bool quick = bench::quick_mode(argc, argv);
   std::string trace_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string_view{argv[i]} == "--trace") trace_path = argv[i + 1];
   }
 
-  Scenario sc;
-  if (quick) sc.query_interval = 900;
+  scenario::Scenario fixed;
+  scenario::Scenario adaptive;
+  if (!load("adaptive_static.json", fixed) || !load("adaptive_restrike.json", adaptive)) return 1;
 
-  const RunResult stat1 = run_scenario(sc, /*adaptive=*/false, "");
-  const RunResult adap1 = run_scenario(sc, /*adaptive=*/true, trace_path);
-  const std::string first = report(sc, stat1, adap1);
+  scenario::RunOptions options;
+  if (quick) options.interval_scale = 2;  // 450 -> 900 ticks, the legacy quick size
+  scenario::RunOptions traced = options;
+  traced.trace_path = trace_path;
 
-  const RunResult stat2 = run_scenario(sc, /*adaptive=*/false, "");
-  const RunResult adap2 = run_scenario(sc, /*adaptive=*/true, "");
-  const std::string second = report(sc, stat2, adap2);
-  const bool reproducible = first == second;
+  const auto fixed_first = scenario::run(fixed, options);
+  const auto fixed_second = scenario::run(fixed, options);
+  const auto adaptive_first = scenario::run(adaptive, traced);
+  const auto adaptive_second = scenario::run(adaptive, options);
+  const bool reproducible =
+      fixed_first.json == fixed_second.json && adaptive_first.json == adaptive_second.json;
 
-  metrics::TableWriter table{{"attacker", "pre", "during", "post", "strikes"}};
-  table.add_row({"static", metrics::TableWriter::fmt(stat1.pre, 4),
-                 metrics::TableWriter::fmt(stat1.during, 4),
-                 metrics::TableWriter::fmt(stat1.post, 4), std::to_string(sc.total_strikes)});
-  table.add_row({"adaptive", metrics::TableWriter::fmt(adap1.pre, 4),
-                 metrics::TableWriter::fmt(adap1.during, 4),
-                 metrics::TableWriter::fmt(adap1.post, 4),
-                 std::to_string(1 + adap1.adaptive_strikes)});
-  table.print("adaptive vs static attacker (ring n=32, equal strike budget)");
-  table.write_csv(bench::csv_path("adaptive_attacker"));
+  for (const auto& check : fixed_first.failed) {
+    std::fprintf(stderr, "adaptive_attacker: FAIL %s: %s\n", fixed.name.c_str(), check.c_str());
+  }
+  for (const auto& check : adaptive_first.failed) {
+    std::fprintf(stderr, "adaptive_attacker: FAIL %s: %s\n", adaptive.name.c_str(), check.c_str());
+  }
 
-  std::printf("adoptions seen: %llu  adaptive strikes: %u  events: %llu\n",
-              static_cast<unsigned long long>(adap1.adoptions_seen), adap1.adaptive_strikes,
-              static_cast<unsigned long long>(adap1.events_emitted));
-  std::printf("during-attack delivery: static %.4f vs adaptive %.4f  reproducible: %s\n",
-              stat1.during, adap1.during, reproducible ? "yes" : "no");
+  const double during_static = during_delivery(fixed_first.json);
+  const double during_adaptive = during_delivery(adaptive_first.json);
+  const std::uint64_t strikes = strikes_launched(adaptive_first.json);
+  const bool hurts_more = during_adaptive < during_static;
 
-  bench::emit_json_report("adaptive_attacker", first);
+  std::printf("run        during_delivery  strikes\n");
+  std::printf("static     %.4f           scheduled\n", during_static);
+  std::printf("adaptive   %.4f           %llu launched\n", during_adaptive,
+              static_cast<unsigned long long>(strikes));
+  std::printf("expectations met: %s  reproducible: %s  adaptive_hurts_more: %s\n",
+              fixed_first.expectations_met && adaptive_first.expectations_met ? "yes" : "no",
+              reproducible ? "yes" : "no", hurts_more ? "yes" : "no");
 
-  return reproducible && adap1.adaptive_strikes > 0 ? 0 : 1;
+  {
+    std::ofstream csv{bench::csv_path("adaptive_attacker")};
+    csv << "run,during_delivery,strikes_launched\n";
+    csv << "static," << metrics::JsonWriter::fixed(during_static, 4) << ",\n";
+    csv << "adaptive," << metrics::JsonWriter::fixed(during_adaptive, 4) << "," << strikes << "\n";
+  }
+
+  metrics::JsonWriter report;
+  report.begin_object();
+  report.field("bench", "adaptive_attacker");
+  report.field("quick", quick);
+  report.key("static").raw(fixed_first.json);
+  report.key("adaptive").raw(adaptive_first.json);
+  report.key("contrast").begin_object();
+  report.field("during_static", during_static, 4);
+  report.field("during_adaptive", during_adaptive, 4);
+  report.field("during_delta", during_static - during_adaptive, 4);
+  report.field("adaptive_hurts_more", hurts_more);
+  report.end_object();
+  report.end_object();
+  bench::emit_json_report("adaptive_attacker", report.str());
+
+  return fixed_first.expectations_met && adaptive_first.expectations_met && reproducible &&
+                 strikes > 0
+             ? 0
+             : 1;
 }

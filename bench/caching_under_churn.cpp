@@ -1,331 +1,135 @@
 // Resolver caching under scripted churn — the Section 7 "caching is
-// complementary, not a substitute" claim ([Breslau99]/[Jung01]) measured
-// against a *dynamic* fault schedule instead of a static oracle strike.
+// complementary, not a substitute" claim, now a thin wrapper over the
+// scenario DSL: the message-level run (re-striking three-zone outage plus a
+// lossy-link episode on the event backend) lives in
+// scenarios/zone_outage_restrike.json and its oracle mirror (the same
+// double strike as instantaneous set_alive toggles on the graph backend) in
+// scenarios/graph_strike_baseline.json. The dip/recovery expectations are
+// document-side; this binary only keeps the CLI contract (--quick,
+// --trace <path>, exit status, caching_under_churn.{json,csv} reports),
+// runs each document twice for the byte-reproducibility check, and
+// contrasts the attack-phase availability of the two backends.
 //
-// A Zipf-driven client resolves names through a TTL-bounded Resolver cache
-// whose clock is the backend's. On the event backend the same facade runs a
-// message-level simulation (sim::QueryClient retries/deadlines, liveness
-// inferred from silence) with a FaultPlan scheduling a re-striking
-// correlated outage over three zone subtrees, a lossy-link episode, and
-// random host churn. The graph backend mirrors the correlated outage with
-// oracle set_alive toggles at the same boundaries (it has no transport, so
-// loss and churn have no graph equivalent).
-//
-// The windowed timeline shows the paper's point: cached answers carry part
-// of the load for one record TTL into the outage, then expire and cannot be
-// refreshed — availability and hit rate dip together and recover only when
-// the attack lifts. Output: paper-shaped table plus reproducible JSON
-// (stdout and caching_under_churn.json, byte-compared across two runs);
-// --trace <path> dumps the first event run's trace for schema validation.
+// The first event run carries the requested trace while its repeat does
+// not — so the byte-compare also re-checks the invariant that tracing never
+// changes a run's decisions.
 #include <cstdio>
-#include <memory>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "hours/resolver.hpp"
 #include "metrics/json_writer.hpp"
-#include "metrics/table_writer.hpp"
-#include "trace/jsonl_sink.hpp"
-#include "trace/sink.hpp"
-#include "workload/workload.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef HOURS_SCENARIO_DIR
+#define HOURS_SCENARIO_DIR "scenarios"
+#endif
 
 namespace {
 
-using namespace hours;
-
-constexpr int kZones = 6;
-constexpr int kHosts = 6;
-constexpr int kStruckZones = 3;
-constexpr std::uint64_t kRecordTtl = 90;  // seconds — expires mid-outage
-constexpr std::uint64_t kHorizon = 420;   // seconds
-constexpr std::uint64_t kWindow = 30;     // seconds
-// Outage strikes [120, 180) and [210, 270); loss episode [150, 240).
-constexpr std::uint64_t kAttackStart = 120;
-constexpr std::uint64_t kStrikeLen = 60;
-constexpr std::uint64_t kStrikeGap = 30;
-constexpr std::uint64_t kAttackEnd = 270;
-constexpr std::uint64_t kPostStart = 300;
-constexpr sim::Ticks kTps = 1'000;  // EventBackendConfig::ticks_per_second
-
-HoursConfig world_config() {
-  HoursConfig cfg;
-  cfg.overlay.design = overlay::Design::kEnhanced;
-  cfg.overlay.k = 5;
-  cfg.overlay.q = 4;
-  return cfg;
+// The scenario reports are rendered JSON and snapshot::parse_json has no
+// float support, so the contrast pulls values out by substring against the
+// writer's deterministic formatting.
+double phase_value(const std::string& json, std::string_view phase, std::string_view metric) {
+  const std::string anchor = "\"" + std::string{phase} + "\":{";
+  const auto start = json.find(anchor);
+  if (start == std::string::npos) return -1.0;
+  const std::string needle = "\"" + std::string{metric} + "\":";
+  const auto pos = json.find(needle, start);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
 }
 
-struct World {
-  HoursSystem sys{world_config()};
-  std::vector<std::string> names;
-
-  World() {
-    for (int z = 0; z < kZones; ++z) {
-      const std::string zone = "zone" + std::to_string(z);
-      (void)sys.admit(zone);
-      for (int h = 0; h < kHosts; ++h) {
-        const std::string host = "h" + std::to_string(h) + "." + zone;
-        (void)sys.admit(host);
-        (void)sys.add_record(host, store::Record{"A", host, kRecordTtl});
-        names.push_back(host);
-      }
-    }
+bool load(const char* name, hours::scenario::Scenario& sc) {
+  const std::string path = std::string{HOURS_SCENARIO_DIR} + "/" + name;
+  if (const auto error = hours::scenario::load_file(path, sc); !error.empty()) {
+    std::fprintf(stderr, "caching_under_churn: %s\n", error.c_str());
+    return false;
   }
-};
-
-/// Struck subtrees: the first kStruckZones zones plus every host below them.
-std::vector<std::string> victim_names() {
-  std::vector<std::string> victims;
-  for (int z = 0; z < kStruckZones; ++z) {
-    const std::string zone = "zone" + std::to_string(z);
-    victims.push_back(zone);
-    for (int h = 0; h < kHosts; ++h) victims.push_back("h" + std::to_string(h) + "." + zone);
-  }
-  return victims;
-}
-
-struct WindowStats {
-  std::uint64_t asked = 0;
-  std::uint64_t answered = 0;
-  std::uint64_t hits = 0;
-
-  [[nodiscard]] double availability() const noexcept {
-    return asked == 0 ? 0.0 : static_cast<double>(answered) / static_cast<double>(asked);
-  }
-  [[nodiscard]] double hit_rate() const noexcept {
-    return asked == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(asked);
-  }
-};
-
-struct RunResult {
-  std::vector<WindowStats> windows;  // one per kWindow seconds
-  std::string plan;                  // FaultPlan::describe(), empty on graph
-  sim::QueryClientStats client{};
-  sim::FaultInjectorStats faults{};
-  std::string json;                  // this run's backend report fragment
-
-  [[nodiscard]] WindowStats phase(std::uint64_t from, std::uint64_t to) const {
-    WindowStats sum;
-    for (std::size_t i = 0; i < windows.size(); ++i) {
-      const std::uint64_t start = i * kWindow;
-      if (start < from || start >= to) continue;
-      sum.asked += windows[i].asked;
-      sum.answered += windows[i].answered;
-      sum.hits += windows[i].hits;
-    }
-    return sum;
-  }
-};
-
-/// The shared measurement loop: one wall-clock second per iteration, `qps`
-/// Zipf-drawn resolutions each, windowed by the backend clock at issue time.
-void drive(World& world, int qps, RunResult& result) {
-  Resolver resolver{world.sys, 4096};
-  workload::ZipfSampler zipf{world.names.size(), 0.9, 0xCAC4EULL};
-  const std::size_t window_count = kHorizon / kWindow;
-  result.windows.assign(window_count, {});
-  while (world.sys.now() < kHorizon) {
-    for (int q = 0; q < qps && world.sys.now() < kHorizon; ++q) {
-      const std::uint64_t at = world.sys.now();  // failed queries cost time
-      const auto r = resolver.resolve(world.names[zipf.next()]);
-      auto& w = result.windows[std::min<std::uint64_t>(at / kWindow, window_count - 1)];
-      ++w.asked;
-      if (r.answered) ++w.answered;
-      if (r.from_cache) ++w.hits;
-    }
-    world.sys.advance(1);
-  }
-}
-
-void render_json(std::string_view backend, RunResult& result) {
-  metrics::JsonWriter json;
-  json.begin_object();
-  json.field("backend", backend);
-  json.key("windows").begin_array();
-  for (std::size_t i = 0; i < result.windows.size(); ++i) {
-    const auto& w = result.windows[i];
-    json.begin_object();
-    json.field("start", static_cast<std::uint64_t>(i * kWindow));
-    json.field("asked", w.asked);
-    json.field("answered", w.answered);
-    json.field("hits", w.hits);
-    json.field("availability", w.availability(), 4);
-    json.field("hit_rate", w.hit_rate(), 4);
-    json.end_object();
-  }
-  json.end_array();
-  json.key("phases").begin_object();
-  const auto pre = result.phase(0, kAttackStart);
-  const auto during = result.phase(kAttackStart, kAttackEnd);
-  const auto post = result.phase(kPostStart, kHorizon);
-  json.key("pre").begin_object();
-  json.field("availability", pre.availability(), 4).field("hit_rate", pre.hit_rate(), 4);
-  json.end_object();
-  json.key("during").begin_object();
-  json.field("availability", during.availability(), 4).field("hit_rate", during.hit_rate(), 4);
-  json.end_object();
-  json.key("post").begin_object();
-  json.field("availability", post.availability(), 4).field("hit_rate", post.hit_rate(), 4);
-  json.end_object();
-  json.end_object();
-  if (!result.plan.empty()) json.field("plan", result.plan);
-  json.key("client").begin_object();
-  json.field("submitted", result.client.submitted);
-  json.field("delivered", result.client.delivered);
-  json.field("deadline_exceeded", result.client.deadline_exceeded);
-  json.field("no_route", result.client.no_route);
-  json.field("retransmissions", result.client.retransmissions);
-  json.field("failovers", result.client.failovers);
-  json.end_object();
-  json.key("faults").begin_object();
-  json.field("kills", result.faults.kills);
-  json.field("revivals", result.faults.revivals);
-  json.field("loss_changes", result.faults.loss_changes);
-  json.end_object();
-  json.end_object();
-  result.json = json.str();
-}
-
-RunResult run_event(int qps, trace::Tracer* tracer) {
-  World world;
-  EventBackendConfig ecfg;
-  ecfg.client.deadline = 6'000;  // availability semantics: 6 simulated seconds
-  ecfg.ticks_per_second = kTps;
-  auto& event = world.sys.use_event_backend(ecfg);
-  if (tracer != nullptr) world.sys.set_tracer(tracer);
-
-  std::vector<std::uint32_t> victims;
-  for (const auto& name : victim_names()) victims.push_back(event.node_id(name).value());
-
-  sim::FaultPlan plan;
-  plan.correlated_outage(victims, kAttackStart * kTps, kStrikeLen * kTps, /*strikes=*/2,
-                         kStrikeGap * kTps);
-  plan.loss_episode(0.15, 150 * kTps, 240 * kTps);
-  plan.random_churn(/*events=*/8, kAttackStart * kTps, kPostStart * kTps,
-                    /*mean_downtime=*/15 * kTps, /*seed=*/0xC42ULL, /*spare=*/{0});
-
-  RunResult result;
-  result.plan = plan.describe();
-  (void)world.sys.schedule_faults(std::move(plan));
-
-  drive(world, qps, result);
-  result.client = event.client()->stats();
-  result.faults = event.fault_stats();
-  render_json("event", result);
-  return result;
-}
-
-RunResult run_graph(int qps) {
-  World world;
-  const auto victims = victim_names();
-
-  // Oracle mirror of the correlated outage: same strike boundaries, applied
-  // instantaneously through set_alive. The set_alive toggles are woven into
-  // the drive loop via a wrapper system clock check each second.
-  RunResult result;
-  Resolver resolver{world.sys, 4096};
-  workload::ZipfSampler zipf{world.names.size(), 0.9, 0xCAC4EULL};
-  const std::size_t window_count = kHorizon / kWindow;
-  result.windows.assign(window_count, {});
-  bool down = false;
-  while (world.sys.now() < kHorizon) {
-    const std::uint64_t t = world.sys.now();
-    const bool strike = (t >= kAttackStart && t < kAttackStart + kStrikeLen) ||
-                        (t >= kAttackStart + kStrikeLen + kStrikeGap && t < kAttackEnd);
-    if (strike != down) {
-      for (const auto& v : victims) (void)world.sys.set_alive(v, !strike);
-      down = strike;
-    }
-    for (int q = 0; q < qps; ++q) {
-      const auto r = resolver.resolve(world.names[zipf.next()]);
-      auto& w = result.windows[std::min<std::uint64_t>(t / kWindow, window_count - 1)];
-      ++w.asked;
-      if (r.answered) ++w.answered;
-      if (r.from_cache) ++w.hits;
-    }
-    world.sys.advance(1);
-  }
-  render_json("graph", result);
-  return result;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace hours;
+
   const bool quick = bench::quick_mode(argc, argv);
-  const int qps = static_cast<int>(bench::scaled(4, 1, quick));
   std::string trace_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string_view{argv[i]} == "--trace") trace_path = argv[i + 1];
   }
 
-  trace::Tracer tracer;
-  std::unique_ptr<trace::JsonLinesSink> jsonl;
-  if (!trace_path.empty()) {
-    jsonl = std::make_unique<trace::JsonLinesSink>(trace_path);
-    tracer.add_sink(jsonl.get());
+  scenario::Scenario event;
+  scenario::Scenario graph;
+  if (!load("zone_outage_restrike.json", event) || !load("graph_strike_baseline.json", graph)) {
+    return 1;
   }
 
-  const RunResult event1 = run_event(qps, trace_path.empty() ? nullptr : &tracer);
-  tracer.flush();
-  const RunResult event2 = run_event(qps, nullptr);
-  const RunResult graph = run_graph(qps);
-  const bool reproducible = event1.json == event2.json;
+  scenario::RunOptions options;
+  if (quick) options.rate_divisor = 2;  // 4/s -> 2/s, the CI smoke size
+  scenario::RunOptions traced = options;
+  traced.trace_path = trace_path;
 
-  const auto epre = event1.phase(0, kAttackStart);
-  const auto eduring = event1.phase(kAttackStart, kAttackEnd);
-  const auto epost = event1.phase(kPostStart, kHorizon);
-  const auto gpre = graph.phase(0, kAttackStart);
-  const auto gduring = graph.phase(kAttackStart, kAttackEnd);
-  const auto gpost = graph.phase(kPostStart, kHorizon);
+  const auto event_first = scenario::run(event, traced);
+  const auto event_second = scenario::run(event, options);
+  const auto graph_first = scenario::run(graph, options);
+  const auto graph_second = scenario::run(graph, options);
+  const bool reproducible =
+      event_first.json == event_second.json && graph_first.json == graph_second.json;
 
-  using metrics::TableWriter;
-  TableWriter table{{"backend", "phase", "availability", "hit_rate"}};
-  const auto add = [&table](const char* backend, const char* phase, const WindowStats& w) {
-    table.add_row({backend, phase, TableWriter::fmt(w.availability(), 4),
-                   TableWriter::fmt(w.hit_rate(), 4)});
-  };
-  add("event", "pre [0,120)", epre);
-  add("event", "during [120,270)", eduring);
-  add("event", "post [300,420)", epost);
-  add("graph", "pre [0,120)", gpre);
-  add("graph", "during [120,270)", gduring);
-  add("graph", "post [300,420)", gpost);
-  table.print("resolver caching under scripted churn (3/6 zone subtrees struck, TTL 90s)");
-  table.write_csv(hours::bench::csv_path("caching_under_churn"));
+  for (const auto& check : event_first.failed) {
+    std::fprintf(stderr, "caching_under_churn: FAIL %s: %s\n", event.name.c_str(), check.c_str());
+  }
+  for (const auto& check : graph_first.failed) {
+    std::fprintf(stderr, "caching_under_churn: FAIL %s: %s\n", graph.name.c_str(), check.c_str());
+  }
 
-  std::printf("event client: submitted %llu delivered %llu deadline-exceeded %llu no-route %llu\n",
-              static_cast<unsigned long long>(event1.client.submitted),
-              static_cast<unsigned long long>(event1.client.delivered),
-              static_cast<unsigned long long>(event1.client.deadline_exceeded),
-              static_cast<unsigned long long>(event1.client.no_route));
-  std::printf("event faults: kills %llu revivals %llu loss-changes %llu\n",
-              static_cast<unsigned long long>(event1.faults.kills),
-              static_cast<unsigned long long>(event1.faults.revivals),
-              static_cast<unsigned long long>(event1.faults.loss_changes));
+  std::printf("backend  pre_avail  during_avail  post_avail  during_hit_rate\n");
+  const std::string* jsons[] = {&event_first.json, &graph_first.json};
+  const char* labels[] = {"event", "graph"};
+  for (int i = 0; i < 2; ++i) {
+    std::printf("%-7s  %.4f     %.4f        %.4f      %.4f\n", labels[i],
+                phase_value(*jsons[i], "pre", "availability"),
+                phase_value(*jsons[i], "during", "availability"),
+                phase_value(*jsons[i], "post", "availability"),
+                phase_value(*jsons[i], "during", "hit_rate"));
+  }
+  std::printf("expectations met: %s  reproducible: %s\n",
+              event_first.expectations_met && graph_first.expectations_met ? "yes" : "no",
+              reproducible ? "yes" : "no");
 
-  metrics::JsonWriter json;
-  json.begin_object();
-  json.field("bench", "caching_under_churn");
-  json.field("zones", kZones);
-  json.field("hosts_per_zone", kHosts);
-  json.field("struck_zones", kStruckZones);
-  json.field("record_ttl", kRecordTtl);
-  json.field("horizon", kHorizon);
-  json.field("window", kWindow);
-  json.field("queries_per_second", static_cast<std::uint64_t>(qps));
-  json.key("event").raw(event1.json);
-  json.key("graph").raw(graph.json);
-  json.end_object();
-  bench::emit_json_report("caching_under_churn", json.str());
+  {
+    std::ofstream csv{bench::csv_path("caching_under_churn")};
+    csv << "backend,pre_availability,during_availability,post_availability,during_hit_rate\n";
+    for (int i = 0; i < 2; ++i) {
+      csv << labels[i] << "," << metrics::JsonWriter::fixed(phase_value(*jsons[i], "pre", "availability"), 4)
+          << "," << metrics::JsonWriter::fixed(phase_value(*jsons[i], "during", "availability"), 4)
+          << "," << metrics::JsonWriter::fixed(phase_value(*jsons[i], "post", "availability"), 4)
+          << "," << metrics::JsonWriter::fixed(phase_value(*jsons[i], "during", "hit_rate"), 4)
+          << "\n";
+    }
+  }
 
-  const bool event_dip = eduring.availability() < epre.availability();
-  const bool event_recovered = epost.availability() > eduring.availability();
-  const bool hit_rate_dip = eduring.hit_rate() < epre.hit_rate();
-  std::printf("dip observed: %s  recovered: %s  hit-rate dip: %s  reproducible: %s\n",
-              event_dip ? "yes" : "no", event_recovered ? "yes" : "no",
-              hit_rate_dip ? "yes" : "no", reproducible ? "yes" : "no");
-  return event_dip && event_recovered && reproducible ? 0 : 1;
+  const double during_event = phase_value(event_first.json, "during", "availability");
+  const double during_graph = phase_value(graph_first.json, "during", "availability");
+
+  metrics::JsonWriter report;
+  report.begin_object();
+  report.field("bench", "caching_under_churn");
+  report.field("quick", quick);
+  report.key("event").raw(event_first.json);
+  report.key("graph").raw(graph_first.json);
+  report.key("contrast").begin_object();
+  report.field("during_event", during_event, 4);
+  report.field("during_graph", during_graph, 4);
+  report.field("graph_minus_event", during_graph - during_event, 4);
+  report.end_object();
+  report.end_object();
+  bench::emit_json_report("caching_under_churn", report.str());
+
+  return event_first.expectations_met && graph_first.expectations_met && reproducible ? 0 : 1;
 }

@@ -106,6 +106,15 @@ ResolveResult ConcurrentResolver::resolve(std::string_view name, std::uint64_t n
     return result;
   }
 
+  // Defense gate before the authority mutex: a refused query must not even
+  // contend for the single-consumer hierarchy path — starving the authority
+  // of attacker traffic is the point.
+  if (defense_ != nullptr && defense_->config().enabled &&
+      defense_->flagged(NegativeCacheDigest::zone_of(name), now)) {
+    shard.refusals.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
   std::lock_guard<std::mutex> lock{system_mutex_};
   // Double-check: a concurrent miss on the same name may have answered and
   // published while we waited for the authority mutex.
@@ -117,6 +126,9 @@ ResolveResult ConcurrentResolver::resolve(std::string_view name, std::uint64_t n
   }
   const auto looked_up = system_.lookup(name);
   result.hops = looked_up.query.hops;
+  if (defense_ != nullptr && defense_->config().enabled) {
+    (void)defense_->record_miss(NegativeCacheDigest::zone_of(name), name, now);
+  }
   if (!looked_up.query.delivered) {
     shard.failures.fetch_add(1, std::memory_order_relaxed);
     return result;
@@ -158,6 +170,11 @@ std::vector<ResolveResult> ConcurrentResolver::resolve_batch(
       results[i].from_cache = true;
       continue;
     }
+    if (defense_ != nullptr && defense_->config().enabled &&
+        defense_->flagged(NegativeCacheDigest::zone_of(names[i]), now)) {
+      shard.refusals.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     forwarded.push_back(names[i]);
     forwarded_index.push_back(i);
   }
@@ -166,6 +183,9 @@ std::vector<ResolveResult> ConcurrentResolver::resolve_batch(
     const std::size_t i = forwarded_index[j];
     Shard& shard = shard_of(names[i]);
     results[i].hops = answers[j].query.hops;
+    if (defense_ != nullptr && defense_->config().enabled) {
+      (void)defense_->record_miss(NegativeCacheDigest::zone_of(names[i]), names[i], now);
+    }
     if (!answers[j].query.delivered) {
       shard.failures.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -197,7 +217,9 @@ ResolverStats ConcurrentResolver::stats() const {
     total.cache_misses += shard->misses.load(std::memory_order_relaxed);
     total.failures += shard->failures.load(std::memory_order_relaxed);
     total.evictions += shard->evictions.load(std::memory_order_relaxed);
+    total.refusals += shard->refusals.load(std::memory_order_relaxed);
   }
+  if (defense_ != nullptr) total.zones_flagged = defense_->zones_flagged();
   return total;
 }
 

@@ -74,6 +74,20 @@ class ConcurrentResolver {
   /// Installs an answer obtained out of band. Thread-safe.
   void insert(std::string_view name, std::uint64_t now, std::vector<store::Record> records);
 
+  /// Arms the cache-busting defense with one digest shared by every shard:
+  /// a burst detected through any shard flags the zone for all of them
+  /// (the gossip-shared negative-cache digest, DESIGN.md §11).
+  void set_defense(NegativeCacheDefenseConfig config) {
+    defense_ = config.enabled ? std::make_shared<NegativeCacheDigest>(config) : nullptr;
+  }
+  /// Adopts a digest pooled with other resolver instances (null disarms).
+  void share_defense(std::shared_ptr<NegativeCacheDigest> digest) {
+    defense_ = std::move(digest);
+  }
+  [[nodiscard]] const std::shared_ptr<NegativeCacheDigest>& defense() const noexcept {
+    return defense_;
+  }
+
   /// Aggregated across shards. Individual counters are exact; a snapshot
   /// taken while writers are active is a consistent-enough sum, not an
   /// atomic cross-shard cut.
@@ -99,6 +113,7 @@ class ConcurrentResolver {
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> failures{0};
     std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> refusals{0};
   };
 
   [[nodiscard]] Shard& shard_of(std::string_view name) const;
@@ -114,6 +129,7 @@ class ConcurrentResolver {
   mutable jobs::RcuDomain rcu_;
   std::mutex rcu_writer_mutex_;  ///< serializes retire/advance across shards
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<NegativeCacheDigest> defense_;  ///< null = defense off
 };
 
 }  // namespace hours

@@ -54,6 +54,7 @@ void EventBackend::ensure_built() {
   sim_config.transport = config_.transport;
   sim_config.seed = config_.seed;
   sim_config.suspicion_ttl = config_.suspicion_ttl;
+  sim_config.liveness = config_.liveness;
   sim_config.assume_ring_repaired = config_.assume_ring_repaired;
   sim_ = std::make_unique<sim::HierarchySimulation>(sim_config, topology);
 

@@ -48,7 +48,10 @@ struct EventBackendConfig {
   /// clock (Resolver TTLs, advance()).
   sim::Ticks ticks_per_second = 1'000;
   /// In-network suspicion expiry (HierarchySimConfig::suspicion_ttl).
-  sim::Ticks suspicion_ttl = 4'000;
+  sim::Ticks suspicion_ttl = liveness::kDefaultSuspicionTtl;
+  /// Evidence-source selection forwarded to the mirrored simulation
+  /// (HierarchySimConfig::liveness).
+  liveness::Config liveness;
   bool assume_ring_repaired = true;
   std::uint64_t seed = 0x486965722dULL;
 };

@@ -10,6 +10,41 @@ std::uint64_t answer_min_ttl(const std::vector<store::Record>& records) noexcept
   return records.empty() ? 60 : ttl;
 }
 
+std::string_view NegativeCacheDigest::zone_of(std::string_view name) noexcept {
+  const auto dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(dot + 1);
+}
+
+bool NegativeCacheDigest::flagged(std::string_view zone, std::uint64_t now) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = zones_.find(zone);
+  return it != zones_.end() && it->second.flagged_until > now;
+}
+
+bool NegativeCacheDigest::record_miss(std::string_view zone, std::string_view name,
+                                      std::uint64_t now) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  ZoneTrack& track = zones_[std::string{zone}];
+  for (auto it = track.recent.begin(); it != track.recent.end();) {
+    if (it->second + config_.window <= now) {
+      it = track.recent.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  track.recent[std::string{name}] = now;
+  if (track.recent.size() < config_.distinct_miss_threshold) return false;
+  track.flagged_until = now + config_.flag_ttl;
+  track.recent.clear();
+  ++zones_flagged_;
+  return true;
+}
+
+std::uint64_t NegativeCacheDigest::zones_flagged() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return zones_flagged_;
+}
+
 ResolveResult Resolver::resolve(std::string_view name) { return resolve(name, system_.now()); }
 
 const std::vector<store::Record>* Resolver::peek(std::string_view name) const {
@@ -35,8 +70,22 @@ ResolveResult Resolver::resolve(std::string_view name, std::uint64_t now) {
     cache_.erase(it);  // expired
   }
 
+  // Defense gate on the miss path only: cached answers for a flagged zone
+  // keep serving (legitimate hot names stay warm); what a flag denies is the
+  // authoritative lookup + eviction the attacker is really after.
+  if (defense_ != nullptr && defense_->config().enabled) {
+    const auto zone = NegativeCacheDigest::zone_of(name);
+    if (defense_->flagged(zone, now)) {
+      ++stats_.refusals;
+      return result;
+    }
+  }
+
   const auto looked_up = system_.lookup(name);
   result.hops = looked_up.query.hops;
+  if (defense_ != nullptr && defense_->config().enabled) {
+    (void)defense_->record_miss(NegativeCacheDigest::zone_of(name), name, now);
+  }
   if (!looked_up.query.delivered) {
     ++stats_.failures;
     return result;

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "hours/hours.hpp"
@@ -31,11 +33,68 @@ struct ResolverStats {
   std::uint64_t cache_misses = 0;    ///< forwarded to the hierarchy, answered
   std::uint64_t failures = 0;        ///< forwarded, not answered
   std::uint64_t evictions = 0;
+  std::uint64_t refusals = 0;        ///< denied by the negative-cache defense
+  std::uint64_t zones_flagged = 0;   ///< zone flag transitions by the defense
 
   [[nodiscard]] double hit_rate() const noexcept {
     const auto total = cache_hits + cache_misses + failures;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
   }
+};
+
+/// Cache-busting defense knobs (DESIGN.md §11). A zone that accumulates
+/// `distinct_miss_threshold` distinct forwarded-miss names within `window`
+/// seconds is flagged for `flag_ttl` seconds; queries for a flagged zone are
+/// refused at the resolver edge instead of costing an authoritative lookup
+/// and a cache eviction. Legitimate traffic re-asks a bounded name set, so
+/// it never crosses the distinct-name threshold; the random-query-string
+/// attacker crosses it almost immediately.
+struct NegativeCacheDefenseConfig {
+  bool enabled = false;
+  std::uint64_t distinct_miss_threshold = 32;
+  std::uint64_t window = 10;    ///< seconds of miss history per zone
+  std::uint64_t flag_ttl = 60;  ///< seconds a flagged zone stays refused
+};
+
+/// The shared evidence the defense gossips between resolver instances: a
+/// per-zone digest of recent distinct forwarded-miss names plus the flagged
+/// set they imply. One digest may back many resolvers (every shard of a
+/// ConcurrentResolver, or several cooperating clients) so any one of them
+/// detecting a burst protects all — the cache analogue of the liveness
+/// plane's suspicion digests. Internally synchronized; soft state only
+/// (never snapshotted — a restored resolver re-learns it within one window).
+class NegativeCacheDigest {
+ public:
+  explicit NegativeCacheDigest(NegativeCacheDefenseConfig config) : config_(config) {}
+
+  [[nodiscard]] const NegativeCacheDefenseConfig& config() const noexcept { return config_; }
+
+  /// True while `zone` is flagged at time `now`.
+  [[nodiscard]] bool flagged(std::string_view zone, std::uint64_t now) const;
+
+  /// Records one forwarded miss for `name` in `zone`; returns true when this
+  /// miss crosses the distinct-name threshold and flags the zone.
+  bool record_miss(std::string_view zone, std::string_view name, std::uint64_t now);
+
+  /// Flag transitions so far (ResolverStats::zones_flagged).
+  [[nodiscard]] std::uint64_t zones_flagged() const;
+
+  /// The zone a name belongs to: the suffix after its first label
+  /// ("h3.cb" -> "cb", "a.b.c" -> "b.c"), or the whole name when top-level.
+  [[nodiscard]] static std::string_view zone_of(std::string_view name) noexcept;
+
+ private:
+  struct ZoneTrack {
+    /// Distinct recently-missed names and their last forwarded-miss time;
+    /// bounded by the threshold (cleared on every flag transition).
+    std::map<std::string, std::uint64_t, std::less<>> recent;
+    std::uint64_t flagged_until = 0;
+  };
+
+  NegativeCacheDefenseConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, ZoneTrack, std::less<>> zones_;
+  std::uint64_t zones_flagged_ = 0;
 };
 
 struct ResolveResult {
@@ -73,7 +132,25 @@ class Resolver {
   [[nodiscard]] const std::vector<store::Record>* peek(std::string_view name) const;
   void insert(std::string_view name, std::vector<store::Record> records);
 
-  [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
+  /// Arms the cache-busting defense with a private digest. Refused queries
+  /// return unanswered without touching the hierarchy and count under
+  /// stats().refusals.
+  void set_defense(NegativeCacheDefenseConfig config) {
+    defense_ = config.enabled ? std::make_shared<NegativeCacheDigest>(config) : nullptr;
+  }
+  /// Adopts a digest shared with other resolvers (null disarms).
+  void share_defense(std::shared_ptr<NegativeCacheDigest> digest) {
+    defense_ = std::move(digest);
+  }
+  [[nodiscard]] const std::shared_ptr<NegativeCacheDigest>& defense() const noexcept {
+    return defense_;
+  }
+
+  [[nodiscard]] ResolverStats stats() const noexcept {
+    ResolverStats s = stats_;
+    if (defense_ != nullptr) s.zones_flagged = defense_->zones_flagged();
+    return s;
+  }
   void clear_cache() noexcept { cache_.clear(); }
   [[nodiscard]] std::size_t cached_names() const noexcept { return cache_.size(); }
 
@@ -98,6 +175,7 @@ class Resolver {
   std::size_t capacity_;
   std::map<std::string, Entry> cache_;
   ResolverStats stats_;
+  std::shared_ptr<NegativeCacheDigest> defense_;  ///< null = defense off
 };
 
 }  // namespace hours

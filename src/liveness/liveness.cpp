@@ -1,0 +1,24 @@
+#include "liveness/liveness.hpp"
+
+#include <algorithm>
+
+namespace hours::liveness {
+
+std::vector<DigestEntry> LivenessView::build_digest(NodeId observer, Ticks now) const {
+  std::vector<DigestEntry> digest;
+  for_each_observer(observer, [&](NodeId peer, const Entry& entry) {
+    const bool active = entry.expiry == kNeverExpires || entry.expiry > now;
+    if (!active || !within_horizon(entry.since, now)) return;
+    digest.push_back(DigestEntry{peer, entry.since});
+  });
+  // Freshest evidence first; peer ascending breaks ties so the selection is
+  // deterministic for a fixed map state.
+  std::sort(digest.begin(), digest.end(), [](const DigestEntry& a, const DigestEntry& b) {
+    if (a.since != b.since) return a.since > b.since;
+    return a.peer < b.peer;
+  });
+  if (digest.size() > config_.digest_budget) digest.resize(config_.digest_budget);
+  return digest;
+}
+
+}  // namespace hours::liveness

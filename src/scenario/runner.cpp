@@ -17,6 +17,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/query_client.hpp"
 #include "sim/ring_protocol.hpp"
+#include "trace/jsonl_sink.hpp"
 #include "trace/sink.hpp"
 #include "util/contracts.hpp"
 #include "workload/workload.hpp"
@@ -129,6 +130,7 @@ RunOutcome run_ring(const Scenario& sc, const RunOptions& options) {
   if (sc.ring.seed.has_value()) cfg.seed = *sc.ring.seed;
   cfg.probe_period = sc.ring.probe_period;
   cfg.probe_failure_threshold = sc.ring.probe_failure_threshold;
+  cfg.liveness = sc.liveness;
 
   // Control run for the fixpoint check: identical ring, no faults, no
   // workload — its tables at the horizon are the no-fault fixpoint.
@@ -144,6 +146,12 @@ RunOutcome run_ring(const Scenario& sc, const RunOptions& options) {
   ring.start();
 
   trace::Tracer tracer;
+  std::unique_ptr<trace::JsonLinesSink> jsonl;
+  if (!options.trace_path.empty()) {
+    jsonl = std::make_unique<trace::JsonLinesSink>(options.trace_path);
+    tracer.add_sink(jsonl.get());
+    ring.set_tracer(&tracer);
+  }
   std::unique_ptr<AdaptiveAttacker> attacker;
   if (sc.attacker.kind == AttackerKind::kAdaptive) {
     AdaptiveAttackerConfig acfg;
@@ -160,12 +168,14 @@ RunOutcome run_ring(const Scenario& sc, const RunOptions& options) {
   std::unique_ptr<FaultInjector> injector;
   if (!sc.fault_lines.empty()) {
     injector = std::make_unique<FaultInjector>(make_fault_target(ring), sc.faults);
+    if (jsonl != nullptr) injector->set_tracer(&tracer);
     injector->arm();
   }
 
   QueryClientConfig ccfg;
   ccfg.deadline = sc.ring.client_deadline;
   QueryClient client{make_query_network(ring), ccfg};
+  if (jsonl != nullptr) client.set_tracer(&tracer);
 
   auto& sim = ring.simulator();
 
@@ -208,6 +218,7 @@ RunOutcome run_ring(const Scenario& sc, const RunOptions& options) {
   if (sc.start <= issue_until) sim.schedule(sc.start, issue);
   sim.run(sc.horizon);
   HOURS_ASSERT(!sim.truncated());  // a silent event cap would skew availability
+  tracer.flush();
 
   std::uint64_t unsettled = 0;
   metrics::Timeline timeline{sc.window};
@@ -317,6 +328,8 @@ RunOutcome run_ring(const Scenario& sc, const RunOptions& options) {
             return fixpoint_matches;
           case Expectation::Kind::kHitRateLt:
           case Expectation::Kind::kHitRateGe:
+          case Expectation::Kind::kCounterGe:
+          case Expectation::Kind::kCounterLt:
             break;  // validator rejects these on ring scenarios
         }
         return false;
@@ -367,6 +380,7 @@ bool strike_covers(const Attacker& a, std::uint64_t t) {
 }
 
 RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
+  const bool defend = sc.liveness.mode == liveness::Mode::kGossip;
   HoursConfig cfg;
   cfg.overlay = sc.hierarchy.params;
   HoursSystem sys{cfg};
@@ -396,6 +410,7 @@ RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
     EventBackendConfig ecfg;
     ecfg.client.deadline = sc.hierarchy.client_deadline;
     ecfg.ticks_per_second = sc.hierarchy.ticks_per_second;
+    ecfg.liveness = sc.liveness;
     event = &sys.use_event_backend(ecfg);
 
     sim::FaultPlan plan = sc.faults;
@@ -412,14 +427,30 @@ RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
     if (!(plan == sim::FaultPlan{})) (void)sys.schedule_faults(std::move(plan));
   }
 
+  trace::Tracer tracer;
+  std::unique_ptr<trace::JsonLinesSink> jsonl;
+  if (!options.trace_path.empty()) {
+    jsonl = std::make_unique<trace::JsonLinesSink>(options.trace_path);
+    tracer.add_sink(jsonl.get());
+    sys.set_tracer(&tracer);
+  }
+
+  // liveness: gossip arms the resolver edge's cache-busting defense — one
+  // NegativeCacheDigest, shared across every shard of the concurrent
+  // resolver, refusing flagged-zone misses before they reach the authority.
+  NegativeCacheDefenseConfig dcfg;
+  dcfg.enabled = defend;
+
   std::unique_ptr<Resolver> serial;
   std::unique_ptr<ConcurrentResolver> concurrent;
   std::function<ResolveResult(const std::string&)> resolve_one;
   if (sc.hierarchy.resolver == ResolverKind::kConcurrent) {
     concurrent = std::make_unique<ConcurrentResolver>(sys, sc.hierarchy.resolver_capacity);
+    concurrent->set_defense(dcfg);
     resolve_one = [&](const std::string& name) { return concurrent->resolve(name, sys.now()); };
   } else {
     serial = std::make_unique<Resolver>(sys, sc.hierarchy.resolver_capacity);
+    serial->set_defense(dcfg);
     resolve_one = [&](const std::string& name) { return serial->resolve(name); };
   }
 
@@ -480,6 +511,7 @@ RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
     }
     sys.advance(1);
   }
+  tracer.flush();
 
   const ResolverStats rstats = serial != nullptr ? serial->stats() : concurrent->stats();
 
@@ -532,6 +564,10 @@ RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
     json.field("cache_misses", rstats.cache_misses);
     json.field("failures", rstats.failures);
     json.field("evictions", rstats.evictions);
+    if (defend) {
+      json.field("refusals", rstats.refusals);
+      json.field("zones_flagged", rstats.zones_flagged);
+    }
     json.field("hit_rate", rstats.hit_rate(), 4);
     json.end_object();
   }
@@ -549,6 +585,14 @@ RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
     const MetricPhase& p = phase_by_name.at(name);
     return sum_phase(windows, sc.window, p.from, p.until);
   };
+  const auto counter_value = [&](const std::string& name) -> std::uint64_t {
+    if (name == "cache_hits") return rstats.cache_hits;
+    if (name == "cache_misses") return rstats.cache_misses;
+    if (name == "failures") return rstats.failures;
+    if (name == "evictions") return rstats.evictions;
+    if (name == "refusals") return rstats.refusals;
+    return rstats.zones_flagged;  // the validator admits no other name
+  };
   render_expectations(
       json, sc.metrics.expect,
       [&](const Expectation& ex) {
@@ -561,6 +605,10 @@ RunOutcome run_hierarchy(const Scenario& sc, const RunOptions& options) {
             return phase_stats(ex.left).hit_rate() < phase_stats(ex.right).hit_rate();
           case Expectation::Kind::kHitRateGe:
             return phase_stats(ex.left).hit_rate() >= phase_stats(ex.right).hit_rate();
+          case Expectation::Kind::kCounterGe:
+            return counter_value(ex.counter) >= ex.threshold;
+          case Expectation::Kind::kCounterLt:
+            return counter_value(ex.counter) < ex.threshold;
           case Expectation::Kind::kFlag:
             break;  // validator rejects flags on hierarchy scenarios
         }

@@ -24,6 +24,10 @@ namespace hours::scenario {
 struct RunOptions {
   std::uint64_t interval_scale = 1;  ///< ring: multiply phase intervals
   std::uint64_t rate_divisor = 1;    ///< hierarchy: divide phase rates (min 1)
+  /// Non-empty: stream the run's full event trace to this path as JSONL
+  /// (trace/jsonl_sink). Tracing never changes the run's decisions, so the
+  /// report bytes are identical with or without it.
+  std::string trace_path;
 };
 
 struct RunOutcome {

@@ -552,6 +552,49 @@ std::string parse_attacker(const Json::Object& top, Scenario& sc) {
                                            "\"cache_busting\"");
 }
 
+std::string parse_liveness(const Json::Object& top, Scenario& sc) {
+  const auto it = top.find("liveness");
+  if (it == top.end()) return "";  // default probe_only
+  const std::string path = "$.liveness";
+  const Json::Object* lv = nullptr;
+  if (auto e = need_object(&it->second, path, &lv); !e.empty()) return e;
+  if (auto e = reject_unknown(*lv, path, {"source", "digest_budget", "digest_horizon"});
+      !e.empty()) {
+    return e;
+  }
+  std::string source;
+  if (auto e = get_string(*lv, path, "source", true, &source); !e.empty()) return e;
+  if (source == "probe_only") {
+    sc.liveness.mode = liveness::Mode::kProbeOnly;
+  } else if (source == "gossip") {
+    sc.liveness.mode = liveness::Mode::kGossip;
+  } else {
+    return err(path + ".source",
+               "\"" + source + "\" is not one of \"probe_only\", \"gossip\"");
+  }
+  std::uint64_t budget = sc.liveness.digest_budget;
+  if (auto e = get_u64(*lv, path, "digest_budget", false, &budget); !e.empty()) return e;
+  if (budget == 0 || budget > 64) {
+    return err(path + ".digest_budget", "must be in [1, 64]");
+  }
+  sc.liveness.digest_budget = static_cast<std::uint32_t>(budget);
+  if (auto e = get_u64(*lv, path, "digest_horizon", false, &sc.liveness.digest_horizon);
+      !e.empty()) {
+    return e;
+  }
+  if (sc.liveness.digest_horizon == 0) return err(path + ".digest_horizon", "must be >= 1");
+  if (sc.liveness.mode == liveness::Mode::kProbeOnly &&
+      (lv->find("digest_budget") != lv->end() || lv->find("digest_horizon") != lv->end())) {
+    return err(path, "digest tuning requires source \"gossip\"");
+  }
+  return "";
+}
+
+/// Resolver stat names a counter expectation may reference (hierarchy-only;
+/// the runner reads them off ResolverStats after the run).
+constexpr std::string_view kCounterNames[] = {
+    "cache_hits", "cache_misses", "failures", "evictions", "refusals", "zones_flagged"};
+
 std::string parse_metrics(const Json::Object& top, Scenario& sc) {
   MetricsSpec& m = sc.metrics;
   const auto it = top.find("metrics");
@@ -679,10 +722,36 @@ std::string parse_metrics(const Json::Object& top, Scenario& sc) {
             return err(epath, "\"" + *side + "\" is not a defined $.metrics.phases name");
           }
         }
+      } else if (kind == "counter_ge" || kind == "counter_lt") {
+        if (ring) return err(epath + ".kind", "counter expectations are hierarchy-only");
+        ex.kind = kind == "counter_ge" ? Expectation::Kind::kCounterGe
+                                       : Expectation::Kind::kCounterLt;
+        if (auto e = reject_unknown(*check, epath, {"kind", "counter", "threshold"});
+            !e.empty()) {
+          return e;
+        }
+        if (auto e = get_string(*check, epath, "counter", true, &ex.counter); !e.empty()) {
+          return e;
+        }
+        bool known = false;
+        for (const auto name : kCounterNames) known = known || ex.counter == name;
+        if (!known) {
+          std::string listed;
+          for (const auto name : kCounterNames) {
+            if (!listed.empty()) listed += ", ";
+            listed += "\"" + std::string(name) + "\"";
+          }
+          return err(epath + ".counter",
+                     "\"" + ex.counter + "\" is not one of " + listed);
+        }
+        if (auto e = get_u64(*check, epath, "threshold", true, &ex.threshold); !e.empty()) {
+          return e;
+        }
       } else {
         return err(epath + ".kind",
                    "\"" + kind + "\" is not one of \"phase_lt\", \"phase_ge\", "
-                                 "\"hit_rate_lt\", \"hit_rate_ge\", \"flag\"");
+                                 "\"hit_rate_lt\", \"hit_rate_ge\", \"counter_ge\", "
+                                 "\"counter_lt\", \"flag\"");
       }
       m.expect.push_back(std::move(ex));
     }
@@ -704,6 +773,10 @@ std::string Expectation::describe() const {
       return "hit_rate_ge(" + left + ", " + right + ")";
     case Kind::kFlag:
       return "flag(" + flag + ")";
+    case Kind::kCounterGe:
+      return "counter_ge(" + counter + ", " + std::to_string(threshold) + ")";
+    case Kind::kCounterLt:
+      return "counter_lt(" + counter + ", " + std::to_string(threshold) + ")";
   }
   return "?";
 }
@@ -729,7 +802,7 @@ std::string parse(const snapshot::Json& doc, Scenario& out) {
   const Json::Object& top = doc.fields();
   if (auto e = reject_unknown(top, "$",
                               {"magic", "version", "name", "description", "seed", "system",
-                               "workload", "faults", "attacker", "metrics"});
+                               "workload", "faults", "attacker", "liveness", "metrics"});
       !e.empty()) {
     return e;
   }
@@ -764,6 +837,7 @@ std::string parse(const snapshot::Json& doc, Scenario& out) {
   if (auto e = parse_workload(top, out); !e.empty()) return e;
   if (auto e = parse_faults(top, out); !e.empty()) return e;
   if (auto e = parse_attacker(top, out); !e.empty()) return e;
+  if (auto e = parse_liveness(top, out); !e.empty()) return e;
   if (auto e = parse_metrics(top, out); !e.empty()) return e;
   return "";
 }

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "liveness/liveness.hpp"
 #include "overlay/params.hpp"
 #include "sim/fault_injector.hpp"
 #include "snapshot/json.hpp"
@@ -133,11 +134,15 @@ struct Expectation {
     kHitRateLt,  ///< hit_rate(left) <  hit_rate(right) — hierarchy only
     kHitRateGe,  ///< hit_rate(left) >= hit_rate(right) — hierarchy only
     kFlag,       ///< named boolean in the report must be true — ring only
+    kCounterGe,  ///< resolver stat `counter` >= threshold — hierarchy only
+    kCounterLt,  ///< resolver stat `counter` <  threshold — hierarchy only
   };
   Kind kind = Kind::kPhaseLt;
   std::string left;
   std::string right;
-  std::string flag;  ///< "split_observed" | "remerged" | "fixpoint_matches"
+  std::string flag;     ///< "split_observed" | "remerged" | "fixpoint_matches"
+  std::string counter;  ///< resolver stat name (counter_ge / counter_lt)
+  std::uint64_t threshold = 0;
 
   /// Human-readable form used in reports: "phase_lt(during, pre)".
   [[nodiscard]] std::string describe() const;
@@ -178,6 +183,11 @@ struct Scenario {
   std::vector<std::string> fault_lines;
   sim::FaultPlan faults;           ///< parsed from fault_lines
   Attacker attacker;
+  /// Evidence-source selection for the liveness plane ($.liveness clause):
+  /// probe_only (the default) keeps timeout-only inference; gossip
+  /// piggybacks suspicion digests on transport traffic and, on hierarchy
+  /// systems, arms the resolver's negative-cache defense.
+  liveness::Config liveness;
   MetricsSpec metrics;
 };
 

@@ -38,6 +38,11 @@ FuzzCase generate_case(std::uint64_t seed) {
   // Loss episodes and flapping produce spurious single misses; require two
   // consecutive misses before declaring a neighbor dead.
   c.config.probe_failure_threshold = 2;
+  // Every third seed arms the gossip liveness plane, so the invariant
+  // sweep and the snapshot oracle both cover digest piggybacking and the
+  // gossip-mode snapshot format. Stale rumors about revived nodes self-heal
+  // through suspicion_refresh, so convergence demands are unchanged.
+  if (seed % 3 == 0) c.config.liveness.mode = liveness::Mode::kGossip;
 
   // Crashes: 0..2, all recovering before the horizon.
   const auto crashes = g.below(3);
@@ -106,7 +111,8 @@ std::string describe_config(const RingSimConfig& cfg) {
   std::ostringstream os;
   os << "size=" << cfg.size << " k=" << cfg.params.k << " q=" << cfg.params.q
      << " table_seed=" << cfg.params.seed << " sim_seed=" << cfg.seed
-     << " probe_failure_threshold=" << cfg.probe_failure_threshold;
+     << " probe_failure_threshold=" << cfg.probe_failure_threshold
+     << " liveness=" << (cfg.liveness.mode == liveness::Mode::kGossip ? "gossip" : "probe_only");
   return os.str();
 }
 

@@ -56,6 +56,7 @@ TreeTopology topology_from_fanout(const std::vector<std::uint32_t>& fanout) {
 
 HierarchySimulation::HierarchySimulation(HierarchySimConfig config)
     : config_(std::move(config)),
+      liveness_(config_.liveness, config_.suspicion_ttl),
       transport_(sim_, config_.transport, total_nodes(config_.fanout), config_.seed),
       queries_delivered_(registry_.counter("hier.queries_delivered")),
       queries_failed_(registry_.counter("hier.queries_failed")),
@@ -67,6 +68,7 @@ HierarchySimulation::HierarchySimulation(HierarchySimConfig config)
 
 HierarchySimulation::HierarchySimulation(HierarchySimConfig config, const TreeTopology& topology)
     : config_(std::move(config)),
+      liveness_(config_.liveness, config_.suspicion_ttl),
       transport_(sim_, config_.transport, static_cast<std::uint32_t>(topology.child_counts.size()),
                  config_.seed),
       queries_delivered_(registry_.counter("hier.queries_delivered")),
@@ -130,6 +132,17 @@ void HierarchySimulation::build(const TreeTopology& topology) {
     }
     run_continuation(kind, args, count);
   });
+  if (liveness_.gossip_enabled()) {
+    digests_sent_ = registry_.counter("hier.liveness_digests_sent");
+    digest_entries_sent_ = registry_.counter("hier.liveness_digest_entries_sent");
+    gossip_adopted_ = registry_.counter("hier.liveness_gossip_adopted");
+    transport_.set_digest_hooks(
+        [this](std::uint32_t from, std::uint32_t /*to*/, std::vector<std::uint64_t>& out) {
+          build_digest_words(from, out);
+        },
+        [this](std::uint32_t to, std::uint32_t from, const std::uint64_t* words,
+               std::size_t count) { apply_digest_words(to, from, words, count); });
+  }
 }
 
 const overlay::RoutingTable& HierarchySimulation::table_of(std::uint32_t id) const {
@@ -215,13 +228,7 @@ void HierarchySimulation::revive_id(std::uint32_t id) {
   transport_.set_alive(id, true);
   // Peers would un-suspect a revived node after its next probe round; the
   // query engine has no probes, so model that refresh directly.
-  for (auto it = suspected_.begin(); it != suspected_.end();) {
-    if (static_cast<std::uint32_t>(it->first) == id) {
-      it = suspected_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  liveness_.clear_peer(id);
 }
 
 bool HierarchySimulation::alive_id(std::uint32_t id) const { return transport_.alive(id); }
@@ -300,22 +307,70 @@ void HierarchySimulation::finish(std::uint64_t qid, bool delivered, std::uint32_
 }
 
 bool HierarchySimulation::is_suspected(std::uint32_t at, std::uint32_t id) const {
-  const auto it = suspected_.find(suspicion_key(at, id));
-  if (it == suspected_.end()) return false;
-  if (config_.suspicion_ttl != 0 && it->second <= sim_.now()) return false;  // expired
-  return true;
+  return liveness_.is_suspected(at, id, sim_.now());
 }
 
 void HierarchySimulation::suspect(std::uint32_t at, std::uint32_t peer) {
-  const Ticks expiry = config_.suspicion_ttl == 0
-                           ? ~Ticks{0}
-                           : sim_.now() + config_.suspicion_ttl;
-  suspected_[suspicion_key(at, peer)] = expiry;
+  liveness_.suspect(at, peer, sim_.now());
   HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
                             .type = trace::EventType::kSuspect,
                             .node = at,
                             .peer = peer,
                             .level = static_cast<std::int32_t>(level_[at])});
+}
+
+// -- gossip evidence source ---------------------------------------------------------
+
+void HierarchySimulation::build_digest_words(std::uint32_t from,
+                                             std::vector<std::uint64_t>& out) {
+  const auto digest = liveness_.build_digest(from, sim_.now());
+  if (digest.empty()) return;
+  for (const auto& entry : digest) {
+    out.push_back(entry.peer);
+    out.push_back(entry.since);
+  }
+  digests_sent_->inc();
+  digest_entries_sent_->inc(digest.size());
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kLivenessDigestSent,
+                            .node = from,
+                            .level = static_cast<std::int32_t>(level_[from]),
+                            .value = digest.size()});
+}
+
+void HierarchySimulation::apply_digest_words(std::uint32_t at, std::uint32_t from,
+                                             const std::uint64_t* words, std::size_t count) {
+  HOURS_EXPECTS(count % 2 == 0);
+  const Ticks now = sim_.now();
+  // Rumors are only adopted about the receiver's own sibling ring: that is
+  // where its routing decisions consult suspicion, and the scoping keeps a
+  // million-node tree's gossip state proportional to actual traffic.
+  const std::uint32_t base = sibling_base_[at];
+  const std::uint32_t limit = base + ring_size_[at];
+  std::uint64_t adopted = 0;
+  for (std::size_t k = 0; k + 1 < count; k += 2) {
+    const auto peer = static_cast<std::uint32_t>(words[k]);
+    const Ticks since = words[k + 1];
+    // Never adopt suspicion of ourselves or of the sender (this very frame
+    // proves the sender alive); drop rumors past the propagation horizon.
+    if (peer == at || peer == from || peer < base || peer >= limit) continue;
+    if (!liveness_.within_horizon(since, now)) continue;
+    if (!liveness_.adopt(at, peer, since, now)) continue;
+    ++adopted;
+    gossip_adopted_->inc();
+    HOURS_TRACE_EMIT(trace_, {.at = now,
+                              .type = trace::EventType::kLivenessGossipSuspect,
+                              .node = at,
+                              .peer = peer,
+                              .level = static_cast<std::int32_t>(level_[at]),
+                              .value = since});
+  }
+  HOURS_TRACE_EMIT(trace_, {.at = now,
+                            .type = trace::EventType::kLivenessDigestApplied,
+                            .node = at,
+                            .peer = from,
+                            .level = static_cast<std::int32_t>(level_[at]),
+                            .value = adopted});
 }
 
 std::vector<std::uint32_t> HierarchySimulation::candidates_at(std::uint32_t at,
@@ -606,6 +661,14 @@ snapshot::Json HierarchySimulation::config_json() const {
   config["suspicion_ttl"] = Json(config_.suspicion_ttl);
   config["assume_ring_repaired"] =
       Json(static_cast<std::uint64_t>(config_.assume_ring_repaired ? 1 : 0));
+  // Gossip mode extends the echo (and the suspicion rows in save_state);
+  // probe-only snapshots keep the legacy byte layout exactly.
+  if (liveness_.gossip_enabled()) {
+    config["liveness_mode"] = Json(std::uint64_t{1});
+    config["digest_budget"] =
+        Json(static_cast<std::uint64_t>(liveness_.config().digest_budget));
+    config["digest_horizon"] = Json(liveness_.config().digest_horizon);
+  }
   return config;
 }
 
@@ -632,14 +695,23 @@ snapshot::Json HierarchySimulation::save_state(std::string& error) const {
       behaviors.push(std::move(row));
     }
   }
-  Json suspected = Json::array();  // rows [node, peer, expiry]
-  for (const auto& [key, expiry] : suspected_) {
+  // Rows [node, peer, expiry] in probe-only mode (the legacy layout);
+  // [node, peer, expiry, since, source] under gossip so a restored run
+  // re-ages and re-broadcasts rumors identically.
+  const bool gossip = liveness_.gossip_enabled();
+  Json suspected = Json::array();
+  liveness_.for_each([&suspected, gossip](liveness::NodeId node, liveness::NodeId peer,
+                                          const liveness::Entry& entry) {
     Json row = Json::array();
-    row.push(Json(key >> 32));
-    row.push(Json(key & 0xFFFFFFFFULL));
-    row.push(Json(expiry));
+    row.push(Json(static_cast<std::uint64_t>(node)));
+    row.push(Json(static_cast<std::uint64_t>(peer)));
+    row.push(Json(entry.expiry));
+    if (gossip) {
+      row.push(Json(entry.since));
+      row.push(Json(static_cast<std::uint64_t>(entry.source)));
+    }
     suspected.push(std::move(row));
-  }
+  });
   out["behaviors"] = std::move(behaviors);
   out["suspected"] = std::move(suspected);
 
@@ -691,7 +763,7 @@ std::string HierarchySimulation::restore_state(const snapshot::Json& state) {
 
   std::fill(behavior_.begin(), behavior_.end(),
             static_cast<std::uint8_t>(overlay::NodeBehavior::kHonest));
-  suspected_.clear();
+  liveness_.clear_all();
   for (const auto& raw : behaviors->items()) {
     if (!u64_row(raw, 2)) return "hier.behaviors entry malformed";
     const auto id = raw.items()[0].as_u64();
@@ -701,15 +773,21 @@ std::string HierarchySimulation::restore_state(const snapshot::Json& state) {
     }
     behavior_[id] = static_cast<std::uint8_t>(value);
   }
+  const bool gossip = liveness_.gossip_enabled();
   for (const auto& raw : suspected->items()) {
-    if (!u64_row(raw, 3)) return "hier.suspected entry malformed";
-    const auto id = raw.items()[0].as_u64();
-    const auto peer = raw.items()[1].as_u64();
-    if (id >= node_count() || peer >= node_count()) {
+    if (!u64_row(raw, gossip ? 5 : 3)) return "hier.suspected entry malformed";
+    const auto& f = raw.items();
+    const auto id = f[0].as_u64();
+    const auto peer = f[1].as_u64();
+    if (id >= node_count() || peer >= node_count() ||
+        (gossip && f[4].as_u64() > 1)) {
       return "hier.suspected entry out of range";
     }
-    suspected_[suspicion_key(static_cast<std::uint32_t>(id),
-                             static_cast<std::uint32_t>(peer))] = raw.items()[2].as_u64();
+    liveness_.restore_row(
+        static_cast<std::uint32_t>(id), static_cast<std::uint32_t>(peer),
+        gossip ? liveness::Entry{f[2].as_u64(), f[3].as_u64(),
+                                 static_cast<liveness::Source>(f[4].as_u64())}
+               : liveness::Entry{f[2].as_u64(), 0, liveness::Source::kProbe});
   }
 
   for (const auto& field : rng->items()) {

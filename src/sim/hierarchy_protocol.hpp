@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "hierarchy/node_path.hpp"
+#include "liveness/liveness.hpp"
 #include "overlay/overlay.hpp"
 #include "overlay/params.hpp"
 #include "overlay/routing_table.hpp"
@@ -62,7 +64,12 @@ struct HierarchySimConfig {
   /// How long an ack-timeout keeps a peer suspected. Periodic probing would
   /// refresh liveness in a deployment; expiry models that, so transient
   /// (loss-induced) false suspicion heals. 0 disables expiry.
-  Ticks suspicion_ttl = 4'000;
+  Ticks suspicion_ttl = liveness::kDefaultSuspicionTtl;
+  /// Evidence-source selection (DESIGN.md §11): kProbeOnly keeps the
+  /// timeout-only inference bit for bit; kGossip piggybacks bounded
+  /// suspicion digests on transport frames, adopted only within the
+  /// receiver's sibling ring.
+  liveness::Config liveness;
   /// When true, backward forwarding steps to the nearest alive
   /// counter-clockwise sibling (active recovery assumed converged — the
   /// ring protocol in sim/ring_protocol.hpp demonstrates the convergence
@@ -129,6 +136,12 @@ class HierarchySimulation : public snapshot::Participant {
   /// The run's counter/histogram registry ("hier.queries_delivered", ...).
   [[nodiscard]] trace::Registry& registry() noexcept { return registry_; }
   [[nodiscard]] const trace::Registry& registry() const noexcept { return registry_; }
+
+  /// The unified suspicion store (DESIGN.md §11); read-only introspection
+  /// for tests and benches.
+  [[nodiscard]] const liveness::LivenessView& liveness() const noexcept {
+    return liveness_;
+  }
 
   // -- insiders (Section 5.3) ------------------------------------------------------
   /// Compromised-node behavior. Unlike a DoS'd server, an insider *acks*
@@ -214,11 +227,14 @@ class HierarchySimulation : public snapshot::Participant {
   [[nodiscard]] bool upward_prefix(std::uint32_t id, std::size_t drop,
                                    const hierarchy::NodePath& dest) const;
 
-  [[nodiscard]] static std::uint64_t suspicion_key(std::uint32_t node, std::uint32_t peer) {
-    return (static_cast<std::uint64_t>(node) << 32) | peer;
-  }
   [[nodiscard]] bool is_suspected(std::uint32_t at, std::uint32_t id) const;
   void suspect(std::uint32_t at, std::uint32_t peer);
+
+  // Gossip evidence source: digest construction/adoption hooks installed on
+  // the transport when config_.liveness.mode == kGossip.
+  void build_digest_words(std::uint32_t from, std::vector<std::uint64_t>& out);
+  void apply_digest_words(std::uint32_t at, std::uint32_t from,
+                          const std::uint64_t* words, std::size_t count);
 
   void handle(std::uint32_t at, const Message& msg);
   void try_candidates(std::uint32_t at, Message msg, std::vector<std::uint32_t> candidates);
@@ -277,10 +293,11 @@ class HierarchySimulation : public snapshot::Participant {
   /// order never observed — only keyed lookups — so the unordered map does
   /// not threaten determinism.
   mutable std::unordered_map<std::uint32_t, overlay::RoutingTable> tables_;
-  /// (node << 32 | peer) -> suspicion expiry; ordered so snapshot rows come
-  /// out node-ascending then peer-ascending, exactly as the per-node maps
-  /// used to serialize.
-  std::map<std::uint64_t, Ticks> suspected_;
+  /// The unified suspicion store, keyed (node << 32 | peer) so snapshot
+  /// rows come out node-ascending then peer-ascending, exactly as the
+  /// per-node maps used to serialize. One map for the whole tree keeps the
+  /// SoA memory profile at million-node scale.
+  liveness::LivenessView liveness_;
   Transport<Message> transport_;
 
   rng::Xoshiro256 misroute_rng_{0x5E3ULL};
@@ -293,6 +310,11 @@ class HierarchySimulation : public snapshot::Participant {
   trace::Counter queries_failed_;
   trace::Counter hop_timeouts_;
   metrics::Histogram* delivered_hops_ = nullptr;  ///< owned by registry_
+  // Registered only in gossip mode so the probe-only registry (and its
+  // snapshot serialization) stays byte-identical to the legacy format.
+  std::optional<trace::Counter> digests_sent_;
+  std::optional<trace::Counter> digest_entries_sent_;
+  std::optional<trace::Counter> gossip_adopted_;
 };
 
 }  // namespace hours::sim

@@ -42,6 +42,7 @@ QueryClient::QueryClient(QueryNetwork network, QueryClientConfig config)
     : network_(std::move(network)),
       config_(config),
       jitter_rng_(config.seed),
+      liveness_({}, config.suspicion_ttl),
       submitted_(registry_.counter("client.submitted")),
       delivered_(registry_.counter("client.delivered")),
       deadline_exceeded_(registry_.counter("client.deadline_exceeded")),
@@ -71,15 +72,11 @@ Ticks QueryClient::base_backoff(std::uint32_t retry) const {
 }
 
 bool QueryClient::suspected(std::uint32_t node) const {
-  const auto it = suspected_.find(node);
-  if (it == suspected_.end()) return false;
-  if (config_.suspicion_ttl != 0 && it->second <= network_.sim->now()) return false;
-  return true;
+  return liveness_.is_suspected(0, node, network_.sim->now());
 }
 
 void QueryClient::suspect(std::uint32_t node) {
-  suspected_[node] = config_.suspicion_ttl == 0 ? ~Ticks{0}
-                                                : network_.sim->now() + config_.suspicion_ttl;
+  liveness_.suspect(0, node, network_.sim->now());
   HOURS_TRACE_EMIT(trace_, {.at = network_.sim->now(),
                             .type = trace::EventType::kSuspect,
                             .peer = node});
@@ -213,7 +210,7 @@ void QueryClient::attempt_current(std::uint64_t qid) {
 void QueryClient::on_ack(std::uint64_t qid, std::uint32_t hopped_to) {
   QueryState& q = queries_.at(qid);
   if (q.out.status != QueryStatus::kPending) return;
-  suspected_.erase(hopped_to);  // proof of life
+  liveness_.clear(0, hopped_to);  // proof of life
   q.at = hopped_to;
   ++q.out.hops;
   q.candidates.clear();

@@ -21,6 +21,7 @@
 #include <map>
 #include <vector>
 
+#include "liveness/liveness.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/simulator.hpp"
 #include "trace/registry.hpp"
@@ -66,7 +67,7 @@ struct QueryClientConfig {
   /// Hop budget (0 = 4 * node_count + 64, matching the in-network engines).
   std::uint32_t max_hops = 0;
   /// How long a timeout keeps a peer suspected client-side (0 = forever).
-  Ticks suspicion_ttl = 4'000;
+  Ticks suspicion_ttl = liveness::kDefaultSuspicionTtl;
   std::uint64_t seed = 0xC11E57ULL;
 };
 
@@ -152,7 +153,9 @@ class QueryClient {
   rng::Xoshiro256 jitter_rng_;
   std::uint64_t next_qid_ = 1;
   std::map<std::uint64_t, QueryState> queries_;
-  std::map<std::uint32_t, Ticks> suspected_;  ///< node -> expiry
+  /// Unified liveness plane (DESIGN.md §11); the client is the sole
+  /// observer, so every row is keyed under observer 0.
+  liveness::LivenessView liveness_;
 
   trace::Registry registry_;
   trace::Tracer* trace_ = nullptr;

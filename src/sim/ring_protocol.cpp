@@ -28,6 +28,7 @@ RingSimulation::RingSimulation(RingSimConfig config)
     : config_(config),
       rng_(rng::mix64(config.seed, 0x70726F746FULL)),
       transport_(sim_, transport_config(config), config.size, config.seed),
+      liveness_(config.liveness, /*suspicion_ttl=*/0),
       probes_sent_(registry_.counter("ring.probes_sent")),
       repairs_sent_(registry_.counter("ring.repairs_sent")),
       claims_sent_(registry_.counter("ring.claims_sent")) {
@@ -60,6 +61,20 @@ RingSimulation::RingSimulation(RingSimConfig config)
     HOURS_EXPECTS(kind >= 0x100 && kind <= 0x1FF);
     transport_.run_described(kind, args, count);
   });
+  if (liveness_.gossip_enabled()) {
+    digests_sent_ = registry_.counter("ring.liveness_digests_sent");
+    digest_entries_sent_ = registry_.counter("ring.liveness_digest_entries_sent");
+    gossip_adopted_ = registry_.counter("ring.liveness_gossip_adopted");
+    transport_.set_digest_hooks(
+        [this](std::uint32_t from, std::uint32_t /*to*/, std::vector<std::uint64_t>& out) {
+          build_digest_words(static_cast<ids::RingIndex>(from), out);
+        },
+        [this](std::uint32_t to, std::uint32_t from, const std::uint64_t* words,
+               std::size_t count) {
+          apply_digest_words(static_cast<ids::RingIndex>(to),
+                             static_cast<ids::RingIndex>(from), words, count);
+        });
+  }
 }
 
 void RingSimulation::start() {
@@ -79,7 +94,7 @@ void RingSimulation::revive(ids::RingIndex i) {
   Node& node = nodes_[i];
   node.alive = true;
   transport_.set_alive(i, true);
-  node.suspected.clear();
+  liveness_.clear_observer(i);
   node.ccw_suspected = false;
   node.awaiting_claim = false;
 }
@@ -101,7 +116,7 @@ ids::RingIndex RingSimulation::ccw_neighbor(ids::RingIndex i) const {
 
 bool RingSimulation::suspects(ids::RingIndex i, ids::RingIndex peer) const {
   HOURS_EXPECTS(i < config_.size && peer < config_.size);
-  return nodes_[i].suspected.count(peer) != 0;
+  return liveness_.contains(i, peer);
 }
 
 bool RingSimulation::ring_connected() const {
@@ -254,7 +269,7 @@ void RingSimulation::handle(ids::RingIndex at, ids::RingIndex from, const Messag
   // partition healed): run the full adopt/re-merge check, not a silent
   // erase — otherwise a revived predecessor that probes us first would be
   // unsuspected here and the stale ccw pointer would never be repaired.
-  if (node.suspected.count(from) != 0) on_suspect_recovered(at, from);
+  if (liveness_.contains(at, from)) on_suspect_recovered(at, from);
 
   switch (msg.type) {
     case Message::Type::kProbe: {
@@ -390,7 +405,7 @@ void RingSimulation::probe_cycle(ids::RingIndex i) {
                     snapshot::Described{snapshot::kRingCcwProbeTimeout, {i, ccw}});
   }
 
-  if (config_.suspicion_refresh && !node.suspected.empty()) refresh_suspected(i);
+  if (config_.suspicion_refresh && !liveness_.observer_empty(i)) refresh_suspected(i);
 
   schedule_probe(i, config_.probe_period);
 }
@@ -408,7 +423,7 @@ void RingSimulation::cw_probe_timeout(ids::RingIndex i, ids::RingIndex succ) {
   // Candidates: remaining table entries in increasing clockwise distance.
   std::vector<ids::RingIndex> candidates;
   for (const auto& entry : self.table.entries()) {
-    if (entry.sibling != succ && self.suspected.count(entry.sibling) == 0) {
+    if (entry.sibling != succ && !liveness_.contains(i, entry.sibling)) {
       candidates.push_back(entry.sibling);
     }
   }
@@ -439,9 +454,7 @@ void RingSimulation::refresh_suspected(ids::RingIndex i) {
   Node& node = nodes_[i];
   // Round-robin: every suspected peer is re-checked within |suspected|
   // probe periods, however the set churns in between.
-  auto it = node.suspected.lower_bound(node.refresh_cursor);
-  if (it == node.suspected.end()) it = node.suspected.begin();
-  const ids::RingIndex target = *it;
+  const ids::RingIndex target = liveness_.next_at_or_after(i, node.refresh_cursor);
   node.refresh_cursor = target + 1;
 
   Message probe;
@@ -459,7 +472,7 @@ void RingSimulation::refresh_suspected(ids::RingIndex i) {
 void RingSimulation::on_suspect_recovered(ids::RingIndex i, ids::RingIndex peer) {
   Node& node = nodes_[i];
   if (!node.alive) return;
-  node.suspected.erase(peer);
+  liveness_.clear(i, peer);
 
   // Clockwise side: the recovered peer may sit between us and the successor
   // we advanced to while it was unreachable — adopt it and claim the
@@ -551,7 +564,7 @@ std::vector<ids::RingIndex> RingSimulation::progress_candidates(const Node& node
   std::vector<ids::RingIndex> out;
   for (const auto& entry : node.table.entries()) {
     const ids::RingIndex s = entry.sibling;
-    if (s == target || node.suspected.count(s) != 0) continue;
+    if (s == target || liveness_.contains(at, s)) continue;
     if (ids::clockwise_distance(s, target, config_.size) < self_distance) out.push_back(s);
   }
   std::sort(out.begin(), out.end(), [&](ids::RingIndex a, ids::RingIndex b) {
@@ -609,7 +622,7 @@ void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin,
   node.table.insert_entry(overlay::TableEntry{origin, {}});
   const auto current = ids::clockwise_distance(at, node.cw_succ, config_.size);
   const auto offered = ids::clockwise_distance(at, origin, config_.size);
-  if (node.suspected.count(node.cw_succ) != 0 || offered < current) {
+  if (liveness_.contains(at, node.cw_succ) || offered < current) {
     node.cw_succ = origin;
   }
   Message claim;
@@ -620,12 +633,59 @@ void RingSimulation::attach_repair(ids::RingIndex at, ids::RingIndex origin,
 }
 
 void RingSimulation::suspect_peer(ids::RingIndex i, ids::RingIndex peer) {
-  if (nodes_[i].suspected.insert(peer).second) {
+  if (liveness_.suspect(i, peer, sim_.now())) {
     HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
                               .type = trace::EventType::kSuspect,
                               .node = i,
                               .peer = peer});
   }
+}
+
+// -- gossip evidence source ---------------------------------------------------------
+
+void RingSimulation::build_digest_words(ids::RingIndex from,
+                                        std::vector<std::uint64_t>& out) {
+  const auto digest = liveness_.build_digest(from, sim_.now());
+  if (digest.empty()) return;
+  for (const auto& entry : digest) {
+    out.push_back(entry.peer);
+    out.push_back(entry.since);
+  }
+  digests_sent_->inc();
+  digest_entries_sent_->inc(digest.size());
+  HOURS_TRACE_EMIT(trace_, {.at = sim_.now(),
+                            .type = trace::EventType::kLivenessDigestSent,
+                            .node = from,
+                            .value = digest.size()});
+}
+
+void RingSimulation::apply_digest_words(ids::RingIndex at, ids::RingIndex from,
+                                        const std::uint64_t* words, std::size_t count) {
+  HOURS_EXPECTS(count % 2 == 0);
+  if (!nodes_[at].alive) return;
+  const Ticks now = sim_.now();
+  std::uint64_t adopted = 0;
+  for (std::size_t k = 0; k + 1 < count; k += 2) {
+    const auto peer = static_cast<ids::RingIndex>(words[k]);
+    const Ticks since = words[k + 1];
+    // Never adopt suspicion of ourselves or of the sender (this very frame
+    // proves the sender alive); drop rumors past the propagation horizon.
+    if (peer >= config_.size || peer == at || peer == from) continue;
+    if (!liveness_.within_horizon(since, now)) continue;
+    if (!liveness_.adopt(at, peer, since, now)) continue;
+    ++adopted;
+    gossip_adopted_->inc();
+    HOURS_TRACE_EMIT(trace_, {.at = now,
+                              .type = trace::EventType::kLivenessGossipSuspect,
+                              .node = at,
+                              .peer = peer,
+                              .value = since});
+  }
+  HOURS_TRACE_EMIT(trace_, {.at = now,
+                            .type = trace::EventType::kLivenessDigestApplied,
+                            .node = at,
+                            .peer = from,
+                            .value = adopted});
 }
 
 // -- queries ------------------------------------------------------------------------
@@ -678,7 +738,7 @@ std::vector<ids::RingIndex> RingSimulation::route_candidates(ids::RingIndex at,
   std::vector<ids::RingIndex> candidates;
   if (!backward) {
     // Rule 1: the OD itself if we hold a pointer and do not suspect it.
-    if (node.table.find(od) != nullptr && node.suspected.count(od) == 0) {
+    if (node.table.find(od) != nullptr && !liveness_.contains(at, od)) {
       candidates.push_back(od);
     }
     const auto greedy = progress_candidates(node, at, od);
@@ -688,7 +748,7 @@ std::vector<ids::RingIndex> RingSimulation::route_candidates(ids::RingIndex at,
     }
   }
   if (backward) {
-    if (node.suspected.count(node.ccw) == 0) {
+    if (!liveness_.contains(at, node.ccw)) {
       candidates.push_back(node.ccw);
     }
   }
@@ -774,6 +834,13 @@ snapshot::Json RingSimulation::save_state(std::string& error) const {
   cfg["seed"] = Json(config_.seed);
   cfg["probe_period"] = Json(config_.probe_period);
   cfg["ack_timeout"] = Json(config_.ack_timeout);
+  // Gossip mode extends the echo (and the per-node suspicion rows below);
+  // probe-only snapshots keep the legacy byte layout exactly.
+  if (liveness_.gossip_enabled()) {
+    cfg["liveness_mode"] = Json(std::uint64_t{1});
+    cfg["digest_budget"] = Json(static_cast<std::uint64_t>(liveness_.config().digest_budget));
+    cfg["digest_horizon"] = Json(liveness_.config().digest_horizon);
+  }
   out["config"] = std::move(cfg);
 
   Json rng = Json::array();
@@ -783,7 +850,8 @@ snapshot::Json RingSimulation::save_state(std::string& error) const {
   out["next_rid"] = Json(next_rid_);
 
   Json nodes = Json::array();
-  for (const Node& node : nodes_) {
+  for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+    const Node& node = nodes_[idx];
     Json n = Json::object();
     n["alive"] = Json(static_cast<std::uint64_t>(node.alive ? 1 : 0));
     n["cw_succ"] = Json(static_cast<std::uint64_t>(node.cw_succ));
@@ -794,9 +862,27 @@ snapshot::Json RingSimulation::save_state(std::string& error) const {
     n["ccw_miss"] = Json(static_cast<std::uint64_t>(node.ccw_miss_count));
     n["awaiting_check_event"] = Json(node.awaiting_check_event);
     n["refresh_cursor"] = Json(static_cast<std::uint64_t>(node.refresh_cursor));
+    // Suspicion rows, ascending peer: bare peers in probe-only mode (the
+    // legacy set serialization), [peer, since, source] triples under gossip
+    // so a restored run re-ages and re-broadcasts rumors identically.
     Json suspected = Json::array();
-    for (const auto peer : node.suspected) {
-      suspected.push(Json(static_cast<std::uint64_t>(peer)));
+    const auto observer = static_cast<liveness::NodeId>(idx);
+    if (liveness_.gossip_enabled()) {
+      liveness_.for_each_observer(observer,
+                                  [&suspected](liveness::NodeId peer,
+                                               const liveness::Entry& entry) {
+        Json row = Json::array();
+        row.push(Json(static_cast<std::uint64_t>(peer)));
+        row.push(Json(entry.since));
+        row.push(Json(static_cast<std::uint64_t>(entry.source)));
+        suspected.push(std::move(row));
+      });
+    } else {
+      liveness_.for_each_observer(observer,
+                                  [&suspected](liveness::NodeId peer,
+                                               const liveness::Entry&) {
+        suspected.push(Json(static_cast<std::uint64_t>(peer)));
+      });
     }
     n["suspected"] = std::move(suspected);
     // Table: entries as [sibling, nephews...] rows in stored (distance)
@@ -862,6 +948,12 @@ std::string RingSimulation::restore_state(const snapshot::Json& state) {
       !cfg_is("ack_timeout", config_.ack_timeout)) {
     return "ring.config does not match this simulation's configuration";
   }
+  if (liveness_.gossip_enabled() &&
+      (!cfg_is("liveness_mode", 1) ||
+       !cfg_is("digest_budget", liveness_.config().digest_budget) ||
+       !cfg_is("digest_horizon", liveness_.config().digest_horizon))) {
+    return "ring.config liveness settings do not match this simulation's configuration";
+  }
 
   const Json* rng = state.find("rng");
   if (rng == nullptr || !rng->is_array() || rng->items().size() != 4) {
@@ -884,6 +976,7 @@ std::string RingSimulation::restore_state(const snapshot::Json& state) {
   for (std::size_t i = 0; i < 4; ++i) words[i] = rng->items()[i].as_u64();
   rng_.set_state(words);
 
+  liveness_.clear_all();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const Json& n = nodes->items()[i];
     if (!n.is_object()) return "ring.nodes entry malformed";
@@ -922,12 +1015,29 @@ std::string RingSimulation::restore_state(const snapshot::Json& state) {
     node.ccw_miss_count = static_cast<std::uint32_t>(ccw_miss->as_u64());
     node.awaiting_check_event = check_event->as_u64();
     node.refresh_cursor = static_cast<ids::RingIndex>(refresh_cursor->as_u64());
-    node.suspected.clear();
-    for (const auto& peer : suspected->items()) {
-      if (!peer.is_u64() || peer.as_u64() >= config_.size) {
-        return "ring.nodes suspected peer malformed";
+    const auto observer = static_cast<liveness::NodeId>(i);
+    if (liveness_.gossip_enabled()) {
+      for (const auto& row : suspected->items()) {
+        if (!row.is_array() || row.items().size() != 3) {
+          return "ring.nodes suspected row malformed";
+        }
+        const auto& f = row.items();
+        if (!f[0].is_u64() || f[0].as_u64() >= config_.size || !f[1].is_u64() ||
+            !f[2].is_u64() || f[2].as_u64() > 1) {
+          return "ring.nodes suspected row malformed";
+        }
+        liveness_.restore_row(observer, static_cast<liveness::NodeId>(f[0].as_u64()),
+                              liveness::Entry{liveness::kNeverExpires, f[1].as_u64(),
+                                              static_cast<liveness::Source>(f[2].as_u64())});
       }
-      node.suspected.insert(static_cast<ids::RingIndex>(peer.as_u64()));
+    } else {
+      for (const auto& peer : suspected->items()) {
+        if (!peer.is_u64() || peer.as_u64() >= config_.size) {
+          return "ring.nodes suspected peer malformed";
+        }
+        liveness_.restore_row(observer, static_cast<liveness::NodeId>(peer.as_u64()),
+                              liveness::Entry{});
+      }
     }
     const Json* entries = table->find("entries");
     const Json* ccw_ptr = table->find("ccw_neighbor");

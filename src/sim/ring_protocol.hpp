@@ -31,9 +31,9 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "liveness/liveness.hpp"
 #include "overlay/params.hpp"
 #include "overlay/routing_table.hpp"
 #include "rng/xoshiro256.hpp"
@@ -67,6 +67,11 @@ struct RingSimConfig {
   /// what re-merges two self-healed half-rings after a partition lifts;
   /// without refresh, disjoint halves never contact each other again.
   bool suspicion_refresh = true;
+  /// Evidence-source selection for the liveness plane: kProbeOnly keeps
+  /// today's timeout-only inference bit for bit; kGossip additionally
+  /// piggybacks bounded suspicion digests on every transport frame (probes,
+  /// repairs, queries and their acks alike — no new message types).
+  liveness::Config liveness;
 };
 
 class RingSimulation : public snapshot::Participant {
@@ -122,8 +127,15 @@ class RingSimulation : public snapshot::Participant {
   /// alive node exactly once and returns — i.e. no gap survived.
   [[nodiscard]] bool ring_connected() const;
 
-  /// True while node `i` believes `peer` is dead (timeout-inferred).
+  /// True while node `i` believes `peer` is dead (timeout- or
+  /// gossip-inferred; the liveness plane does not distinguish for routing).
   [[nodiscard]] bool suspects(ids::RingIndex i, ids::RingIndex peer) const;
+
+  /// The unified suspicion store (DESIGN.md §11); read-only introspection
+  /// for tests and benches.
+  [[nodiscard]] const liveness::LivenessView& liveness() const noexcept {
+    return liveness_;
+  }
 
   [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_.value(); }
   [[nodiscard]] std::uint64_t repairs_sent() const noexcept { return repairs_sent_.value(); }
@@ -193,8 +205,8 @@ class RingSimulation : public snapshot::Participant {
     std::uint32_t cw_miss_count = 0;   ///< consecutive failed probes of cw_succ
     std::uint32_t ccw_miss_count = 0;  ///< consecutive failed probes of ccw
     std::uint64_t awaiting_check_event = 0;
-    std::set<ids::RingIndex> suspected;  ///< peers believed dead (learned via timeouts)
-    ids::RingIndex refresh_cursor = 0;   ///< round-robin position in `suspected`
+    /// Round-robin position in this node's suspicion rows (liveness_).
+    ids::RingIndex refresh_cursor = 0;
   };
 
   // Message <-> u64 words (transport snapshot codec; encode appends).
@@ -232,6 +244,12 @@ class RingSimulation : public snapshot::Participant {
   /// scattered timeout handlers all funnel through here.
   void suspect_peer(ids::RingIndex i, ids::RingIndex peer);
 
+  // Gossip evidence source: digest construction/adoption hooks installed on
+  // the transport when config_.liveness.mode == kGossip.
+  void build_digest_words(ids::RingIndex from, std::vector<std::uint64_t>& out);
+  void apply_digest_words(ids::RingIndex at, ids::RingIndex from,
+                          const std::uint64_t* words, std::size_t count);
+
   // Queries.
   void process_query(ids::RingIndex at, Message msg);
   void try_query_candidates(ids::RingIndex at, Message msg,
@@ -249,6 +267,7 @@ class RingSimulation : public snapshot::Participant {
   rng::Xoshiro256 rng_;
   std::vector<Node> nodes_;
   Transport<Message> transport_;
+  liveness::LivenessView liveness_;
 
   std::uint64_t next_qid_ = 1;
   std::uint64_t next_rid_ = 1;  ///< repair-episode causal ids
@@ -259,6 +278,11 @@ class RingSimulation : public snapshot::Participant {
   trace::Counter probes_sent_;
   trace::Counter repairs_sent_;
   trace::Counter claims_sent_;
+  // Registered only in gossip mode so the probe-only registry (and its
+  // snapshot serialization) stays byte-identical to the legacy format.
+  std::optional<trace::Counter> digests_sent_;
+  std::optional<trace::Counter> digest_entries_sent_;
+  std::optional<trace::Counter> gossip_adopted_;
 };
 
 }  // namespace hours::sim

@@ -105,6 +105,30 @@ class Transport {
     runner_ = std::move(runner);
   }
 
+  /// Appends the digest words a sender piggybacks on a message to `to`
+  /// (liveness gossip; may append nothing). Consulted on every successful
+  /// transmission, acks included.
+  using DigestBuilder =
+      std::function<void(Address from, Address to, std::vector<std::uint64_t>& out)>;
+  /// Consumes a received digest at the recipient, after the delivery gates
+  /// (alive, incarnation, link) pass.
+  using DigestApplier = std::function<void(Address to, Address from,
+                                           const std::uint64_t* words, std::size_t count)>;
+
+  /// Installs the piggyback seam. Requires the snapshot codec (digests ride
+  /// the described wire form as a trailing [words..., count] frame appended
+  /// after the payload). Install both hooks before any traffic is sent and
+  /// never change them mid-run: the trailing frame is present on the wire
+  /// exactly when the hooks are installed, so flipping them with messages
+  /// in flight would misparse those messages. With no hooks installed the
+  /// wire format is byte-identical to the pre-digest transport.
+  void set_digest_hooks(DigestBuilder build, DigestApplier apply) {
+    HOURS_EXPECTS(encode_ != nullptr && decode_ != nullptr);
+    HOURS_EXPECTS(messages_sent_ == 0);
+    digest_build_ = std::move(build);
+    digest_apply_ = std::move(apply);
+  }
+
   void set_alive(Address node, bool alive) {
     HOURS_EXPECTS(node < alive_.size());
     // A death — even one followed by a revival before a message lands —
@@ -298,8 +322,19 @@ class Transport {
     env.token = args[2];
     const auto sent_incarnation = static_cast<std::uint32_t>(args[3]);
     const bool is_ack = args[4] != 0;
-    env.payload = decode_(args + 5, count - 5);
-    deliver(to, std::move(env), sent_incarnation, is_ack);
+    std::size_t payload_words = count - 5;
+    const std::uint64_t* digest = nullptr;
+    std::size_t digest_words = 0;
+    if (digest_build_ || digest_apply_) {
+      // Hooks installed: the tail is [payload..., digest..., digest_len].
+      HOURS_EXPECTS(count >= 6);
+      digest_words = static_cast<std::size_t>(args[count - 1]);
+      HOURS_EXPECTS(digest_words + 6 <= count);
+      payload_words = count - 6 - digest_words;
+      digest = args + 5 + payload_words;
+    }
+    env.payload = decode_(args + 5, payload_words);
+    deliver(to, std::move(env), sent_incarnation, is_ack, digest, digest_words);
   }
 
   /// Rebuilds the closure for a transport-owned described event; null when
@@ -373,7 +408,8 @@ class Transport {
 
   /// Executes one delivery: the common body behind the live closure and the
   /// snapshot-restored closure.
-  void deliver(Address to, Envelope env, std::uint32_t sent_incarnation, bool is_ack) {
+  void deliver(Address to, Envelope env, std::uint32_t sent_incarnation, bool is_ack,
+               const std::uint64_t* digest = nullptr, std::size_t digest_words = 0) {
     if (!alive(to)) {  // shut-down servers receive nothing
       drop(to, env.from, trace::DropReason::kDeadRecipient);
       return;
@@ -387,6 +423,11 @@ class Transport {
       ++messages_link_dropped_;
       drop(to, env.from, trace::DropReason::kSeveredLink);
       return;
+    }
+    // Any message that passed the gates carries its sender's suspicion
+    // digest — evidence spreads on acks and forwarding traffic alike.
+    if (digest_apply_ && digest_words != 0) {
+      digest_apply_(to, env.from, digest, digest_words);
     }
     if (is_ack) {
       const auto it = pending_.find(env.token);
@@ -430,6 +471,11 @@ class Transport {
       scratch_args_.push_back(sent_incarnation);
       scratch_args_.push_back(is_ack ? 1 : 0);
       encode_(env.payload, scratch_args_);
+      if (digest_build_ || digest_apply_) {
+        const std::size_t base = scratch_args_.size();
+        if (digest_build_) digest_build_(env.from, to, scratch_args_);
+        scratch_args_.push_back(scratch_args_.size() - base);
+      }
       sim_.schedule(latency, snapshot::kTransportDelivery, scratch_args_.data(),
                     scratch_args_.size());
       return;
@@ -447,6 +493,8 @@ class Transport {
   Handler handler_;
   Encode encode_;
   Decode decode_;
+  DigestBuilder digest_build_;
+  DigestApplier digest_apply_;
   std::function<void(const snapshot::Described&)> runner_;
   LinkFilter link_filter_;
   trace::Tracer* trace_ = nullptr;

@@ -15,6 +15,7 @@ constexpr std::array<std::string_view, kEventTypeCount> kNames = {
     "query_submit",   "query_delivered", "query_failed",    "retry",
     "drop",           "fault_kill",      "fault_revive",    "link_cut",
     "link_heal",      "loss_change",     "behavior_change",
+    "liveness_digest_sent", "liveness_digest_applied", "liveness_gossip_suspect",
 };
 static_assert(kNames.size() == kEventTypeCount);
 

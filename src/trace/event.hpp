@@ -55,11 +55,15 @@ enum class EventType : std::uint8_t {
   kLinkHeal,        ///< directed link node->peer restored
   kLossChange,      ///< transport loss rate changed; value = rate in ppm
   kBehaviorChange,  ///< insider switch; value = overlay::NodeBehavior
+  // -- gossip-assisted liveness (DESIGN.md §11) --------------------------------------
+  kLivenessDigestSent,     ///< suspicion digest piggybacked; value = entry count
+  kLivenessDigestApplied,  ///< digest processed by receiver; value = entries adopted
+  kLivenessGossipSuspect,  ///< peer adopted into suspicion from a digest; value = since
 };
 
 /// Number of event types (dense enum; used for per-type subscriber tables).
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::kBehaviorChange) + 1;
+    static_cast<std::size_t>(EventType::kLivenessGossipSuspect) + 1;
 
 /// Why the transport suppressed a delivery (Event::value for kDrop).
 enum class DropReason : std::uint8_t {

@@ -16,6 +16,7 @@
 
 #include "hours/hours.hpp"
 #include "hours/resolver.hpp"
+#include "liveness/liveness.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/hierarchy_protocol.hpp"
@@ -244,6 +245,27 @@ TEST(SnapshotReplay, RestoredRunIsByteIdenticalToContinuousRun) {
     // state: ring tables, suspicion, RNG streams, metrics, event queue.
     EXPECT_EQ(restored.final_state, continuous.final_state) << "seed " << seed;
     // The trace streams agree event for event past the snapshot instant.
+    EXPECT_EQ(restored.tail, continuous.tail) << "seed " << seed;
+  }
+}
+
+TEST(SnapshotReplay, GossipLivenessRestoredRunIsByteIdentical) {
+  // Same equivalence oracle with the gossip liveness plane armed: the pause
+  // lands while the crash(3)-at-2'000 rumor is inside the digest horizon, so
+  // the snapshot must carry mid-propagation state — since/source rows and
+  // the gossip-mode config echo — and the restored run must keep spreading
+  // the rumor exactly where the continuous run does.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    RingRun r = oracle_case(seed);
+    r.config.liveness.mode = liveness::Mode::kGossip;
+    const Ticks pause = 2'500 + 1'771 * seed;
+    const ContinuousResult continuous = run_continuous(r, pause);
+    ASSERT_FALSE(continuous.at_pause.empty());
+
+    const RestoredResult restored = run_restored(r, continuous.at_pause);
+    ASSERT_EQ(restored.error, "") << "seed " << seed;
+    EXPECT_EQ(restored.resaved, continuous.at_pause) << "seed " << seed;
+    EXPECT_EQ(restored.final_state, continuous.final_state) << "seed " << seed;
     EXPECT_EQ(restored.tail, continuous.tail) << "seed " << seed;
   }
 }
